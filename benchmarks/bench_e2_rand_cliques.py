@@ -1,0 +1,21 @@
+"""Benchmark E2 — Theorem 2 / Theorem 6: ``Rand`` on cliques vs the ``4 H_n`` bound.
+
+Regenerates the E2 table: mean cost and competitive ratio of the paper's
+biased-coin algorithm, plus the unbiased-coin and move-smaller ablations, on
+random clique-merge workloads of growing size.
+"""
+
+from repro.core.bounds import rand_cliques_ratio_bound
+from repro.experiments.suite_core import run_e2_rand_cliques
+
+
+def test_e2_rand_cliques(run_experiment):
+    result = run_experiment(run_e2_rand_cliques)
+    table = result.tables[0]
+    for row in table.rows:
+        if row[table.columns.index("algorithm")] != "rand (paper)":
+            continue
+        size = row[table.columns.index("n")]
+        ratio = row[table.columns.index("ratio vs OPT ub")]
+        # Theorem 2 (with Monte-Carlo slack): the mean ratio stays below 4 H_n.
+        assert ratio <= rand_cliques_ratio_bound(size) * 1.05

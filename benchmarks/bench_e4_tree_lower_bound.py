@@ -1,0 +1,26 @@
+"""Benchmark E4 — Theorem 15: the binary-tree distribution forces ``Ω(log n)``.
+
+Regenerates the E4 table: the cost of the randomized line algorithm on the
+Yao-principle request distribution, the exact offline optimum, and the ratio
+whose growth with ``log₂ n`` demonstrates that the algorithm's logarithmic
+competitiveness is asymptotically unavoidable.
+"""
+
+import math
+
+from repro.experiments.suite_core import run_e4_tree_lower_bound
+
+
+def test_e4_tree_lower_bound(run_experiment):
+    result = run_experiment(run_e4_tree_lower_bound)
+    table = result.tables[0]
+    sizes = table.column("n")
+    ratios = table.column("mean ratio")
+    # The ratio grows with n (Theta(log n) shape): larger sizes have larger ratios.
+    assert ratios[-1] > ratios[0]
+    # Normalizing by log2(n) collapses the growth into a narrow band.
+    normalized = [ratio / math.log2(size) for ratio, size in zip(sizes, ratios)]
+    assert max(normalized) <= 4 * min(normalized)
+    # Every measured ratio respects the Theorem 15 floor of (log2 n) / 16.
+    for size, ratio in zip(sizes, ratios):
+        assert ratio >= math.log2(size) / 16

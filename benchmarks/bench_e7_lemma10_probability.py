@@ -1,0 +1,14 @@
+"""Benchmark E7 — Lemma 10: the orientation probability invariant.
+
+Regenerates the E7 table: Monte-Carlo estimates of ``P[→X]`` for every
+component alive at every step of a line workload, compared against the closed
+form ``|L_{→X} ∩ L_{π0}| / C(|X|, 2)``.
+"""
+
+from repro.experiments.suite_invariants import run_e7_lemma10_probability
+
+
+def test_e7_lemma10_probability(run_experiment):
+    result = run_experiment(run_e7_lemma10_probability)
+    assert result.findings["max deviation"] < 0.08
+    assert result.findings["mean deviation"] < 0.02

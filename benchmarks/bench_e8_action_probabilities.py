@@ -1,0 +1,15 @@
+"""Benchmark E8 — Figures 1 and 2: single-update action probabilities.
+
+Regenerates the E8 table: how often the implementation moves component ``X``
+(Figure 1) and how often it reverses ``X`` in place (Figure 2), compared
+against the probabilities printed on the figures.
+"""
+
+from repro.experiments.suite_invariants import run_e8_action_probabilities
+
+
+def test_e8_action_probabilities(run_experiment):
+    result = run_experiment(run_e8_action_probabilities)
+    table = result.tables[0]
+    deviations = table.column("|deviation|")
+    assert max(deviations) < 0.05

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs one experiment of the suite (``repro.experiments.suite``)
+exactly once under ``pytest-benchmark`` timing, prints the experiment's result
+tables (the rows that ``EXPERIMENTS.md`` is generated from), and asserts the
+"shape" claims of the paper — who wins, what grows, what stays below which
+bound.  The scale can be tuned with the ``REPRO_BENCH_SCALE`` environment
+variable (``smoke``, ``bench`` — the default — or ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult, ExperimentScale
+
+
+def _selected_scale() -> ExperimentScale:
+    value = os.environ.get("REPRO_BENCH_SCALE", ExperimentScale.BENCH.value)
+    try:
+        return ExperimentScale(value)
+    except ValueError:  # pragma: no cover - defensive
+        return ExperimentScale.BENCH
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The experiment scale used by the benchmark harness."""
+    return _selected_scale()
+
+
+@pytest.fixture
+def run_experiment(benchmark, bench_scale):
+    """Run an experiment function once under benchmark timing and print its tables."""
+
+    def runner(experiment_function, seed: int = 0) -> ExperimentResult:
+        result = benchmark.pedantic(
+            experiment_function, args=(bench_scale, seed), rounds=1, iterations=1
+        )
+        print()
+        print(result.to_ascii())
+        return result
+
+    return runner

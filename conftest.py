@@ -1,0 +1,16 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. a fresh clone in a fully offline environment where
+``pip install -e .`` cannot build an editable wheel).  When the package *is*
+installed, the installed version naturally takes precedence on ``sys.path``
+only if it appears earlier; prepending ``src`` keeps tests exercising the
+checked-out sources.
+"""
+
+import sys
+from pathlib import Path
+
+SRC_DIRECTORY = Path(__file__).parent / "src"
+if str(SRC_DIRECTORY) not in sys.path:
+    sys.path.insert(0, str(SRC_DIRECTORY))

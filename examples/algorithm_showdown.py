@@ -1,0 +1,106 @@
+"""Algorithm showdown: the paper's algorithms vs their ablations, side by side.
+
+For growing instance sizes the script measures, on the same random workloads,
+
+* the biased-coin randomized algorithm of the paper (``Rand``),
+* the unbiased-coin ablation (fair coin instead of the size-proportional one),
+* the deterministic "always move the smaller component" rule,
+* the deterministic closest-to-``π_0`` algorithm (``Det``),
+
+and reports their mean competitive ratio against the offline optimum, next to
+the theoretical bounds.  This is the empirical counterpart of the design
+choice called out in Figure 1: the *biased* coin is what turns a linear ratio
+into a logarithmic one.
+
+Run with::
+
+    python examples/algorithm_showdown.py [cliques|lines]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import (
+    DeterministicClosestLearner,
+    MoveSmallerCliqueLearner,
+    MoveSmallerLineLearner,
+    OnlineMinLAInstance,
+    RandomizedCliqueLearner,
+    RandomizedLineLearner,
+    UnbiasedCoinCliqueLearner,
+    UnbiasedCoinLineLearner,
+    det_competitive_bound,
+    offline_optimum_bounds,
+    rand_cliques_ratio_bound,
+    rand_lines_ratio_bound,
+    random_clique_merge_sequence,
+    random_line_sequence,
+    run_online,
+    run_trials,
+)
+
+
+def contestants(kind: str):
+    if kind == "cliques":
+        return {
+            "Rand (paper)": RandomizedCliqueLearner,
+            "unbiased coin": UnbiasedCoinCliqueLearner,
+            "move smaller": MoveSmallerCliqueLearner,
+        }
+    return {
+        "Rand (paper)": RandomizedLineLearner,
+        "unbiased coin": UnbiasedCoinLineLearner,
+        "move smaller": MoveSmallerLineLearner,
+    }
+
+
+def main(kind: str = "cliques", trials: int = 20, seed: int = 0) -> None:
+    if kind not in ("cliques", "lines"):
+        raise SystemExit("usage: python examples/algorithm_showdown.py [cliques|lines]")
+    sizes = (12, 24, 48)
+    names = list(contestants(kind)) + ["Det (exact ≤ 12 nodes)"]
+    print(f"=== {kind}: mean competitive ratio vs offline optimum ===")
+    header = f"{'n':>5} " + " ".join(f"{name:>22}" for name in names)
+    bound_name = "4·H_n" if kind == "cliques" else "8·H_n"
+    print(header + f" {bound_name:>10} {'2n-2':>8}")
+    print("-" * len(header))
+
+    for size in sizes:
+        rng = random.Random((seed, size).__repr__())
+        if kind == "cliques":
+            sequence = random_clique_merge_sequence(size, rng)
+            bound = rand_cliques_ratio_bound(size)
+        else:
+            sequence = random_line_sequence(size, rng)
+            bound = rand_lines_ratio_bound(size)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        opt = offline_optimum_bounds(instance)
+        denominator = max(opt.upper, 1)
+
+        cells = []
+        for name, factory in contestants(kind).items():
+            results = run_trials(factory, instance, num_trials=trials, seed=seed)
+            mean_cost = sum(result.total_cost for result in results) / len(results)
+            cells.append(f"{mean_cost / denominator:>22.2f}")
+        # Det with the exact closest-MinLA search is only run on small instances
+        # (the subset DP is exponential in the number of components).
+        if size <= 12:
+            det_cost = run_online(DeterministicClosestLearner(), instance).total_cost
+            cells.append(f"{det_cost / denominator:>22.2f}")
+        else:
+            cells.append(f"{'—':>22}")
+        print(f"{size:>5} " + " ".join(cells) + f" {bound:>10.1f} {det_competitive_bound(size):>8}")
+
+    print()
+    print("On random reveal orders every policy sits far below the bounds, and the")
+    print("greedy 'move smaller' rule is even slightly cheaper per step — its weakness")
+    print("is adversarial: an adversary that knows which side will move can force a")
+    print("linear ratio, which is exactly what the biased coin of Figure 1 prevents")
+    print("(run examples/adversarial_lower_bounds.py to see the bounds bind).")
+
+
+if __name__ == "__main__":
+    selected = sys.argv[1] if len(sys.argv) > 1 else "cliques"
+    main(selected)

@@ -1,0 +1,83 @@
+"""Case study: demand-aware virtual network embedding on a linear datacenter.
+
+This is the scenario that motivates the paper (Section 1.2): virtual machines
+sit in a row of hosts, traffic between them is only learned as requests
+arrive, and migrating a VM to a neighbouring host costs one swap.  The script
+replays two traffic patterns — tenant groups (cliques) and processing
+pipelines (lines) — under three controllers:
+
+* ``static``       — never migrate,
+* ``oracle``       — knows the final pattern and migrates once up front,
+* ``demand-aware`` — the paper's online algorithms migrate as the pattern is
+  revealed.
+
+The output shows the migration/communication trade-off: demand-aware
+re-embedding pays a bounded migration cost to cut the communication cost to a
+fraction of the static embedding's.
+
+Run with::
+
+    python examples/datacenter_embedding.py [requests] [seed]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.core.permutation import random_arrangement
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.vnet import (
+    DemandAwareController,
+    Embedding,
+    LinearDatacenter,
+    OracleController,
+    StaticController,
+    pipeline_traffic,
+    tenant_traffic,
+)
+
+
+def run_scenario(title, trace, learner_factory, seed):
+    datacenter = LinearDatacenter(trace.num_nodes)
+    rng = random.Random(seed)
+    initial = Embedding(datacenter, random_arrangement(trace.virtual_nodes, rng))
+
+    controllers = [
+        ("static", StaticController(datacenter)),
+        ("oracle (offline)", OracleController(datacenter)),
+        ("demand-aware (Rand)", DemandAwareController(datacenter, learner_factory)),
+    ]
+    print(f"\n=== {title}: {trace.num_nodes} VMs, {trace.num_requests} requests ===")
+    print(f"{'controller':<22} {'migration':>12} {'communication':>15} {'total':>12}")
+    print("-" * 64)
+    for name, controller in controllers:
+        report = controller.run(trace, initial_embedding=initial, rng=random.Random(seed + 7))
+        print(
+            f"{name:<22} {report.migration_cost:>12.0f} {report.communication_cost:>15.0f} "
+            f"{report.total_cost:>12.0f}"
+        )
+
+
+def main(num_requests: int = 2000, seed: int = 0) -> None:
+    rng = random.Random(seed)
+
+    # Four tenants of eight VMs each, all-to-all traffic inside a tenant.
+    tenants = tenant_traffic([8, 8, 8, 8], num_requests, rng)
+    run_scenario("tenant groups (clique pattern)", tenants, RandomizedCliqueLearner, seed)
+
+    # Four pipelines of eight stages each, neighbour-to-neighbour traffic.
+    pipelines = pipeline_traffic([8, 8, 8, 8], num_requests, rng)
+    run_scenario("pipelines (line pattern)", pipelines, RandomizedLineLearner, seed)
+
+    print()
+    print("Demand-aware re-embedding approaches the oracle's communication cost")
+    print("while paying only the logarithmically-competitive migration overhead")
+    print("guaranteed by Theorems 2 and 8.")
+
+
+if __name__ == "__main__":
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(requests, seed)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels (no ``wheel`` package
+available).  ``pip`` falls back to the legacy ``setup.py develop`` code path
+through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""repro — Learning Minimum Linear Arrangement of Cliques and Lines.
+
+A from-scratch Python implementation of the online learning MinLA problem of
+Dallot, Pacut, Bienkowski, Melnyk and Schmid (ICDCS 2024 / arXiv:2405.15963):
+the paper's deterministic and randomized online algorithms, the offline MinLA
+substrates they rest on, the lower-bound adversaries, a virtual network
+embedding case study, and an experiment harness reproducing every theorem,
+lemma and figure of the paper.
+
+Quick start::
+
+    import random
+    from repro import (
+        OnlineMinLAInstance, RandomizedCliqueLearner, run_online,
+        random_clique_merge_sequence, offline_optimum_bounds,
+    )
+
+    rng = random.Random(0)
+    sequence = random_clique_merge_sequence(32, rng)
+    instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+    result = run_online(RandomizedCliqueLearner(), instance, rng=rng)
+    opt = offline_optimum_bounds(instance)
+    print(result.total_cost, opt.lower, opt.upper)
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
+inventory and ``EXPERIMENTS.md`` for the paper-versus-measured record.
+"""
+
+from repro.core import (
+    Arrangement,
+    CostLedger,
+    DeterministicClosestLearner,
+    GreedyClosestLearner,
+    GreedyOrientationLineLearner,
+    MoveSmallerCliqueLearner,
+    MoveSmallerLineLearner,
+    OnlineMinLAAlgorithm,
+    OnlineMinLAInstance,
+    OptBounds,
+    RandomizedCliqueLearner,
+    RandomizedLineLearner,
+    SimulationResult,
+    UnbiasedCoinCliqueLearner,
+    UnbiasedCoinLineLearner,
+    UpdateRecord,
+    det_competitive_bound,
+    exact_optimal_online_cost,
+    expected_cost,
+    harmonic_number,
+    kendall_tau_distance,
+    offline_optimum_bounds,
+    rand_cliques_ratio_bound,
+    rand_lines_ratio_bound,
+    random_arrangement,
+    randomized_lower_bound,
+    run_online,
+    run_trials,
+)
+from repro.errors import (
+    ArrangementError,
+    EmbeddingError,
+    ExperimentError,
+    InfeasibleArrangementError,
+    ReproError,
+    RevealError,
+    SolverError,
+)
+from repro.graphs import (
+    CliqueForest,
+    CliqueRevealSequence,
+    DisjointSetForest,
+    GraphKind,
+    LineForest,
+    LineRevealSequence,
+    RevealSequence,
+    RevealStep,
+    balanced_clique_merge_sequence,
+    growing_clique_sequence,
+    pipeline_line_sequence,
+    random_clique_merge_sequence,
+    random_line_sequence,
+    sequential_line_sequence,
+    tenant_clique_sequence,
+)
+from repro.minla import (
+    closest_feasible_arrangement,
+    exact_minla_arrangement,
+    exact_minla_value,
+    heuristic_minla,
+    is_minla_of_cliques,
+    is_minla_of_lines,
+    linear_arrangement_cost,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arrangement",
+    "ArrangementError",
+    "CliqueForest",
+    "CliqueRevealSequence",
+    "CostLedger",
+    "DeterministicClosestLearner",
+    "DisjointSetForest",
+    "EmbeddingError",
+    "ExperimentError",
+    "GraphKind",
+    "GreedyClosestLearner",
+    "GreedyOrientationLineLearner",
+    "InfeasibleArrangementError",
+    "LineForest",
+    "LineRevealSequence",
+    "MoveSmallerCliqueLearner",
+    "MoveSmallerLineLearner",
+    "OnlineMinLAAlgorithm",
+    "OnlineMinLAInstance",
+    "OptBounds",
+    "RandomizedCliqueLearner",
+    "RandomizedLineLearner",
+    "ReproError",
+    "RevealError",
+    "RevealSequence",
+    "RevealStep",
+    "SimulationResult",
+    "SolverError",
+    "UnbiasedCoinCliqueLearner",
+    "UnbiasedCoinLineLearner",
+    "UpdateRecord",
+    "__version__",
+    "balanced_clique_merge_sequence",
+    "closest_feasible_arrangement",
+    "det_competitive_bound",
+    "exact_minla_arrangement",
+    "exact_minla_value",
+    "exact_optimal_online_cost",
+    "expected_cost",
+    "growing_clique_sequence",
+    "harmonic_number",
+    "heuristic_minla",
+    "is_minla_of_cliques",
+    "is_minla_of_lines",
+    "kendall_tau_distance",
+    "linear_arrangement_cost",
+    "offline_optimum_bounds",
+    "pipeline_line_sequence",
+    "rand_cliques_ratio_bound",
+    "rand_lines_ratio_bound",
+    "random_arrangement",
+    "random_clique_merge_sequence",
+    "random_line_sequence",
+    "randomized_lower_bound",
+    "run_online",
+    "run_trials",
+    "sequential_line_sequence",
+    "tenant_clique_sequence",
+]

@@ -1,0 +1,23 @@
+"""Adversarial request constructions (the lower bounds of Section 5)."""
+
+from repro.adversary.line_adversary import (
+    LineAdversaryResult,
+    middle_node_index,
+    run_line_adversary,
+)
+from repro.adversary.tree_adversary import (
+    expected_ratio_lower_bound,
+    tree_adversary_instance,
+    tree_adversary_sequence,
+    tree_adversary_steps,
+)
+
+__all__ = [
+    "LineAdversaryResult",
+    "expected_ratio_lower_bound",
+    "middle_node_index",
+    "run_line_adversary",
+    "tree_adversary_instance",
+    "tree_adversary_sequence",
+    "tree_adversary_steps",
+]

@@ -1,0 +1,147 @@
+"""Randomized stress workloads ("worst-of-k" adversaries).
+
+The constructions of Theorems 15 and 16 are tailored adversaries.  In
+practice it is also useful to stress an algorithm with *search-based*
+adversaries: draw many random reveal sequences (and/or initial permutations),
+evaluate the algorithm on each, and keep the one with the worst empirical
+competitive ratio.  This module provides that machinery; experiment E1 uses
+plain random draws, while the ablation studies and the test suite use the
+worst-of-k search to probe how far random search can push the ratio compared
+with the analytical lower bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.opt import offline_optimum_bounds
+from repro.core.simulator import run_online, run_trials
+from repro.errors import ReproError
+from repro.graphs.generators import random_clique_merge_sequence, random_line_sequence
+from repro.graphs.reveal import GraphKind
+
+
+@dataclass(frozen=True)
+class AdversarialSearchResult:
+    """The worst instance found by random search, with its statistics."""
+
+    instance: OnlineMinLAInstance
+    mean_cost: float
+    opt_lower: int
+    opt_upper: int
+    ratio: float
+    candidates_evaluated: int
+
+    @property
+    def kind(self) -> GraphKind:
+        """Graph kind of the worst-case instance found."""
+        return self.instance.kind
+
+
+def random_instance(
+    kind: GraphKind,
+    num_nodes: int,
+    rng: random.Random,
+    num_final_components: int = 1,
+) -> OnlineMinLAInstance:
+    """One random instance (workload + random initial permutation) of the given kind."""
+    if kind is GraphKind.CLIQUES:
+        sequence = random_clique_merge_sequence(
+            num_nodes, rng, num_final_components=num_final_components
+        )
+    else:
+        sequence = random_line_sequence(
+            num_nodes, rng, num_final_components=num_final_components
+        )
+    return OnlineMinLAInstance.with_random_start(sequence, rng)
+
+
+def worst_of_k_search(
+    algorithm_factory: Callable[[], OnlineMinLAAlgorithm],
+    kind: GraphKind,
+    num_nodes: int,
+    num_candidates: int,
+    rng: random.Random,
+    trials_per_candidate: int = 5,
+    num_final_components: int = 1,
+) -> AdversarialSearchResult:
+    """Search over random instances for the one maximizing the empirical ratio.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Builds a fresh algorithm per trial (randomized algorithms are averaged
+        over ``trials_per_candidate`` runs per candidate instance).
+    kind, num_nodes, num_final_components:
+        Shape of the candidate instances.
+    num_candidates:
+        How many random instances to draw and evaluate.
+    rng:
+        Randomness source for the search (instances and trial seeds).
+
+    Returns
+    -------
+    AdversarialSearchResult
+        The candidate with the largest ``mean cost / OPT upper bound`` ratio.
+    """
+    if num_candidates < 1:
+        raise ReproError("the search needs at least one candidate instance")
+    if trials_per_candidate < 1:
+        raise ReproError("the search needs at least one trial per candidate")
+    worst: Optional[AdversarialSearchResult] = None
+    for candidate_index in range(num_candidates):
+        instance = random_instance(
+            kind, num_nodes, rng, num_final_components=num_final_components
+        )
+        bounds = offline_optimum_bounds(instance)
+        results = run_trials(
+            algorithm_factory,
+            instance,
+            num_trials=trials_per_candidate,
+            seed=rng.randrange(2**31),
+        )
+        mean_cost = sum(result.total_cost for result in results) / len(results)
+        denominator = max(bounds.upper, 1)
+        ratio = mean_cost / denominator
+        candidate = AdversarialSearchResult(
+            instance=instance,
+            mean_cost=mean_cost,
+            opt_lower=bounds.lower,
+            opt_upper=bounds.upper,
+            ratio=ratio,
+            candidates_evaluated=candidate_index + 1,
+        )
+        if worst is None or candidate.ratio > worst.ratio:
+            worst = candidate
+    assert worst is not None
+    return AdversarialSearchResult(
+        instance=worst.instance,
+        mean_cost=worst.mean_cost,
+        opt_lower=worst.opt_lower,
+        opt_upper=worst.opt_upper,
+        ratio=worst.ratio,
+        candidates_evaluated=num_candidates,
+    )
+
+
+def stress_costs(
+    algorithm_factory: Callable[[], OnlineMinLAAlgorithm],
+    instances: Sequence[OnlineMinLAInstance],
+    seed: int = 0,
+) -> List[float]:
+    """Single-run costs of an algorithm over a fixed battery of instances.
+
+    A convenience for regression-style stress tests: run one (seeded) trial on
+    every instance of the battery and return the per-instance costs.
+    """
+    costs: List[float] = []
+    for index, instance in enumerate(instances):
+        result = run_online(
+            algorithm_factory(), instance, rng=random.Random(f"stress-{seed}-{index}")
+        )
+        costs.append(float(result.total_cost))
+    return costs

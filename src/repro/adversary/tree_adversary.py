@@ -1,0 +1,123 @@
+"""The binary-tree request distribution of Theorem 15 (randomized lower bound).
+
+Theorem 15 proves that no randomized online algorithm for online learning
+MinLA can be better than ``(1/16) log₂ n``-competitive.  The proof applies
+Yao's principle to the following distribution of request sequences:
+
+1. pick ``n = 2^q`` nodes and a uniformly random permutation ``P`` of them;
+2. think of the permutation as the leaves of a perfectly balanced binary
+   tree;
+3. traverse the internal nodes level by level, bottom-up; for each internal
+   node ``z`` request the pair ``(u, v)`` where ``u`` is the *rightmost* leaf
+   of ``z``'s left subtree and ``v`` is the *leftmost* leaf of ``z``'s right
+   subtree.
+
+Requesting ``(u, v)`` reveals the edge between two nodes that are adjacent in
+``P``; after all levels have been processed the revealed graph is exactly the
+path visiting the nodes in ``P``-order, so every prefix is a collection of
+lines and the sequence is a valid input for the line variant.  An offline
+algorithm that jumps to ``P`` immediately pays at most ``n²`` total, while
+any online algorithm pays ``Ω(n²)`` *per level* in expectation, i.e.
+``Ω(n² log n)`` overall.
+
+The functions below construct the distribution (for the E4 experiment) and
+compute the cost bounds that the experiment's measured values are compared
+against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.permutation import Arrangement
+from repro.errors import ReproError
+from repro.graphs.reveal import LineRevealSequence, RevealStep
+
+Node = Hashable
+
+
+def _require_power_of_two(num_nodes: int) -> int:
+    """Validate ``num_nodes = 2^q`` and return ``q``."""
+    if num_nodes < 2 or num_nodes & (num_nodes - 1):
+        raise ReproError("the tree adversary needs the number of nodes to be a power of two")
+    return int(math.log2(num_nodes))
+
+
+def tree_adversary_steps(leaf_order: Sequence[Node]) -> List[RevealStep]:
+    """The Theorem 15 request sequence for a given leaf permutation ``P``.
+
+    Level by level (bottom-up), each internal node contributes the request
+    joining the rightmost leaf of its left subtree with the leftmost leaf of
+    its right subtree.  With leaves indexed ``0 … n-1`` in ``P``-order, the
+    internal node covering the block of size ``2s`` starting at ``b``
+    requests the pair ``(P[b + s - 1], P[b + s])``.
+    """
+    leaves = list(leaf_order)
+    _require_power_of_two(len(leaves))
+    steps: List[RevealStep] = []
+    block_size = 2
+    while block_size <= len(leaves):
+        half = block_size // 2
+        for start in range(0, len(leaves), block_size):
+            steps.append(RevealStep(leaves[start + half - 1], leaves[start + half]))
+        block_size *= 2
+    return steps
+
+
+def tree_adversary_sequence(
+    num_nodes: int,
+    rng: random.Random,
+    nodes: Optional[Sequence[Node]] = None,
+) -> Tuple[LineRevealSequence, Tuple[Node, ...]]:
+    """Draw one request sequence from the Theorem 15 distribution.
+
+    Returns the validated line reveal sequence together with the hidden leaf
+    permutation ``P`` (the final path order), which the experiment needs to
+    compute the offline cost.
+    """
+    _require_power_of_two(num_nodes)
+    universe: List[Node] = list(nodes) if nodes is not None else list(range(num_nodes))
+    if len(universe) != num_nodes:
+        raise ReproError("explicit node list must have num_nodes entries")
+    leaf_order = list(universe)
+    rng.shuffle(leaf_order)
+    steps = tree_adversary_steps(leaf_order)
+    return LineRevealSequence(universe, steps), tuple(leaf_order)
+
+
+def tree_adversary_instance(
+    num_nodes: int,
+    rng: random.Random,
+    initial_arrangement: Optional[Arrangement] = None,
+) -> Tuple[OnlineMinLAInstance, Tuple[Node, ...]]:
+    """A full instance (sequence + ``π_0``) drawn from the Theorem 15 distribution.
+
+    The initial permutation defaults to the identity over ``0 … n-1``; the
+    lower-bound argument holds for any fixed ``π_0`` because the hidden leaf
+    permutation is uniformly random.
+    """
+    sequence, leaf_order = tree_adversary_sequence(num_nodes, rng)
+    if initial_arrangement is None:
+        initial_arrangement = Arrangement(sequence.nodes)
+    return OnlineMinLAInstance(sequence, initial_arrangement), leaf_order
+
+
+def offline_cost_upper_bound(num_nodes: int) -> int:
+    """Theorem 15's bound on the offline cost: at most ``n²`` for any drawn sequence."""
+    _require_power_of_two(num_nodes)
+    return num_nodes * num_nodes
+
+
+def online_cost_lower_bound(num_nodes: int) -> float:
+    """Theorem 15's bound on the expected online cost: at least ``n² log₂(n) / 16``."""
+    q = _require_power_of_two(num_nodes)
+    return num_nodes * num_nodes * q / 16.0
+
+
+def expected_ratio_lower_bound(num_nodes: int) -> float:
+    """The resulting competitive-ratio lower bound ``log₂(n) / 16``."""
+    q = _require_power_of_two(num_nodes)
+    return q / 16.0

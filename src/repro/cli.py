@@ -1,0 +1,249 @@
+"""Command-line interface of the :mod:`repro` library.
+
+The CLI makes the common workflows available without writing Python:
+
+``python -m repro simulate``
+    Generate a random clique or line workload, run one of the online
+    algorithms on it (optionally averaged over trials) and report the cost
+    against the certified offline-optimum bracket and the paper's bound.
+
+``python -m repro adversary``
+    Run one of the Section 5 lower-bound constructions (the adaptive line
+    adversary of Theorem 16 or the binary-tree distribution of Theorem 15)
+    against a chosen algorithm.
+
+``python -m repro profile``
+    Print the structural profile of a generated workload: merge profile of
+    the worst node, harmonic-budget utilization, component statistics.
+
+``python -m repro experiments``
+    Run the E1–E10 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
+    around :mod:`repro.experiments.suite`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.adversary.line_adversary import run_line_adversary
+from repro.adversary.tree_adversary import tree_adversary_instance
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.analysis import instance_profile, worst_harmonic_certificate
+from repro.core.bounds import (
+    det_competitive_bound,
+    rand_cliques_ratio_bound,
+    rand_lines_ratio_bound,
+)
+from repro.core.det import DeterministicClosestLearner, GreedyClosestLearner
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.opt import offline_optimum_bounds
+from repro.core.rand_cliques import (
+    MoveSmallerCliqueLearner,
+    RandomizedCliqueLearner,
+    UnbiasedCoinCliqueLearner,
+)
+from repro.core.rand_lines import (
+    MoveSmallerLineLearner,
+    RandomizedLineLearner,
+    UnbiasedCoinLineLearner,
+)
+from repro.core.simulator import run_trials
+from repro.errors import ReproError
+from repro.experiments import suite as experiments_suite
+from repro.graphs.generators import random_clique_merge_sequence, random_line_sequence
+from repro.graphs.reveal import GraphKind
+
+AlgorithmFactory = Callable[[], OnlineMinLAAlgorithm]
+
+_ALGORITHMS: Dict[GraphKind, Dict[str, AlgorithmFactory]] = {
+    GraphKind.CLIQUES: {
+        "rand": RandomizedCliqueLearner,
+        "unbiased": UnbiasedCoinCliqueLearner,
+        "move-smaller": MoveSmallerCliqueLearner,
+        "det": DeterministicClosestLearner,
+        "det-greedy": GreedyClosestLearner,
+    },
+    GraphKind.LINES: {
+        "rand": RandomizedLineLearner,
+        "unbiased": UnbiasedCoinLineLearner,
+        "move-smaller": MoveSmallerLineLearner,
+        "det": DeterministicClosestLearner,
+        "det-greedy": GreedyClosestLearner,
+    },
+}
+
+
+def algorithm_factory(kind: GraphKind, name: str) -> AlgorithmFactory:
+    """Resolve an algorithm name for the given graph kind."""
+    try:
+        return _ALGORITHMS[kind][name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown algorithm {name!r} for {kind.value}; "
+            f"choose one of {sorted(_ALGORITHMS[kind])}"
+        ) from exc
+
+
+def _ratio_bound(kind: GraphKind, name: str, num_nodes: int) -> float:
+    if name in ("det", "det-greedy"):
+        return det_competitive_bound(num_nodes)
+    if kind is GraphKind.CLIQUES:
+        return rand_cliques_ratio_bound(num_nodes)
+    return rand_lines_ratio_bound(num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def command_simulate(arguments: argparse.Namespace) -> int:
+    """The ``simulate`` sub-command."""
+    kind = GraphKind(arguments.kind)
+    rng = random.Random(arguments.seed)
+    if kind is GraphKind.CLIQUES:
+        sequence = random_clique_merge_sequence(
+            arguments.nodes, rng, num_final_components=arguments.final_components
+        )
+    else:
+        sequence = random_line_sequence(
+            arguments.nodes, rng, num_final_components=arguments.final_components
+        )
+    instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+    opt = offline_optimum_bounds(instance)
+    factory = algorithm_factory(kind, arguments.algorithm)
+    results = run_trials(factory, instance, num_trials=arguments.trials, seed=arguments.seed)
+    mean_cost = sum(result.total_cost for result in results) / len(results)
+    denominator = max(opt.upper, 1)
+    print(f"workload        : {kind.value}, n={arguments.nodes}, steps={instance.num_steps}")
+    print(f"algorithm       : {arguments.algorithm} ({results[0].algorithm_name})")
+    print(f"trials          : {arguments.trials}")
+    print(f"mean cost       : {mean_cost:.1f} adjacent swaps")
+    print(f"offline optimum : between {opt.lower} and {opt.upper}")
+    print(f"empirical ratio : {mean_cost / denominator:.2f}")
+    print(f"paper bound     : {_ratio_bound(kind, arguments.algorithm, arguments.nodes):.2f}")
+    return 0
+
+
+def command_adversary(arguments: argparse.Namespace) -> int:
+    """The ``adversary`` sub-command."""
+    if arguments.construction == "line":
+        kind = GraphKind.LINES
+        factory = algorithm_factory(kind, arguments.algorithm)
+        result = run_line_adversary(
+            factory(), arguments.nodes, rng=random.Random(arguments.seed)
+        )
+        print(f"Theorem 16 adversary, n={arguments.nodes}")
+        print(f"algorithm       : {result.algorithm_name}")
+        print(f"online cost     : {result.total_cost}")
+        print(f"offline optimum : {result.opt_bounds.upper}")
+        print(f"ratio           : {result.ratio_lower_estimate:.2f}")
+        print(f"bound 2n-2      : {det_competitive_bound(arguments.nodes):.0f}")
+        return 0
+    # Binary-tree distribution (Theorem 15).
+    kind = GraphKind.LINES
+    factory = algorithm_factory(kind, arguments.algorithm)
+    rng = random.Random(arguments.seed)
+    instance, _ = tree_adversary_instance(arguments.nodes, rng)
+    opt = offline_optimum_bounds(instance)
+    results = run_trials(factory, instance, num_trials=arguments.trials, seed=arguments.seed)
+    mean_cost = sum(result.total_cost for result in results) / len(results)
+    print(f"Theorem 15 distribution, n={arguments.nodes}")
+    print(f"algorithm       : {results[0].algorithm_name}")
+    print(f"mean cost       : {mean_cost:.1f}")
+    print(f"offline optimum : {opt.upper}")
+    print(f"ratio           : {mean_cost / max(opt.upper, 1):.2f}")
+    return 0
+
+
+def command_profile(arguments: argparse.Namespace) -> int:
+    """The ``profile`` sub-command."""
+    kind = GraphKind(arguments.kind)
+    rng = random.Random(arguments.seed)
+    if kind is GraphKind.CLIQUES:
+        sequence = random_clique_merge_sequence(
+            arguments.nodes, rng, num_final_components=arguments.final_components
+        )
+    else:
+        sequence = random_line_sequence(
+            arguments.nodes, rng, num_final_components=arguments.final_components
+        )
+    instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+    profile = instance_profile(instance)
+    certificate = worst_harmonic_certificate(sequence)
+    print(f"workload profile ({kind.value}, n={arguments.nodes}, seed={arguments.seed})")
+    for key, value in profile.items():
+        print(f"  {key:<26} {value:.3f}")
+    print(f"  worst node                 {certificate.node!r}")
+    print(f"  its merge profile          {list(certificate.profile)}")
+    print(f"  Lemma 5 sum                {certificate.lemma5_value:.3f}")
+    print(f"  Lemma 13 sums              {certificate.lemma13_square_value:.3f} / "
+          f"{certificate.lemma13_product_value:.3f}")
+    print(f"  harmonic budget H_n        {certificate.harmonic_budget:.3f}")
+    return 0
+
+
+def command_experiments(arguments: argparse.Namespace) -> int:
+    """The ``experiments`` sub-command (delegates to the experiment suite CLI)."""
+    forwarded: List[str] = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
+    if arguments.only:
+        forwarded += ["--only", *arguments.only]
+    if arguments.output:
+        forwarded += ["--output", arguments.output]
+    return experiments_suite.main(forwarded)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online learning MinLA of cliques and lines (ICDCS 2024 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run an algorithm on a random workload")
+    simulate.add_argument("--kind", choices=["cliques", "lines"], default="cliques")
+    simulate.add_argument("--algorithm", default="rand")
+    simulate.add_argument("--nodes", type=int, default=32)
+    simulate.add_argument("--final-components", type=int, default=1)
+    simulate.add_argument("--trials", type=int, default=10)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=command_simulate)
+
+    adversary = subparsers.add_parser("adversary", help="run a Section 5 lower-bound construction")
+    adversary.add_argument("--construction", choices=["line", "tree"], default="line")
+    adversary.add_argument("--algorithm", default="det")
+    adversary.add_argument("--nodes", type=int, default=21)
+    adversary.add_argument("--trials", type=int, default=5)
+    adversary.add_argument("--seed", type=int, default=0)
+    adversary.set_defaults(handler=command_adversary)
+
+    profile = subparsers.add_parser("profile", help="print the structural profile of a workload")
+    profile.add_argument("--kind", choices=["cliques", "lines"], default="cliques")
+    profile.add_argument("--nodes", type=int, default=32)
+    profile.add_argument("--final-components", type=int, default=1)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(handler=command_profile)
+
+    experiments = subparsers.add_parser("experiments", help="run the E1-E10 experiment suite")
+    experiments.add_argument("--scale", choices=["smoke", "bench", "full"], default="bench")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument("--only", nargs="*", default=None)
+    experiments.add_argument("--output", default=None)
+    experiments.set_defaults(handler=command_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        parser.exit(2, f"error: {error}\n")
+        return 2  # pragma: no cover - parser.exit raises SystemExit

@@ -1,0 +1,177 @@
+"""Theoretical bounds and probability formulas from the paper.
+
+This module is the "formula sheet" of the reproduction: every closed-form
+expression appearing in the paper's theorems and lemmas is implemented here
+once, so experiments, tests and documentation all reference the same code.
+
+* Theorem 1 — ``Det`` is ``(2n − 2)``-competitive.
+* Theorem 2 / Theorem 6 — ``Rand`` on cliques: expected cost at most
+  ``4 H_n · |L_{π0} \\ L_{πOPT}|``; competitive ratio ``4 ln n``.
+* Theorem 8 / Theorem 14 — ``Rand`` on lines: expected cost at most
+  ``8 H_n · |L_{π0} \\ L_{πOPT}|``; competitive ratio ``8 ln n``.
+* Theorem 15 — every randomized online algorithm is at least
+  ``(1/16) log₂ n``-competitive.
+* Lemma 3 — the relative order probability of two components.
+* Lemma 5 / Lemma 13 — the harmonic-sum inequalities.
+* Lemma 10 — the orientation probability of a component.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.permutation import Arrangement
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# Harmonic numbers and competitive-ratio bounds
+# ----------------------------------------------------------------------
+def harmonic_number(n: int) -> float:
+    """The harmonic sum ``H_n = 1 + 1/2 + … + 1/n`` (``H_0 = 0``)."""
+    if n < 0:
+        raise ValueError("harmonic_number() needs a non-negative argument")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def det_competitive_bound(num_nodes: int) -> float:
+    """Theorem 1: the competitive ratio of ``Det`` is at most ``2n − 2``."""
+    return 2.0 * num_nodes - 2.0
+
+
+def rand_cliques_ratio_bound(num_nodes: int, use_harmonic: bool = True) -> float:
+    """Theorem 2: ``Rand`` on cliques is ``4 ln n``-competitive.
+
+    With ``use_harmonic=True`` the sharper ``4 H_n`` constant from Theorem 6
+    is returned (``H_n ≥ ln n``, so this is the bound the proof actually
+    establishes and the one empirical ratios are compared against).
+    """
+    if num_nodes < 1:
+        raise ValueError("the bound needs at least one node")
+    if use_harmonic:
+        return 4.0 * harmonic_number(num_nodes)
+    return 4.0 * math.log(num_nodes) if num_nodes > 1 else 0.0
+
+
+def rand_lines_ratio_bound(num_nodes: int, use_harmonic: bool = True) -> float:
+    """Theorem 8: ``Rand`` on lines is ``8 ln n``-competitive (``8 H_n`` form)."""
+    if num_nodes < 1:
+        raise ValueError("the bound needs at least one node")
+    if use_harmonic:
+        return 8.0 * harmonic_number(num_nodes)
+    return 8.0 * math.log(num_nodes) if num_nodes > 1 else 0.0
+
+
+def rand_cliques_cost_bound(num_nodes: int, opt_disagreement: int) -> float:
+    """Theorem 6: ``E[cost] ≤ 4 H_n · |L_{π0} \\ L_{πOPT}|``."""
+    return 4.0 * harmonic_number(num_nodes) * opt_disagreement
+
+
+def rand_lines_cost_bound(num_nodes: int, opt_disagreement: int) -> float:
+    """Theorem 14: ``E[moving + rearranging] ≤ 8 H_n · |L_{π0} \\ L_{πOPT}|``."""
+    return 8.0 * harmonic_number(num_nodes) * opt_disagreement
+
+
+def randomized_lower_bound(num_nodes: int) -> float:
+    """Theorem 15: no randomized online algorithm beats ``(1/16) · log₂ n``."""
+    if num_nodes < 1:
+        raise ValueError("the bound needs at least one node")
+    return math.log2(num_nodes) / 16.0 if num_nodes > 1 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Lemma 5 and Lemma 13: harmonic-sum inequalities
+# ----------------------------------------------------------------------
+def lemma5_left_side(series: Sequence[int]) -> float:
+    """``Σ_i s_i / (s_1 + … + s_i)`` for a series of positive integers."""
+    if any(value <= 0 for value in series):
+        raise ValueError("Lemma 5 requires strictly positive integers")
+    total = 0
+    result = 0.0
+    for value in series:
+        total += value
+        result += value / total
+    return result
+
+
+def lemma5_right_side(series: Sequence[int]) -> float:
+    """``H_S`` where ``S`` is the sum of the series (the bound of Lemma 5)."""
+    return harmonic_number(sum(series))
+
+
+def lemma13_square_left_side(series: Sequence[int]) -> float:
+    """``Σ_i s_i² / C(s_1 + … + s_i, 2)`` — first inequality of Lemma 13."""
+    if any(value <= 0 for value in series):
+        raise ValueError("Lemma 13 requires strictly positive integers")
+    total = 0
+    result = 0.0
+    for value in series:
+        total += value
+        pairs = total * (total - 1) // 2
+        if pairs > 0:
+            result += (value * value) / pairs
+    return result
+
+
+def lemma13_product_left_side(series: Sequence[int]) -> float:
+    """``Σ_{i≥2} s_{i−1} s_i / C(s_2 + … + s_i, 2)`` — second inequality of Lemma 13."""
+    if any(value <= 0 for value in series):
+        raise ValueError("Lemma 13 requires strictly positive integers")
+    result = 0.0
+    total = 0
+    for index in range(1, len(series)):
+        total += series[index]
+        pairs = total * (total - 1) // 2
+        if pairs > 0:
+            result += (series[index - 1] * series[index]) / pairs
+    return result
+
+
+def lemma13_right_side(series: Sequence[int]) -> float:
+    """``2 H_S`` — the common right-hand side of both Lemma 13 inequalities."""
+    return 2.0 * harmonic_number(sum(series))
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 and Lemma 10: the probability invariants of Rand
+# ----------------------------------------------------------------------
+def lemma3_left_probability(
+    first: Iterable[Node], second: Iterable[Node], pi0: Arrangement
+) -> float:
+    """Lemma 3: ``P[X — Y] = |X × Y ∩ L_{π0}| / (|X| · |Y|)``.
+
+    The probability that component ``first`` ends up entirely to the left of
+    component ``second`` in ``Rand``'s arrangement, expressed in terms of the
+    initial permutation only.
+    """
+    first = list(first)
+    second = list(second)
+    if not first or not second:
+        raise ValueError("Lemma 3 needs two non-empty components")
+    if set(first) & set(second):
+        raise ValueError("Lemma 3 needs disjoint components")
+    favourable = sum(
+        1 for x in first for y in second if pi0.position(x) < pi0.position(y)
+    )
+    return favourable / (len(first) * len(second))
+
+
+def lemma10_orientation_probability(
+    oriented_component: Sequence[Node], pi0: Arrangement
+) -> float:
+    """Lemma 10: ``P[→X] = |L_{→X} ∩ L_{π0}| / C(|X|, 2)``.
+
+    The probability that component ``X`` has the given orientation in
+    ``Rand``'s arrangement (line case), again in terms of ``π_0`` only.
+    """
+    nodes = list(oriented_component)
+    if len(nodes) < 2:
+        raise ValueError("Lemma 10 needs a component with at least two nodes")
+    favourable = 0
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if pi0.position(nodes[i]) < pi0.position(nodes[j]):
+                favourable += 1
+    return favourable / (len(nodes) * (len(nodes) - 1) // 2)

@@ -1,0 +1,97 @@
+"""Online learning MinLA problem instances.
+
+An instance bundles the two ingredients of the online problem:
+
+* a reveal sequence ``G_0 ⊆ G_1 ⊆ … ⊆ G_k`` (a collection of cliques or of
+  lines, see :mod:`repro.graphs.reveal`), and
+* the initial permutation ``π_0`` the algorithm starts from.
+
+Everything downstream — the online algorithms, the simulator, the offline
+optimum, the experiment harness — consumes instances rather than raw reveal
+sequences, so that the pairing of workload and starting permutation is always
+explicit and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.core.permutation import Arrangement, random_arrangement
+from repro.errors import ReproError
+from repro.graphs.reveal import GraphKind, RevealSequence, RevealStep
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class OnlineMinLAInstance:
+    """A reveal sequence together with the initial permutation ``π_0``.
+
+    Attributes
+    ----------
+    sequence:
+        The validated reveal sequence (cliques or lines).
+    initial_arrangement:
+        The permutation the online algorithm starts from; must range over
+        exactly the sequence's node universe.
+    """
+
+    sequence: RevealSequence
+    initial_arrangement: Arrangement
+
+    def __post_init__(self) -> None:
+        if self.initial_arrangement.nodes != frozenset(self.sequence.nodes):
+            raise ReproError(
+                "the initial arrangement must range over exactly the sequence's nodes"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_identity_start(cls, sequence: RevealSequence) -> "OnlineMinLAInstance":
+        """Start from the arrangement listing the nodes in universe order."""
+        return cls(sequence, Arrangement(sequence.nodes))
+
+    @classmethod
+    def with_random_start(
+        cls, sequence: RevealSequence, rng: random.Random
+    ) -> "OnlineMinLAInstance":
+        """Start from a uniformly random arrangement drawn with ``rng``."""
+        return cls(sequence, random_arrangement(sequence.nodes, rng))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> GraphKind:
+        """Whether the revealed graphs are collections of cliques or of lines."""
+        return self.sequence.kind
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.sequence.num_nodes
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """The node universe."""
+        return self.sequence.nodes
+
+    @property
+    def steps(self) -> Tuple[RevealStep, ...]:
+        """The reveal steps in order."""
+        return self.sequence.steps
+
+    @property
+    def num_steps(self) -> int:
+        """The number of reveal steps ``k``."""
+        return len(self.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"OnlineMinLAInstance(kind={self.kind.value}, n={self.num_nodes}, "
+            f"steps={self.num_steps})"
+        )

@@ -1,0 +1,106 @@
+"""Pair-set machinery used by the paper's analysis.
+
+The competitive analysis of the randomized algorithms is phrased in terms of
+*ordered node pairs*:
+
+* ``L_π`` — the set of all pairs ``(x, y)`` such that ``x`` is to the left of
+  ``y`` in the permutation ``π`` (Section 3.2 of the paper),
+* ``L_{T,U}`` — the set of pairs with exactly one node in component ``T`` and
+  one node in component ``U``, in either order,
+* ``L_→T`` — the pairs ``(t, t')`` of a single component ``T`` ordered
+  according to a given orientation of ``T`` (Section 4.2).
+
+The quantity ``|L_{π0} \\ L_{πOPT}|`` equals the Kendall-tau distance between
+the initial permutation and OPT's final permutation, and is the yardstick all
+upper bounds are expressed against.  This module provides the corresponding
+set constructions so that tests, experiments and the bound calculators can
+mirror the paper's notation literally.
+
+All functions return plain ``frozenset`` objects of 2-tuples; they are
+``O(n²)`` and intended for analysis and verification, not for the algorithms'
+hot paths.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.core.permutation import Arrangement, Node
+
+OrderedPair = Tuple[Node, Node]
+PairSet = FrozenSet[OrderedPair]
+
+
+def left_pairs(arrangement: Arrangement) -> PairSet:
+    """The set ``L_π`` of ordered pairs ``(x, y)`` with ``x`` left of ``y``."""
+    order = arrangement.order
+    return frozenset(
+        (order[i], order[j]) for i in range(len(order)) for j in range(i + 1, len(order))
+    )
+
+
+def cross_pairs(first: Iterable[Node], second: Iterable[Node]) -> PairSet:
+    """The set ``L_{T,U}`` of ordered pairs with one node in each component.
+
+    Both orders are included, i.e. ``T × U ∪ U × T``, mirroring the paper's
+    definition.  The two components must be disjoint.
+    """
+    first = list(first)
+    second = list(second)
+    if set(first) & set(second):
+        raise ValueError("cross_pairs() requires disjoint components")
+    pairs = set()
+    for t in first:
+        for u in second:
+            pairs.add((t, u))
+            pairs.add((u, t))
+    return frozenset(pairs)
+
+
+def internal_pairs(component: Iterable[Node]) -> PairSet:
+    """The set ``L_{T,T}`` of ordered pairs of distinct nodes inside a component."""
+    nodes = list(component)
+    pairs = set()
+    for x, y in combinations(nodes, 2):
+        pairs.add((x, y))
+        pairs.add((y, x))
+    return frozenset(pairs)
+
+
+def oriented_pairs(oriented_component: Sequence[Node]) -> PairSet:
+    """The set ``L_→T`` for a component laid out in the given orientation.
+
+    ``oriented_component`` lists the component's nodes in the orientation's
+    left-to-right order; the result contains ``(t, t')`` for every ``t``
+    preceding ``t'`` in that order.
+    """
+    nodes = list(oriented_component)
+    return frozenset(
+        (nodes[i], nodes[j]) for i in range(len(nodes)) for j in range(i + 1, len(nodes))
+    )
+
+
+def product_pairs(first: Iterable[Node], second: Iterable[Node]) -> PairSet:
+    """The Cartesian product ``T × U`` as ordered pairs ``(t, u)``."""
+    first = list(first)
+    second = list(second)
+    return frozenset((t, u) for t in first for u in second)
+
+
+def disagreement_pairs(first: Arrangement, second: Arrangement) -> PairSet:
+    """The set ``L_{π} \\ L_{π'}`` of pairs ordered differently by the two arrangements.
+
+    Its cardinality is exactly the Kendall-tau distance between the two
+    arrangements, a fact exercised by the property-based tests.
+    """
+    if first.nodes != second.nodes:
+        raise ValueError("disagreement_pairs() requires identical node sets")
+    return frozenset(
+        pair for pair in left_pairs(first) if not second.left_of(pair[0], pair[1])
+    )
+
+
+def count_pairs_in(pair_set: PairSet, restriction: PairSet) -> int:
+    """``|pair_set ∩ restriction|`` — a readability helper for bound formulas."""
+    return len(pair_set & restriction)

@@ -1,0 +1,396 @@
+"""Permutations, arrangements and the Kendall-tau metric.
+
+The central object of the online learning MinLA problem is a *linear
+arrangement*: an ordering of the graph's nodes along a line.  The paper
+identifies an arrangement with a permutation ``π`` mapping each node to its
+position, and measures the cost of updating an arrangement by the Kendall-tau
+distance, i.e. the minimum number of swaps of *adjacent* nodes needed to turn
+one arrangement into the other.
+
+This module provides :class:`Arrangement`, an immutable ordering of hashable
+node labels, together with
+
+* the Kendall-tau distance (``O(n log n)`` via merge-sort inversion counting),
+* the block operations used by the paper's algorithms (sliding a contiguous
+  component next to another one, reversing a contiguous component, rewriting
+  the internal order of a contiguous component), each returning the new
+  arrangement *and* the exact number of adjacent swaps it costs,
+* small helpers (spans, contiguity checks, restrictions) shared by the
+  offline solvers, the online algorithms and the analysis code.
+
+All block operations preserve immutability: they return a fresh
+:class:`Arrangement` and never mutate ``self``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ArrangementError
+
+Node = Hashable
+"""Type alias for node labels: any hashable object (ints, strings, tuples)."""
+
+
+def count_inversions(values: Sequence[int]) -> int:
+    """Count inversions of an integer sequence in ``O(n log n)``.
+
+    An inversion is a pair of indices ``i < j`` with ``values[i] > values[j]``.
+    The count equals the Kendall-tau distance between the sequence and its
+    sorted version, which is the workhorse of all distance computations in
+    this module.
+
+    >>> count_inversions([0, 1, 2, 3])
+    0
+    >>> count_inversions([3, 2, 1, 0])
+    6
+    """
+    values = list(values)
+    if len(values) < 2:
+        return 0
+    _, inversions = _merge_sort_count(values)
+    return inversions
+
+
+def _merge_sort_count(values: List[int]) -> Tuple[List[int], int]:
+    """Return ``(sorted(values), inversion count)`` using merge sort."""
+    n = len(values)
+    if n <= 1:
+        return values, 0
+    mid = n // 2
+    left, inv_left = _merge_sort_count(values[:mid])
+    right, inv_right = _merge_sort_count(values[mid:])
+    merged: List[int] = []
+    inversions = inv_left + inv_right
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            inversions += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions
+
+
+class Arrangement:
+    """An immutable linear arrangement of distinct hashable nodes.
+
+    The arrangement stores the left-to-right order of the nodes.  Position
+    indices are 0-based: ``arrangement[0]`` is the leftmost node.
+
+    Parameters
+    ----------
+    order:
+        The nodes from left to right.  Node labels must be distinct.
+
+    Examples
+    --------
+    >>> a = Arrangement(["a", "b", "c"])
+    >>> a.position("c")
+    2
+    >>> a.kendall_tau(Arrangement(["c", "b", "a"]))
+    3
+    """
+
+    __slots__ = ("_order", "_positions", "_hash")
+
+    def __init__(self, order: Iterable[Node]):
+        order_tuple = tuple(order)
+        positions: Dict[Node, int] = {}
+        for index, node in enumerate(order_tuple):
+            if node in positions:
+                raise ArrangementError(f"duplicate node {node!r} in arrangement")
+            positions[node] = index
+        self._order: Tuple[Node, ...] = order_tuple
+        self._positions: Dict[Node, int] = positions
+        self._hash = hash(order_tuple)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Arrangement":
+        """The arrangement ``0, 1, …, n-1`` of integer node labels."""
+        if n < 0:
+            raise ArrangementError("an arrangement cannot have negative size")
+        return cls(range(n))
+
+    @classmethod
+    def from_positions(cls, positions: Dict[Node, int]) -> "Arrangement":
+        """Build an arrangement from a ``node -> position`` mapping.
+
+        The positions must be exactly ``0 … n-1`` with no gaps or repeats.
+        """
+        n = len(positions)
+        order: List[Node] = [None] * n  # type: ignore[list-item]
+        seen = [False] * n
+        for node, pos in positions.items():
+            if not isinstance(pos, int) or pos < 0 or pos >= n:
+                raise ArrangementError(f"position {pos!r} of node {node!r} is out of range")
+            if seen[pos]:
+                raise ArrangementError(f"position {pos} assigned twice")
+            seen[pos] = True
+            order[pos] = node
+        return cls(order)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> Tuple[Node, ...]:
+        """The nodes from left to right as a tuple."""
+        return self._order
+
+    @property
+    def nodes(self) -> frozenset:
+        """The set of nodes of the arrangement."""
+        return frozenset(self._order)
+
+    def position(self, node: Node) -> int:
+        """The 0-based position of ``node``; raises if the node is unknown."""
+        try:
+            return self._positions[node]
+        except KeyError as exc:
+            raise ArrangementError(f"node {node!r} is not part of the arrangement") from exc
+
+    def positions(self) -> Dict[Node, int]:
+        """A fresh ``node -> position`` dictionary."""
+        return dict(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._order)
+
+    def __getitem__(self, index: int) -> Node:
+        return self._order[index]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._positions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Arrangement):
+            return NotImplemented
+        return self._order == other._order
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Arrangement({list(self._order)!r})"
+
+    def left_of(self, x: Node, y: Node) -> bool:
+        """``True`` iff node ``x`` is strictly to the left of node ``y``."""
+        return self.position(x) < self.position(y)
+
+    def restricted_order(self, nodes: Iterable[Node]) -> Tuple[Node, ...]:
+        """The given nodes, in the left-to-right order they have in ``self``."""
+        subset = set(nodes)
+        unknown = subset - set(self._positions)
+        if unknown:
+            raise ArrangementError(f"nodes {sorted(map(repr, unknown))} are not in the arrangement")
+        return tuple(node for node in self._order if node in subset)
+
+    def span(self, nodes: Iterable[Node]) -> Tuple[int, int]:
+        """The ``(leftmost, rightmost)`` positions occupied by ``nodes``."""
+        positions = [self.position(node) for node in nodes]
+        if not positions:
+            raise ArrangementError("span() of an empty node set is undefined")
+        return min(positions), max(positions)
+
+    def is_contiguous(self, nodes: Iterable[Node]) -> bool:
+        """``True`` iff ``nodes`` occupy a contiguous interval of positions."""
+        positions = sorted(self.position(node) for node in nodes)
+        if not positions:
+            raise ArrangementError("is_contiguous() of an empty node set is undefined")
+        return positions[-1] - positions[0] + 1 == len(positions)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def kendall_tau(self, other: "Arrangement") -> int:
+        """Kendall-tau distance between ``self`` and ``other``.
+
+        This is the number of node pairs ordered differently by the two
+        arrangements, which equals the minimum number of adjacent swaps
+        required to transform one arrangement into the other.  Both
+        arrangements must be over the same node set.
+        """
+        if self.nodes != other.nodes:
+            raise ArrangementError("Kendall-tau distance requires identical node sets")
+        projected = [other.position(node) for node in self._order]
+        return count_inversions(projected)
+
+    def inversions_between(self, left_nodes: Iterable[Node], right_nodes: Iterable[Node]) -> int:
+        """Count pairs ``(l, r)`` with ``l`` in ``left_nodes`` appearing *right* of ``r``.
+
+        Equivalently: the number of adjacent swaps between the two groups that
+        would be needed to place every node of ``left_nodes`` to the left of
+        every node of ``right_nodes`` (ignoring internal order).  The two node
+        sets must be disjoint.
+        """
+        left = set(left_nodes)
+        right = set(right_nodes)
+        if left & right:
+            raise ArrangementError("inversions_between() requires disjoint node sets")
+        count = 0
+        seen_right = 0
+        for node in self._order:
+            if node in right:
+                seen_right += 1
+            elif node in left:
+                count += seen_right
+        return count
+
+    # ------------------------------------------------------------------
+    # Elementary moves
+    # ------------------------------------------------------------------
+    def adjacent_swap(self, position: int) -> "Arrangement":
+        """Swap the nodes at ``position`` and ``position + 1``."""
+        if position < 0 or position + 1 >= len(self._order):
+            raise ArrangementError(f"adjacent swap at position {position} is out of range")
+        order = list(self._order)
+        order[position], order[position + 1] = order[position + 1], order[position]
+        return Arrangement(order)
+
+    def swap_nodes(self, x: Node, y: Node) -> "Arrangement":
+        """Exchange the positions of nodes ``x`` and ``y`` (not necessarily adjacent)."""
+        px, py = self.position(x), self.position(y)
+        order = list(self._order)
+        order[px], order[py] = order[py], order[px]
+        return Arrangement(order)
+
+    # ------------------------------------------------------------------
+    # Block operations (used by the online algorithms)
+    # ------------------------------------------------------------------
+    def _block_bounds(self, block: Iterable[Node]) -> Tuple[int, int]:
+        """Validate that ``block`` is contiguous and return its (lo, hi) span."""
+        block = list(block)
+        if not block:
+            raise ArrangementError("block operations require a non-empty block")
+        lo, hi = self.span(block)
+        if hi - lo + 1 != len(set(block)):
+            raise ArrangementError("block operations require the block to be contiguous")
+        return lo, hi
+
+    def slide_block_next_to(
+        self, block: Iterable[Node], target: Iterable[Node]
+    ) -> Tuple["Arrangement", int]:
+        """Slide the contiguous ``block`` until it touches the contiguous ``target``.
+
+        The block keeps its internal order and moves over the nodes that
+        separate it from the target; those nodes keep their internal order and
+        simply shift towards the block's old side.  This is exactly the
+        "moving" action of the paper's randomized algorithm (Figure 1): the
+        moving component ends up adjacent to the target component on the side
+        it approached from.
+
+        Returns
+        -------
+        (new_arrangement, cost):
+            ``cost`` is the number of adjacent swaps performed, namely
+            ``|block| * (number of nodes strictly between block and target)``,
+            and equals the Kendall-tau distance between the old and the new
+            arrangements.
+        """
+        block = list(block)
+        target = list(target)
+        if set(block) & set(target):
+            raise ArrangementError("slide_block_next_to() requires disjoint block and target")
+        b_lo, b_hi = self._block_bounds(block)
+        t_lo, t_hi = self._block_bounds(target)
+        order = list(self._order)
+        if b_hi < t_lo:
+            # Block is to the left of the target: slide it right.
+            between = order[b_hi + 1 : t_lo]
+            moved = order[b_lo : b_hi + 1]
+            new_order = order[:b_lo] + between + moved + order[t_lo:]
+        elif t_hi < b_lo:
+            # Block is to the right of the target: slide it left.
+            between = order[t_hi + 1 : b_lo]
+            moved = order[b_lo : b_hi + 1]
+            new_order = order[: t_hi + 1] + moved + between + order[b_hi + 1 :]
+        else:
+            raise ArrangementError("block and target overlap in positions")
+        cost = len(block) * len(between)
+        return Arrangement(new_order), cost
+
+    def reverse_block(self, block: Iterable[Node]) -> Tuple["Arrangement", int]:
+        """Reverse the internal order of a contiguous ``block``.
+
+        Returns the new arrangement and the number of adjacent swaps, which is
+        ``C(|block|, 2)`` — every pair inside the block crosses exactly once.
+        """
+        block = list(block)
+        lo, hi = self._block_bounds(block)
+        order = list(self._order)
+        order[lo : hi + 1] = reversed(order[lo : hi + 1])
+        size = hi - lo + 1
+        return Arrangement(order), size * (size - 1) // 2
+
+    def rewrite_block(self, new_block_order: Sequence[Node]) -> Tuple["Arrangement", int]:
+        """Replace the internal order of a contiguous block of nodes.
+
+        ``new_block_order`` must contain exactly the nodes of a contiguous
+        block of ``self``; the block keeps its span and adopts the new
+        internal order.  The cost is the Kendall-tau distance restricted to
+        the block (the rest of the arrangement is untouched).
+        """
+        new_block_order = list(new_block_order)
+        lo, hi = self._block_bounds(new_block_order)
+        current = list(self._order[lo : hi + 1])
+        target_positions = {node: index for index, node in enumerate(new_block_order)}
+        cost = count_inversions([target_positions[node] for node in current])
+        order = list(self._order)
+        order[lo : hi + 1] = new_block_order
+        return Arrangement(order), cost
+
+    def move_block_to_index(
+        self, block: Iterable[Node], new_leftmost_index: int
+    ) -> Tuple["Arrangement", int]:
+        """Move a contiguous ``block`` so that it starts at ``new_leftmost_index``.
+
+        The remaining nodes keep their relative order.  Returns the new
+        arrangement and the number of adjacent swaps
+        (``|block| * displacement of the surrounding nodes``), which equals
+        the Kendall-tau distance between the two arrangements.
+        """
+        block = list(block)
+        lo, hi = self._block_bounds(block)
+        size = hi - lo + 1
+        others = [node for node in self._order if node not in set(block)]
+        if new_leftmost_index < 0 or new_leftmost_index + size > len(self._order):
+            raise ArrangementError("move_block_to_index(): target span is out of range")
+        moved = list(self._order[lo : hi + 1])
+        new_order = others[:new_leftmost_index] + moved + others[new_leftmost_index:]
+        cost = size * abs(new_leftmost_index - lo)
+        return Arrangement(new_order), cost
+
+
+def kendall_tau_distance(first: Arrangement, second: Arrangement) -> int:
+    """Module-level convenience wrapper around :meth:`Arrangement.kendall_tau`."""
+    return first.kendall_tau(second)
+
+
+def arrangement_from_blocks(blocks: Sequence[Sequence[Node]]) -> Arrangement:
+    """Concatenate ordered blocks (left to right) into a single arrangement."""
+    order: List[Node] = []
+    for block in blocks:
+        order.extend(block)
+    return Arrangement(order)
+
+
+def random_arrangement(nodes: Iterable[Node], rng) -> Arrangement:
+    """A uniformly random arrangement of ``nodes`` drawn with ``rng``.
+
+    ``rng`` is a :class:`random.Random` instance (or any object providing a
+    compatible ``shuffle``), so experiments stay reproducible.
+    """
+    order = list(nodes)
+    rng.shuffle(order)
+    return Arrangement(order)

@@ -1,0 +1,163 @@
+"""The randomized algorithm ``Rand`` for collections of lines (Section 4).
+
+A reveal now adds a single edge ``(x_i, z_i)`` joining two paths ``X_i`` and
+``Z_i``.  The update has two parts (Figures 1 and 2 of the paper):
+
+* **Moving part** — exactly as in the clique case, the two components are
+  made adjacent: ``X_i`` moves with probability ``|Z_i| / (|X_i| + |Z_i|)``
+  and ``Z_i`` with the complementary probability.
+* **Rearranging part** — the union ``X_i ∪ Z_i`` must be laid out as a single
+  path with ``x_i`` and ``z_i`` adjacent.  Within the span now occupied by
+  the union only two layouts are feasible: the merged path in one orientation
+  or the other.  The algorithm flips a biased coin whose probability of
+  choosing a layout equals the *other* layout's cost divided by
+  ``C(|X_i| + |Z_i|, 2)`` (the two costs always add up to that binomial,
+  because the layouts are mirror images of each other).
+
+Theorem 8 proves the combination is ``8 ln n``-competitive: ``4 ln n`` for
+the moving parts (Theorem 6 applies verbatim) plus ``4 ln n`` for the
+rearranging parts (Lemmas 10–13).  The ledger keeps the two phases separate
+so experiment E3 can report the split.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Sequence, Tuple
+
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.permutation import Arrangement
+from repro.errors import ReproError
+from repro.graphs.line_forest import LineForest
+from repro.graphs.reveal import GraphKind, RevealStep
+
+Node = Hashable
+
+
+class RandomizedLineLearner(OnlineMinLAAlgorithm):
+    """``Rand`` for lines: biased moving phase followed by biased rearranging phase.
+
+    The maintained invariant is that every revealed path occupies contiguous
+    positions in path order, hence the arrangement is always a MinLA of the
+    revealed graph.
+    """
+
+    name = "rand-lines"
+
+    @classmethod
+    def supports(cls, kind: GraphKind) -> bool:
+        return kind is GraphKind.LINES
+
+    # ------------------------------------------------------------------
+    # Coins (overridden by the ablation variants)
+    # ------------------------------------------------------------------
+    def _move_first_probability(
+        self, first: FrozenSet[Node], second: FrozenSet[Node]
+    ) -> float:
+        """Probability that the *first* component is the one that moves."""
+        return len(second) / (len(first) + len(second))
+
+    def _forward_probability(self, forward_cost: int, backward_cost: int) -> float:
+        """Probability of laying out the merged path in its forward orientation."""
+        total = forward_cost + backward_cost
+        if total == 0:
+            return 1.0
+        return backward_cost / total
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def _choose_mover(
+        self, first: FrozenSet[Node], second: FrozenSet[Node]
+    ) -> Tuple[FrozenSet[Node], FrozenSet[Node]]:
+        probability = self._move_first_probability(first, second)
+        if self._rng.random() < probability:
+            return first, second
+        return second, first
+
+    def _rearrange(
+        self, arrangement: Arrangement, merged_path: Sequence[Node]
+    ) -> Tuple[Arrangement, int]:
+        """Pick one of the two orientations of the merged path, biased by cost."""
+        forward = tuple(merged_path)
+        backward = tuple(reversed(forward))
+        arrangement_forward, forward_cost = arrangement.rewrite_block(forward)
+        arrangement_backward, backward_cost = arrangement.rewrite_block(backward)
+        size = len(forward)
+        if forward_cost + backward_cost != size * (size - 1) // 2:
+            raise ReproError(
+                "internal error: orientation costs do not add up to C(size, 2)"
+            )
+        if self._rng.random() < self._forward_probability(forward_cost, backward_cost):
+            return arrangement_forward, forward_cost
+        return arrangement_backward, backward_cost
+
+    def _handle_step(self, step: RevealStep) -> Tuple[int, int, Arrangement]:
+        forest = self.forest
+        if not isinstance(forest, LineForest):
+            raise ReproError(f"{self.name} only handles line instances")
+        # Validate the reveal and look at the two components before merging.
+        forest.peek_edge(step.u, step.v)
+        component_x = forest.component_of(step.u)
+        component_z = forest.component_of(step.v)
+
+        # Moving part: make the two components adjacent.
+        mover, stayer = self._choose_mover(component_x, component_z)
+        arrangement_after_move, moving_cost = self.current_arrangement.slide_block_next_to(
+            mover, stayer
+        )
+
+        # Reveal the edge; the forest gives us the merged path's node order.
+        record = forest.add_edge(step.u, step.v)
+
+        # Rearranging part: orient the merged path inside its span.
+        final_arrangement, rearranging_cost = self._rearrange(
+            arrangement_after_move, record.merged
+        )
+        return moving_cost, rearranging_cost, final_arrangement
+
+
+class UnbiasedCoinLineLearner(RandomizedLineLearner):
+    """Ablation: fair coins for both the moving and the rearranging phase."""
+
+    name = "rand-lines-unbiased"
+
+    def _move_first_probability(
+        self, first: FrozenSet[Node], second: FrozenSet[Node]
+    ) -> float:
+        return 0.5
+
+    def _forward_probability(self, forward_cost: int, backward_cost: int) -> float:
+        return 0.5
+
+
+class GreedyOrientationLineLearner(RandomizedLineLearner):
+    """Ablation: keep the biased moving coin but always pick the cheaper orientation.
+
+    Locally optimal, but the adversary can exploit the determinism of the
+    orientation choice; experiment E3 measures how much of the guarantee
+    survives.
+    """
+
+    name = "rand-lines-greedy-orientation"
+
+    def _forward_probability(self, forward_cost: int, backward_cost: int) -> float:
+        if forward_cost < backward_cost:
+            return 1.0
+        if forward_cost > backward_cost:
+            return 0.0
+        return 0.5
+
+
+class MoveSmallerLineLearner(RandomizedLineLearner):
+    """Ablation: always move the smaller component, keep the biased orientation coin."""
+
+    name = "move-smaller-lines"
+
+    def _move_first_probability(
+        self, first: FrozenSet[Node], second: FrozenSet[Node]
+    ) -> float:
+        if len(first) < len(second):
+            return 1.0
+        if len(first) > len(second):
+            return 0.0
+        return 0.5

@@ -1,0 +1,141 @@
+"""Simulation driver for online learning MinLA.
+
+The simulator feeds a reveal sequence to an online algorithm step by step and
+enforces the model's rules independently of the algorithm's own bookkeeping:
+
+* after every update the maintained permutation must be a MinLA of the
+  revealed subgraph (checked via the structural characterizations of
+  :mod:`repro.minla.characterizations`);
+* the number of swaps an algorithm reports for an update can never be smaller
+  than the Kendall-tau distance between the consecutive permutations;
+* the node universe never changes.
+
+Violations raise :class:`~repro.errors.InfeasibleArrangementError` /
+:class:`~repro.errors.ReproError`, so experiment results can only ever be
+produced by feasible runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.cost import CostLedger, SimulationResult
+from repro.core.instance import OnlineMinLAInstance
+from repro.errors import InfeasibleArrangementError, ReproError
+from repro.graphs.clique_forest import CliqueForest
+from repro.graphs.reveal import GraphKind
+from repro.minla.characterizations import is_minla_of_forest, violated_components
+
+
+def run_online(
+    algorithm: OnlineMinLAAlgorithm,
+    instance: OnlineMinLAInstance,
+    rng: Optional[random.Random] = None,
+    verify: bool = True,
+    record_trajectory: bool = False,
+) -> SimulationResult:
+    """Run one algorithm on one instance and return its cost ledger.
+
+    Parameters
+    ----------
+    algorithm:
+        The online algorithm; it is reset at the start of the run.
+    instance:
+        The reveal sequence plus initial permutation.
+    rng:
+        Randomness source for randomized algorithms (ignored by deterministic
+        ones).  Pass a seeded :class:`random.Random` for reproducibility.
+    verify:
+        When ``True`` (default) the simulator checks feasibility and cost
+        consistency after every step.  Disable only in tight benchmark loops
+        where the same configuration has already been verified.
+    record_trajectory:
+        When ``True`` the full sequence of arrangements ``π_0 … π_k`` is kept
+        in the result (useful for debugging and for the probability
+        experiments E6–E8).
+    """
+    algorithm.reset(
+        nodes=instance.nodes,
+        kind=instance.kind,
+        initial_arrangement=instance.initial_arrangement,
+        rng=rng,
+    )
+    ledger = CostLedger()
+    trajectory = [instance.initial_arrangement] if record_trajectory else None
+
+    verification_forest = (
+        CliqueForest(instance.nodes)
+        if instance.kind is GraphKind.CLIQUES
+        else None
+    )
+    if verify and verification_forest is None:
+        # Lines: build the forest lazily through the instance's own sequence
+        # replay so path orders are tracked exactly like the model requires.
+        verification_forest = instance.sequence.new_forest()
+
+    for step in instance.steps:
+        previous_arrangement = algorithm.current_arrangement
+        record = algorithm.process(step)
+        current_arrangement = algorithm.current_arrangement
+
+        if verify:
+            if record.total_cost < record.kendall_tau:
+                raise ReproError(
+                    f"{algorithm.name} reported {record.total_cost} swaps for an update "
+                    f"of Kendall-tau distance {record.kendall_tau}"
+                )
+            if instance.kind is GraphKind.CLIQUES:
+                verification_forest.merge(step.u, step.v)
+            else:
+                verification_forest.add_edge(step.u, step.v)
+            if not is_minla_of_forest(current_arrangement, verification_forest):
+                violations = violated_components(current_arrangement, verification_forest)
+                raise InfeasibleArrangementError(
+                    f"{algorithm.name} left components {violations} in a non-MinLA "
+                    f"arrangement after step {record.step_index}"
+                )
+            if previous_arrangement.nodes != current_arrangement.nodes:
+                raise ReproError("the node universe changed during an update")
+
+        ledger.add(record)
+        if trajectory is not None:
+            trajectory.append(current_arrangement)
+
+    return SimulationResult(
+        algorithm_name=algorithm.name,
+        ledger=ledger,
+        final_arrangement=algorithm.current_arrangement,
+        arrangements=tuple(trajectory) if trajectory is not None else None,
+    )
+
+
+def run_trials(
+    algorithm_factory: Callable[[], OnlineMinLAAlgorithm],
+    instance: OnlineMinLAInstance,
+    num_trials: int,
+    seed: int = 0,
+    verify: bool = True,
+) -> List[SimulationResult]:
+    """Run independent trials of a (typically randomized) algorithm.
+
+    Each trial gets a fresh algorithm object from ``algorithm_factory`` and an
+    independent :class:`random.Random` seeded deterministically from ``seed``
+    and the trial index, so the whole batch is reproducible.
+    """
+    if num_trials < 1:
+        raise ReproError("num_trials must be at least 1")
+    results: List[SimulationResult] = []
+    for trial in range(num_trials):
+        algorithm = algorithm_factory()
+        trial_rng = random.Random(f"{seed}|trial-{trial}")
+        results.append(run_online(algorithm, instance, rng=trial_rng, verify=verify))
+    return results
+
+
+def expected_cost(results: List[SimulationResult]) -> float:
+    """Mean total cost over a batch of simulation results."""
+    if not results:
+        raise ReproError("expected_cost() needs at least one result")
+    return sum(result.total_cost for result in results) / len(results)

@@ -1,0 +1,31 @@
+"""Dynamic MinLA (itinerant list update) baseline substrate."""
+
+from repro.dynamic_minla.algorithms import (
+    CollocateLearnerAdapter,
+    MoveSmallerComponentAlgorithm,
+    MoveToFrontPairAlgorithm,
+    NeverMoveAlgorithm,
+    requests_from_clique_pattern,
+    requests_from_line_pattern,
+)
+from repro.dynamic_minla.model import (
+    DynamicMinLAAlgorithm,
+    DynamicRequest,
+    DynamicRunResult,
+    ServeRecord,
+    run_dynamic,
+)
+
+__all__ = [
+    "CollocateLearnerAdapter",
+    "DynamicMinLAAlgorithm",
+    "DynamicRequest",
+    "DynamicRunResult",
+    "MoveSmallerComponentAlgorithm",
+    "MoveToFrontPairAlgorithm",
+    "NeverMoveAlgorithm",
+    "ServeRecord",
+    "requests_from_clique_pattern",
+    "requests_from_line_pattern",
+    "run_dynamic",
+]

@@ -1,0 +1,157 @@
+"""The dynamic MinLA (itinerant list update) cost model of Olver et al.
+
+Section 1.3 of the paper relates online learning MinLA to the *dynamic*
+minimum linear arrangement problem introduced at WAOA 2018: the nodes live on
+a line, requests are node pairs, serving a request costs the current distance
+between the two nodes, and after serving the algorithm may rearrange the
+nodes, paying one unit per swap of adjacent nodes.  Crucially, the dynamic
+problem does **not** force the permutation to be a MinLA of the revealed
+graph — collocation is priced, not mandated.
+
+This sub-package implements that cost model as a baseline substrate so that
+experiment E9 can compare, on the same traffic, (a) the paper's learning
+algorithms (which enforce MinLA feasibility) against (b) the classic dynamic
+MinLA heuristics (which only chase cheap requests).  The comparison
+illustrates the price and the benefit of the learning model's stricter
+requirement.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.permutation import Arrangement
+from repro.errors import ReproError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DynamicRequest:
+    """One communication request between two (distinct) nodes."""
+
+    u: Node
+    v: Node
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ReproError("a request must involve two distinct nodes")
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """Cost breakdown of serving one request."""
+
+    request: DynamicRequest
+    serve_cost: int
+    """Distance between the endpoints at the moment the request arrives."""
+    move_cost: int
+    """Adjacent swaps spent rearranging after serving."""
+
+    @property
+    def total_cost(self) -> int:
+        """Serve plus rearrangement cost of this request."""
+        return self.serve_cost + self.move_cost
+
+
+@dataclass
+class DynamicRunResult:
+    """Outcome of running a dynamic MinLA algorithm on a request sequence."""
+
+    algorithm_name: str
+    records: List[ServeRecord] = field(default_factory=list)
+    final_arrangement: Optional[Arrangement] = None
+
+    @property
+    def total_serve_cost(self) -> int:
+        """Sum of request distances paid."""
+        return sum(record.serve_cost for record in self.records)
+
+    @property
+    def total_move_cost(self) -> int:
+        """Sum of rearrangement costs paid."""
+        return sum(record.move_cost for record in self.records)
+
+    @property
+    def total_cost(self) -> int:
+        """The dynamic MinLA objective: serve plus move cost."""
+        return self.total_serve_cost + self.total_move_cost
+
+
+class DynamicMinLAAlgorithm(abc.ABC):
+    """Base class for algorithms in the dynamic MinLA cost model."""
+
+    name: str = "dynamic-minla-algorithm"
+
+    def __init__(self) -> None:
+        self._arrangement: Optional[Arrangement] = None
+        self._rng: random.Random = random.Random(0)
+
+    def reset(
+        self,
+        nodes: Sequence[Node],
+        initial_arrangement: Arrangement,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Prepare for a fresh run starting from ``initial_arrangement``."""
+        if initial_arrangement.nodes != frozenset(nodes):
+            raise ReproError("initial arrangement does not match the node universe")
+        self._arrangement = initial_arrangement
+        self._rng = rng if rng is not None else random.Random(0)
+        self._after_reset()
+
+    def _after_reset(self) -> None:
+        """Hook for subclasses that keep extra per-run state."""
+
+    @property
+    def current_arrangement(self) -> Arrangement:
+        """The permutation currently maintained by the algorithm."""
+        if self._arrangement is None:
+            raise ReproError("the algorithm has not been reset yet")
+        return self._arrangement
+
+    def serve(self, request: DynamicRequest) -> ServeRecord:
+        """Serve one request: pay its distance, then optionally rearrange."""
+        arrangement = self.current_arrangement
+        serve_cost = abs(
+            arrangement.position(request.u) - arrangement.position(request.v)
+        )
+        new_arrangement, move_cost = self._rearrange(request)
+        if new_arrangement.nodes != arrangement.nodes:
+            raise ReproError("rearranging must not change the node universe")
+        self._arrangement = new_arrangement
+        return ServeRecord(request=request, serve_cost=serve_cost, move_cost=move_cost)
+
+    @abc.abstractmethod
+    def _rearrange(self, request: DynamicRequest) -> Tuple[Arrangement, int]:
+        """Return the post-request arrangement and the swaps spent reaching it."""
+
+
+def run_dynamic(
+    algorithm: DynamicMinLAAlgorithm,
+    nodes: Sequence[Node],
+    requests: Sequence[DynamicRequest],
+    initial_arrangement: Arrangement,
+    rng: Optional[random.Random] = None,
+    verify: bool = True,
+) -> DynamicRunResult:
+    """Run one dynamic MinLA algorithm over a request sequence."""
+    algorithm.reset(nodes, initial_arrangement, rng=rng)
+    result = DynamicRunResult(algorithm_name=algorithm.name)
+    previous = initial_arrangement
+    for request in requests:
+        record = algorithm.serve(request)
+        if verify:
+            actual_distance = previous.kendall_tau(algorithm.current_arrangement)
+            if record.move_cost < actual_distance:
+                raise ReproError(
+                    f"{algorithm.name} under-reported a move cost "
+                    f"({record.move_cost} < {actual_distance})"
+                )
+        previous = algorithm.current_arrangement
+        result.records.append(record)
+    result.final_arrangement = algorithm.current_arrangement
+    return result

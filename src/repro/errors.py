@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library-level failures with a single
+``except`` clause while programming errors (``TypeError`` and friends) still
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ArrangementError(ReproError):
+    """An arrangement operation received inconsistent or invalid arguments.
+
+    Raised, for example, when a block operation is applied to a set of nodes
+    that is not contiguous in the arrangement, or when two arrangements over
+    different node sets are compared.
+    """
+
+
+class RevealError(ReproError):
+    """A reveal sequence violates the online learning MinLA model.
+
+    The model of the paper requires every revealed graph to be a collection of
+    disjoint cliques or a collection of disjoint lines, and every revealed
+    graph to be a supergraph of its predecessor.  Any step breaking these
+    invariants raises this error.
+    """
+
+
+class InfeasibleArrangementError(ReproError):
+    """An online algorithm produced a permutation that is not a MinLA.
+
+    The online learning MinLA model *requires* the maintained permutation to
+    be a minimum linear arrangement of the revealed subgraph after every
+    update; the simulator raises this error when an algorithm violates the
+    requirement.
+    """
+
+
+class SolverError(ReproError):
+    """An offline solver was invoked outside its supported regime."""
+
+
+class ExperimentError(ReproError):
+    """An experiment or benchmark harness was configured inconsistently."""
+
+
+class EmbeddingError(ReproError):
+    """A virtual network embedding operation is invalid.
+
+    Raised by :mod:`repro.vnet` when a virtual node is mapped twice, when a
+    request references an unknown virtual node, or when the physical topology
+    cannot host the requested virtual network.
+    """

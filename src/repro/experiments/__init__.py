@@ -1,0 +1,27 @@
+"""Experiment harness: metrics, tables and the E1–E10 suite."""
+
+from repro.experiments.metrics import SampleSummary, geometric_mean, mean, sample_std, summarize
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentScale,
+    scale_pick,
+    seeded_rng,
+)
+from repro.experiments.suite import ALL_EXPERIMENTS, run_all, write_experiments_markdown
+from repro.experiments.tables import ResultTable
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "ResultTable",
+    "SampleSummary",
+    "geometric_mean",
+    "mean",
+    "run_all",
+    "sample_std",
+    "scale_pick",
+    "seeded_rng",
+    "summarize",
+    "write_experiments_markdown",
+]

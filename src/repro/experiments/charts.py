@@ -1,0 +1,79 @@
+"""Terminal-friendly charts (no plotting dependencies).
+
+The experiments and examples occasionally want to *show* a trend — how the
+per-step cost evolves, how ratios compare across algorithms — without pulling
+in a plotting stack.  These helpers render small ASCII/Unicode charts that
+look reasonable in a terminal and in Markdown code blocks:
+
+* :func:`sparkline` — a one-line block-character profile of a series,
+* :func:`horizontal_bar_chart` — labelled bars scaled to a maximum width,
+* :func:`scaling_table` — a two-column "n vs value" view with a sparkline
+  footer, used by the examples to display growth rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ExperimentError
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character rendering of a numeric series.
+
+    Values are scaled to the series' own min/max; a constant series renders
+    as a flat line of middle blocks.
+    """
+    if not values:
+        raise ExperimentError("sparkline() needs at least one value")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _BLOCKS[3] * len(values)
+    span = high - low
+    characters = []
+    for value in values:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        characters.append(_BLOCKS[index])
+    return "".join(characters)
+
+
+def horizontal_bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Labelled horizontal bars, scaled so the largest value spans ``width`` cells."""
+    if len(labels) != len(values):
+        raise ExperimentError("labels and values must have the same length")
+    if not labels:
+        raise ExperimentError("horizontal_bar_chart() needs at least one bar")
+    if width < 1:
+        raise ExperimentError("width must be positive")
+    if any(value < 0 for value in values):
+        raise ExperimentError("bar values must be non-negative")
+    label_width = max(len(str(label)) for label in labels)
+    maximum = max(values) or 1.0
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(int(round(value / maximum * width)), 1 if value > 0 else 0)
+        lines.append(f"{str(label):<{label_width}} │{bar:<{width}} {value:,.1f}")
+    return "\n".join(lines)
+
+
+def scaling_table(
+    sizes: Sequence[int], values: Sequence[float], value_label: str = "value"
+) -> str:
+    """A small "n vs value" table with growth factors and a sparkline footer."""
+    if len(sizes) != len(values):
+        raise ExperimentError("sizes and values must have the same length")
+    if not sizes:
+        raise ExperimentError("scaling_table() needs at least one row")
+    lines = [f"{'n':>8} {value_label:>14} {'growth':>8}"]
+    previous = None
+    for size, value in zip(sizes, values):
+        growth = "" if previous in (None, 0) else f"x{value / previous:.2f}"
+        lines.append(f"{size:>8} {value:>14.2f} {growth:>8}")
+        previous = value
+    lines.append(f"{'trend':>8} {sparkline(values):>14}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Statistics helpers for the experiment harness.
+
+Competitive-ratio experiments aggregate randomized trials, so every reported
+number should come with a dispersion estimate.  The helpers here are small,
+dependency-free (mean / standard deviation / normal-approximation confidence
+intervals) and are shared by the experiment suite, the benchmarks and the
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a sample of real values."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_half_width: float
+    """Half width of the ~95% normal-approximation confidence interval."""
+
+    @property
+    def ci_low(self) -> float:
+        """Lower end of the ~95% confidence interval of the mean."""
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        """Upper end of the ~95% confidence interval of the mean."""
+        return self.mean + self.ci_half_width
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ExperimentError("mean() of an empty sample is undefined")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation (``n-1`` denominator; 0 for singleton samples)."""
+    if not values:
+        raise ExperimentError("sample_std() of an empty sample is undefined")
+    if len(values) == 1:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((value - centre) ** 2 for value in values) / (len(values) - 1))
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Full :class:`SampleSummary` of a sample (95% normal-approximation CI)."""
+    if not values:
+        raise ExperimentError("summarize() of an empty sample is undefined")
+    centre = mean(values)
+    deviation = sample_std(values)
+    half_width = 1.96 * deviation / math.sqrt(len(values)) if len(values) > 1 else 0.0
+    return SampleSummary(
+        count=len(values),
+        mean=centre,
+        std=deviation,
+        minimum=min(values),
+        maximum=max(values),
+        ci_half_width=half_width,
+    )
+
+
+def ratios(costs: Sequence[float], denominator: float) -> Sequence[float]:
+    """Element-wise ``cost / denominator`` with a guard against zero denominators."""
+    if denominator <= 0:
+        raise ExperimentError("competitive ratios need a positive optimum estimate")
+    return [cost / denominator for cost in costs]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for cross-size ratio aggregation)."""
+    if not values:
+        raise ExperimentError("geometric_mean() of an empty sample is undefined")
+    if any(value <= 0 for value in values):
+        raise ExperimentError("geometric_mean() needs strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))

@@ -1,0 +1,239 @@
+"""The complete experiment suite and the ``EXPERIMENTS.md`` report generator.
+
+``ALL_EXPERIMENTS`` maps experiment ids (E1–E10, as indexed in ``DESIGN.md``)
+to the functions implementing them; :func:`run_all` executes any subset at a
+given scale, and :func:`write_experiments_markdown` regenerates the
+paper-versus-measured record in ``EXPERIMENTS.md`` together with per-table
+CSV files under ``results/``.
+
+Run from the command line with::
+
+    python -m repro.experiments.suite --scale bench --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult, ExperimentScale
+from repro.experiments.suite_applications import (
+    run_e9_dynamic_baselines,
+    run_e10_vnet_case_study,
+)
+from repro.experiments.suite_core import (
+    run_e1_det_upper_bound,
+    run_e2_rand_cliques,
+    run_e3_rand_lines,
+    run_e4_tree_lower_bound,
+    run_e5_det_lower_bound,
+)
+from repro.experiments.suite_invariants import (
+    run_e6_lemma3_probability,
+    run_e7_lemma10_probability,
+    run_e8_action_probabilities,
+)
+
+ExperimentFunction = Callable[[ExperimentScale, int], ExperimentResult]
+
+#: Registry of every experiment, keyed by its DESIGN.md identifier.
+ALL_EXPERIMENTS: Dict[str, ExperimentFunction] = {
+    "E1": run_e1_det_upper_bound,
+    "E2": run_e2_rand_cliques,
+    "E3": run_e3_rand_lines,
+    "E4": run_e4_tree_lower_bound,
+    "E5": run_e5_det_lower_bound,
+    "E6": run_e6_lemma3_probability,
+    "E7": run_e7_lemma10_probability,
+    "E8": run_e8_action_probabilities,
+    "E9": run_e9_dynamic_baselines,
+    "E10": run_e10_vnet_case_study,
+}
+
+
+def run_all(
+    scale: ExperimentScale = ExperimentScale.BENCH,
+    seed: int = 0,
+    only: Optional[Iterable[str]] = None,
+) -> List[ExperimentResult]:
+    """Run the selected experiments (all of them by default) and return the results."""
+    selected = list(only) if only is not None else list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(f"unknown experiment ids: {unknown}")
+    return [ALL_EXPERIMENTS[name](scale, seed) for name in selected]
+
+
+def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
+    """Per-experiment pass/fail verdict plus a one-line justification.
+
+    The criteria mirror the assertions of the benchmark harness: upper bounds
+    must hold (with Monte-Carlo slack), lower-bound constructions must show
+    the predicted growth, probability invariants must match to sampling
+    accuracy, and the application experiments must show the predicted winner.
+    """
+    table = result.tables[0] if result.tables else None
+    try:
+        if result.experiment_id == "E1":
+            ok = all(
+                row[table.columns.index("max ratio (vs OPT lb)")]
+                <= row[table.columns.index("bound 2n-2")] + 1e-9
+                for row in table.rows
+            )
+            return ok, "every observed ratio stays below 2n-2"
+        if result.experiment_id == "E2":
+            ok = all(
+                row[table.columns.index("ratio vs OPT ub")]
+                <= row[table.columns.index("bound 4·H_n")] * 1.05
+                for row in table.rows
+                if row[table.columns.index("algorithm")] == "rand (paper)"
+            )
+            return ok, "mean ratio of the paper's algorithm stays below 4·H_n"
+        if result.experiment_id == "E3":
+            ok = all(
+                row[table.columns.index("ratio vs OPT")]
+                <= row[table.columns.index("bound 8·H_n")] * 1.05
+                for row in table.rows
+                if row[table.columns.index("algorithm")] == "rand (paper)"
+            )
+            return ok, "mean ratio of the paper's algorithm stays below 8·H_n"
+        if result.experiment_id == "E4":
+            ratios = table.column("mean ratio")
+            sizes = table.column("n")
+            floor_ok = all(
+                ratio >= math.log2(size) / 16 for ratio, size in zip(ratios, sizes)
+            )
+            growth_ok = ratios[-1] > ratios[0]
+            return floor_ok and growth_ok, (
+                "ratio grows with n and respects the (log2 n)/16 floor"
+            )
+        if result.experiment_id == "E5":
+            det_ratios = table.column("Det ratio")
+            rand_ratios = table.column("Rand mean ratio")
+            sizes = table.column("n")
+            growth_ok = det_ratios[-1] >= det_ratios[0] * (sizes[-1] / sizes[0]) * 0.4
+            separation_ok = det_ratios[-1] > rand_ratios[-1]
+            return growth_ok and separation_ok, (
+                "Det's ratio grows linearly and exceeds Rand's on the same adversary"
+            )
+        if result.experiment_id in ("E6", "E7"):
+            ok = result.findings["max deviation"] < 0.05
+            return ok, "Monte-Carlo estimate matches the closed form within 0.05"
+        if result.experiment_id == "E8":
+            ok = result.findings["max deviation"] < 0.03
+            return ok, "action frequencies match Figures 1 and 2 within 0.03"
+        if result.experiment_id in ("E9", "E10"):
+            ok = all(value < 1.0 for value in result.findings.values())
+            baseline = "never-move" if result.experiment_id == "E9" else "static embedding"
+            return ok, f"the learning approach beats the {baseline} on total cost"
+    except Exception:  # pragma: no cover - defensive: a malformed table is a failure
+        return False, "verdict could not be computed"
+    return True, "no automated criterion defined"
+
+
+def write_experiments_markdown(
+    results: List[ExperimentResult],
+    output_path: Path,
+    csv_directory: Optional[Path] = None,
+    scale: ExperimentScale = ExperimentScale.BENCH,
+    elapsed_seconds: Optional[float] = None,
+) -> Path:
+    """Write the paper-versus-measured report and the per-table CSV files."""
+    lines: List[str] = [
+        "# EXPERIMENTS — paper claims vs measured results",
+        "",
+        "This file is generated by `python -m repro.experiments.suite`.",
+        "",
+        f"- scale: `{scale.value}`",
+        f"- experiments: {', '.join(result.experiment_id for result in results)}",
+    ]
+    if elapsed_seconds is not None:
+        lines.append(f"- wall-clock time: {elapsed_seconds:.1f} s")
+    lines.append("")
+    lines.append(
+        "The paper (Dallot et al., *Learning Minimum Linear Arrangement of "
+        "Cliques and Lines*, ICDCS 2024) contains no empirical tables; every "
+        "experiment below reproduces one of its theorems, lemmas or figures, as "
+        "indexed in `DESIGN.md`.  'Measured' numbers come from this repository's "
+        "implementation; the expectation is that measured ratios stay below the "
+        "paper's upper bounds, grow at the rates its lower bounds dictate, and "
+        "that the probability invariants match to Monte-Carlo accuracy."
+    )
+    lines.append("")
+    lines.append("## Summary: paper claim vs measured outcome")
+    lines.append("")
+    lines.append("| experiment | paper artefact | verdict | criterion |")
+    lines.append("|---|---|---|---|")
+    for result in results:
+        reproduced, criterion = _verdict(result)
+        verdict_text = "reproduced" if reproduced else "**not reproduced**"
+        lines.append(
+            f"| {result.experiment_id} | {result.title} | {verdict_text} | {criterion} |"
+        )
+    lines.append("")
+    for result in results:
+        lines.append(result.to_markdown())
+        lines.append("")
+        if csv_directory is not None:
+            for index, table in enumerate(result.tables):
+                csv_path = csv_directory / f"{result.experiment_id.lower()}_{index}.csv"
+                table.to_csv(csv_path)
+                lines.append(f"*(raw data: `{csv_path.as_posix()}`)*")
+                lines.append("")
+    output_path.write_text("\n".join(lines))
+    return output_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point regenerating ``EXPERIMENTS.md``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ExperimentScale],
+        default=ExperimentScale.BENCH.value,
+        help="how much work each experiment does (smoke / bench / full)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("EXPERIMENTS.md"),
+        help="path of the generated Markdown report",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=Path("results"),
+        help="directory for the per-table CSV files",
+    )
+    arguments = parser.parse_args(argv)
+    scale = ExperimentScale(arguments.scale)
+    start = time.time()
+    results = run_all(scale=scale, seed=arguments.seed, only=arguments.only)
+    elapsed = time.time() - start
+    write_experiments_markdown(
+        results,
+        output_path=arguments.output,
+        csv_directory=arguments.csv_dir,
+        scale=scale,
+        elapsed_seconds=elapsed,
+    )
+    for result in results:
+        print(result.to_ascii())
+        print()
+    print(f"wrote {arguments.output} in {elapsed:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,244 @@
+"""Experiments E9–E10: baselines from related work and the motivating case study.
+
+* **E9** compares the paper's learning algorithms, deployed in the dynamic
+  MinLA cost model of Olver et al. (serve cost = current distance, optional
+  rearrangement), against the classic baselines discussed in Section 1.3:
+  never-move, a list-update-style pair collocation rule, and the
+  "move the smaller component towards the larger" rule.
+* **E10** is the virtual-network-embedding case study of Section 1.2: tenant
+  (clique) and pipeline (line) traffic is replayed on a linear datacenter and
+  the migration/communication trade-off of demand-aware re-embedding with the
+  paper's algorithms is measured against a static embedding and an offline
+  oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.det import DeterministicClosestLearner
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.dynamic_minla.algorithms import (
+    CollocateLearnerAdapter,
+    MoveSmallerComponentAlgorithm,
+    MoveToFrontPairAlgorithm,
+    NeverMoveAlgorithm,
+    requests_from_clique_pattern,
+    requests_from_line_pattern,
+)
+from repro.dynamic_minla.model import DynamicMinLAAlgorithm, run_dynamic
+from repro.core.permutation import random_arrangement
+from repro.experiments.metrics import mean
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentScale,
+    scale_pick,
+    seeded_rng,
+)
+from repro.experiments.tables import ResultTable
+from repro.graphs.reveal import GraphKind
+from repro.vnet.controller import (
+    DemandAwareController,
+    OracleController,
+    StaticController,
+)
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.vnet.traffic import pipeline_traffic, tenant_traffic
+
+
+# ----------------------------------------------------------------------
+# E9 — dynamic MinLA baselines (related work, Section 1.3)
+# ----------------------------------------------------------------------
+def _dynamic_contestants(kind: GraphKind) -> Dict[str, Callable[[], DynamicMinLAAlgorithm]]:
+    """The algorithms compared in the dynamic cost model for one pattern kind."""
+    if kind is GraphKind.CLIQUES:
+        learner_factory: Callable[[], DynamicMinLAAlgorithm] = lambda: CollocateLearnerAdapter(
+            RandomizedCliqueLearner, GraphKind.CLIQUES, name="learning rand (cliques)"
+        )
+    else:
+        learner_factory = lambda: CollocateLearnerAdapter(
+            RandomizedLineLearner, GraphKind.LINES, name="learning rand (lines)"
+        )
+    return {
+        "never move": NeverMoveAlgorithm,
+        "move-to-front pair": MoveToFrontPairAlgorithm,
+        "move smaller component": MoveSmallerComponentAlgorithm,
+        "learning rand (paper)": learner_factory,
+    }
+
+
+def run_e9_dynamic_baselines(
+    scale: ExperimentScale = ExperimentScale.BENCH, seed: int = 0
+) -> ExperimentResult:
+    """Total serve+move cost of learning algorithms vs dynamic MinLA baselines."""
+    num_groups: int = scale_pick(scale, 3, 4, 6)
+    group_size: int = scale_pick(scale, 4, 8, 12)
+    num_requests: int = scale_pick(scale, 200, 1000, 4000)
+    repetitions: int = scale_pick(scale, 1, 2, 3)
+
+    table = ResultTable(
+        title="E9 — dynamic MinLA cost model: learning algorithms vs baselines",
+        columns=[
+            "pattern",
+            "n",
+            "requests",
+            "algorithm",
+            "serve cost",
+            "move cost",
+            "total cost",
+            "total / never-move",
+        ],
+    )
+    advantage: Dict[str, float] = {}
+    for pattern_name, kind in (("tenant cliques", GraphKind.CLIQUES), ("pipelines", GraphKind.LINES)):
+        sizes = [group_size] * num_groups
+        totals: Dict[str, List[float]] = {}
+        serves: Dict[str, List[float]] = {}
+        moves: Dict[str, List[float]] = {}
+        for repetition in range(repetitions):
+            rng = seeded_rng(seed, "e9", pattern_name, repetition)
+            if kind is GraphKind.CLIQUES:
+                nodes, requests = requests_from_clique_pattern(sizes, num_requests, rng)
+            else:
+                nodes, requests = requests_from_line_pattern(sizes, num_requests, rng)
+            initial = random_arrangement(nodes, rng)
+            for label, factory in _dynamic_contestants(kind).items():
+                run_rng = seeded_rng(seed, "e9-run", pattern_name, repetition, label)
+                result = run_dynamic(factory(), nodes, requests, initial, rng=run_rng)
+                totals.setdefault(label, []).append(result.total_cost)
+                serves.setdefault(label, []).append(result.total_serve_cost)
+                moves.setdefault(label, []).append(result.total_move_cost)
+        never_move_total = mean(totals["never move"])
+        for label in _dynamic_contestants(kind):
+            total = mean(totals[label])
+            table.add_row(
+                pattern_name,
+                sum(sizes),
+                num_requests,
+                label,
+                mean(serves[label]),
+                mean(moves[label]),
+                total,
+                total / never_move_total if never_move_total > 0 else float("inf"),
+            )
+            if label == "learning rand (paper)":
+                advantage[pattern_name] = (
+                    total / never_move_total if never_move_total > 0 else float("inf")
+                )
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Dynamic MinLA baselines (Section 1.3 related work)",
+        paper_claim="The learning model is stricter than dynamic MinLA, but on "
+        "traffic whose hidden pattern is a collection of cliques or lines, "
+        "collocating components as the paper's algorithms do pays off against "
+        "the never-move and heuristic baselines once requests repeat.",
+        tables=[table],
+        findings={
+            f"learning total / never-move ({name})": value
+            for name, value in advantage.items()
+        },
+        notes=[
+            "Serve cost is the distance between the endpoints when a request "
+            "arrives; move cost counts adjacent swaps.  'learning rand (paper)' "
+            "reveals the pattern the first time two components communicate and "
+            "serves all later requests in place."
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 — virtual network embedding case study (Section 1.2)
+# ----------------------------------------------------------------------
+def run_e10_vnet_case_study(
+    scale: ExperimentScale = ExperimentScale.BENCH, seed: int = 0
+) -> ExperimentResult:
+    """Migration/communication trade-off of demand-aware re-embedding."""
+    num_groups: int = scale_pick(scale, 3, 4, 6)
+    group_size: int = scale_pick(scale, 4, 8, 12)
+    num_requests: int = scale_pick(scale, 300, 1500, 6000)
+    repetitions: int = scale_pick(scale, 1, 2, 3)
+
+    table = ResultTable(
+        title="E10 — linear datacenter embedding: static vs oracle vs demand-aware",
+        columns=[
+            "traffic",
+            "slots",
+            "requests",
+            "controller",
+            "migration cost",
+            "communication cost",
+            "total cost",
+            "total / static",
+        ],
+    )
+    findings: Dict[str, float] = {}
+    for traffic_name in ("tenant cliques", "pipelines"):
+        sizes = [group_size] * num_groups
+        num_slots = sum(sizes)
+        datacenter = LinearDatacenter(num_slots)
+        controllers = {
+            "static": StaticController(datacenter),
+            "oracle (offline)": OracleController(datacenter),
+            "demand-aware rand (paper)": DemandAwareController(
+                datacenter,
+                RandomizedCliqueLearner
+                if traffic_name == "tenant cliques"
+                else RandomizedLineLearner,
+                name="demand-aware-rand",
+            ),
+            "demand-aware det": DemandAwareController(
+                datacenter, DeterministicClosestLearner, name="demand-aware-det"
+            ),
+        }
+        sums: Dict[str, Dict[str, List[float]]] = {
+            label: {"migration": [], "communication": [], "total": []}
+            for label in controllers
+        }
+        for repetition in range(repetitions):
+            rng = seeded_rng(seed, "e10", traffic_name, repetition)
+            if traffic_name == "tenant cliques":
+                trace = tenant_traffic(sizes, num_requests, rng)
+            else:
+                trace = pipeline_traffic(sizes, num_requests, rng)
+            # Use a shared random starting placement for every controller.
+            initial_arrangement = random_arrangement(trace.virtual_nodes, rng)
+            initial_embedding = Embedding(datacenter, initial_arrangement)
+            for label, controller in controllers.items():
+                run_rng = seeded_rng(seed, "e10-run", traffic_name, repetition, label)
+                report = controller.run(trace, initial_embedding=initial_embedding, rng=run_rng)
+                sums[label]["migration"].append(report.migration_cost)
+                sums[label]["communication"].append(report.communication_cost)
+                sums[label]["total"].append(report.total_cost)
+        static_total = mean(sums["static"]["total"])
+        for label in controllers:
+            total = mean(sums[label]["total"])
+            table.add_row(
+                traffic_name,
+                num_slots,
+                num_requests,
+                label,
+                mean(sums[label]["migration"]),
+                mean(sums[label]["communication"]),
+                total,
+                total / static_total if static_total > 0 else float("inf"),
+            )
+            if label == "demand-aware rand (paper)":
+                findings[f"demand-aware total / static ({traffic_name})"] = (
+                    total / static_total if static_total > 0 else float("inf")
+                )
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Virtual network embedding case study (Section 1.2)",
+        paper_claim="Demand-aware re-embedding trades a bounded migration cost "
+        "for a large reduction in communication cost when the traffic pattern is "
+        "a collection of cliques (tenants) or lines (pipelines).",
+        tables=[table],
+        findings=findings,
+        notes=[
+            "The oracle controller knows the final pattern and performs a single "
+            "up-front migration; it lower-bounds what any online controller can "
+            "hope for on communication cost."
+        ],
+    )

@@ -1,0 +1,41 @@
+"""Graph substrates: component tracking, reveal sequences and workload generators."""
+
+from repro.graphs.clique_forest import CliqueForest, MergeRecord
+from repro.graphs.components import DisjointSetForest
+from repro.graphs.generators import (
+    balanced_clique_merge_sequence,
+    growing_clique_sequence,
+    pipeline_line_sequence,
+    random_clique_merge_sequence,
+    random_line_sequence,
+    sequential_line_sequence,
+    tenant_clique_sequence,
+)
+from repro.graphs.line_forest import LineForest, LineMergeRecord
+from repro.graphs.reveal import (
+    CliqueRevealSequence,
+    GraphKind,
+    LineRevealSequence,
+    RevealSequence,
+    RevealStep,
+)
+
+__all__ = [
+    "CliqueForest",
+    "CliqueRevealSequence",
+    "DisjointSetForest",
+    "GraphKind",
+    "LineForest",
+    "LineMergeRecord",
+    "LineRevealSequence",
+    "MergeRecord",
+    "RevealSequence",
+    "RevealStep",
+    "balanced_clique_merge_sequence",
+    "growing_clique_sequence",
+    "pipeline_line_sequence",
+    "random_clique_merge_sequence",
+    "random_line_sequence",
+    "sequential_line_sequence",
+    "tenant_clique_sequence",
+]

@@ -1,0 +1,172 @@
+"""Incremental model of a *collection of disjoint cliques*.
+
+In the clique variant of online learning MinLA every revealed subgraph
+``G_i`` is a disjoint union of cliques, and the step from ``G_i`` to
+``G_{i+1}`` merges two of those cliques into a single larger clique (all
+edges between the two components are revealed at once).  The class below
+maintains that structure incrementally:
+
+* the current set of cliques (components),
+* the merge history, which forms a laminar family / binary merge tree — the
+  object the offline-optimum computation needs in order to construct
+  permutations that are simultaneously MinLA of every prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.errors import RevealError
+from repro.graphs.components import DisjointSetForest
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One merge event: the two cliques (as node sets) that became one."""
+
+    first: FrozenSet[Node]
+    second: FrozenSet[Node]
+
+    @property
+    def merged(self) -> FrozenSet[Node]:
+        """The clique resulting from the merge."""
+        return self.first | self.second
+
+
+class CliqueForest:
+    """A dynamic disjoint union of cliques supporting merge reveals.
+
+    Examples
+    --------
+    >>> forest = CliqueForest(range(4))
+    >>> forest.merge(0, 1)
+    >>> forest.merge(2, 3)
+    >>> sorted(len(c) for c in forest.components())
+    [2, 2]
+    >>> forest.num_edges
+    2
+    """
+
+    def __init__(self, nodes: Iterable[Node]):
+        nodes = list(nodes)
+        if len(set(nodes)) != len(nodes):
+            raise RevealError("duplicate nodes in clique forest universe")
+        self._dsf = DisjointSetForest(nodes)
+        self._history: List[MergeRecord] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """All nodes of the (eventually revealed) graph."""
+        return self._dsf.nodes
+
+    @property
+    def num_components(self) -> int:
+        """Current number of cliques."""
+        return self._dsf.num_components
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the currently revealed graph (sum of C(c, 2))."""
+        return sum(len(c) * (len(c) - 1) // 2 for c in self.components())
+
+    def components(self) -> List[FrozenSet[Node]]:
+        """The current cliques as a list of node sets."""
+        return self._dsf.components()
+
+    def component_of(self, node: Node) -> FrozenSet[Node]:
+        """The clique containing ``node``."""
+        return self._dsf.component_of(node)
+
+    def same_component(self, first: Node, second: Node) -> bool:
+        """``True`` iff the two nodes currently belong to the same clique."""
+        return self._dsf.connected(first, second)
+
+    @property
+    def history(self) -> Tuple[MergeRecord, ...]:
+        """All merge events so far, in reveal order."""
+        return tuple(self._history)
+
+    def laminar_family(self) -> List[FrozenSet[Node]]:
+        """Every component that ever existed (singletons, intermediates, current).
+
+        The merge process only ever joins whole components, so the family of
+        all components over time is laminar.  A permutation laying out every
+        set of this family contiguously is a MinLA of *every* revealed prefix
+        — the key fact used to construct feasible offline solutions.
+        """
+        family: List[FrozenSet[Node]] = [frozenset([node]) for node in sorted(self.nodes, key=repr)]
+        for record in self._history:
+            family.append(record.merged)
+        return family
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        """All edges of the currently revealed graph."""
+        result: List[Tuple[Node, Node]] = []
+        for component in self.components():
+            members = sorted(component, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    result.append((u, v))
+        return result
+
+    def to_networkx(self) -> nx.Graph:
+        """The currently revealed graph as a :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def peek_merge(self, first: Node, second: Node) -> Tuple[FrozenSet[Node], FrozenSet[Node]]:
+        """The two cliques that *would* merge when ``(first, second)`` is revealed.
+
+        Raises :class:`~repro.errors.RevealError` if the nodes already share a
+        clique (such a reveal would not change the graph).
+        """
+        if self._dsf.connected(first, second):
+            raise RevealError(
+                f"nodes {first!r} and {second!r} already belong to the same clique"
+            )
+        return self._dsf.component_of(first), self._dsf.component_of(second)
+
+    def merge(self, first: Node, second: Node) -> MergeRecord:
+        """Merge the cliques of ``first`` and ``second`` into one clique."""
+        comp_a, comp_b = self.peek_merge(first, second)
+        self._dsf.union(first, second)
+        record = MergeRecord(comp_a, comp_b)
+        self._history.append(record)
+        return record
+
+    def copy(self) -> "CliqueForest":
+        """An independent copy of the forest (history included)."""
+        clone = CliqueForest([])
+        clone._dsf = self._dsf.copy()
+        clone._history = list(self._history)
+        return clone
+
+
+def merge_tree_orders(forest: CliqueForest) -> Dict[FrozenSet[Node], Tuple[Node, ...]]:
+    """For every final clique, one node order keeping all historical sub-cliques contiguous.
+
+    The returned order is obtained by concatenating, for every merge in
+    reveal order, the (already computed) orders of the two merging parts.
+    Laying out each final clique in this order produces a permutation in which
+    every clique of every prefix ``G_i`` occupies contiguous positions, hence
+    a MinLA of every prefix.
+    """
+    orders: Dict[FrozenSet[Node], Tuple[Node, ...]] = {
+        frozenset([node]): (node,) for node in forest.nodes
+    }
+    for record in forest.history:
+        orders[record.merged] = orders[record.first] + orders[record.second]
+    return {component: orders[component] for component in forest.components()}

@@ -1,0 +1,177 @@
+"""JSON serialization of workloads, instances and run results.
+
+Reproducibility is easier when the exact workload an experiment used can be
+archived next to its results.  This module serializes the library's core
+objects to plain JSON-compatible dictionaries (and back):
+
+* reveal sequences (node universe, kind, steps),
+* full instances (sequence + initial permutation),
+* simulation results (algorithm name, per-step cost records, final
+  arrangement).
+
+Node labels must themselves be JSON-representable (integers or strings); the
+generators in :mod:`repro.graphs.generators` use integers, and the virtual
+network case study uses integers or short strings, so this covers every
+object the library creates.  Round-tripping is validated in the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.cost import CostLedger, SimulationResult, UpdateRecord
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.permutation import Arrangement
+from repro.errors import ReproError
+from repro.graphs.reveal import (
+    CliqueRevealSequence,
+    GraphKind,
+    LineRevealSequence,
+    RevealSequence,
+    RevealStep,
+)
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Reveal sequences
+# ----------------------------------------------------------------------
+def sequence_to_dict(sequence: RevealSequence) -> Dict[str, Any]:
+    """A JSON-compatible description of a reveal sequence."""
+    return {
+        "kind": sequence.kind.value,
+        "nodes": list(sequence.nodes),
+        "steps": [[step.u, step.v] for step in sequence.steps],
+    }
+
+
+def sequence_from_dict(data: Dict[str, Any]) -> RevealSequence:
+    """Rebuild (and re-validate) a reveal sequence from its dictionary form."""
+    try:
+        kind = GraphKind(data["kind"])
+        nodes = data["nodes"]
+        steps = [RevealStep(u, v) for u, v in data["steps"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed reveal sequence payload: {exc}") from exc
+    if kind is GraphKind.CLIQUES:
+        return CliqueRevealSequence(nodes, steps)
+    return LineRevealSequence(nodes, steps)
+
+
+# ----------------------------------------------------------------------
+# Instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: OnlineMinLAInstance) -> Dict[str, Any]:
+    """A JSON-compatible description of an instance (sequence + π0)."""
+    return {
+        "sequence": sequence_to_dict(instance.sequence),
+        "initial_arrangement": list(instance.initial_arrangement.order),
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> OnlineMinLAInstance:
+    """Rebuild an instance from its dictionary form."""
+    try:
+        sequence = sequence_from_dict(data["sequence"])
+        initial = Arrangement(data["initial_arrangement"])
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed instance payload: {exc}") from exc
+    return OnlineMinLAInstance(sequence, initial)
+
+
+# ----------------------------------------------------------------------
+# Simulation results
+# ----------------------------------------------------------------------
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """A JSON-compatible summary of a simulation result.
+
+    The full trajectory (if recorded) is intentionally not serialized — it
+    can be regenerated from the instance, the algorithm and the seed; only
+    the per-step cost records and the final arrangement are kept.
+    """
+    return {
+        "algorithm": result.algorithm_name,
+        "final_arrangement": list(result.final_arrangement.order),
+        "records": [
+            {
+                "step_index": record.step_index,
+                "step": [record.step.u, record.step.v],
+                "moving_cost": record.moving_cost,
+                "rearranging_cost": record.rearranging_cost,
+                "kendall_tau": record.kendall_tau,
+            }
+            for record in result.ledger
+        ],
+        "total_cost": result.total_cost,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a simulation-result summary from its dictionary form."""
+    try:
+        ledger = CostLedger()
+        for entry in data["records"]:
+            ledger.add(
+                UpdateRecord(
+                    step_index=entry["step_index"],
+                    step=RevealStep(entry["step"][0], entry["step"][1]),
+                    moving_cost=entry["moving_cost"],
+                    rearranging_cost=entry["rearranging_cost"],
+                    kendall_tau=entry["kendall_tau"],
+                )
+            )
+        result = SimulationResult(
+            algorithm_name=data["algorithm"],
+            ledger=ledger,
+            final_arrangement=Arrangement(data["final_arrangement"]),
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ReproError(f"malformed result payload: {exc}") from exc
+    if result.total_cost != data.get("total_cost", result.total_cost):
+        raise ReproError("result payload is inconsistent: total_cost does not match records")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(payload: Dict[str, Any], path: PathLike) -> Path:
+    """Write a JSON payload to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON payload from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such file: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"file {path} does not contain valid JSON: {exc}") from exc
+
+
+def save_instance(instance: OnlineMinLAInstance, path: PathLike) -> Path:
+    """Serialize an instance to a JSON file."""
+    return save_json(instance_to_dict(instance), path)
+
+
+def load_instance(path: PathLike) -> OnlineMinLAInstance:
+    """Load an instance previously saved with :func:`save_instance`."""
+    return instance_from_dict(load_json(path))
+
+
+def save_result(result: SimulationResult, path: PathLike) -> Path:
+    """Serialize a simulation result summary to a JSON file."""
+    return save_json(result_to_dict(result), path)
+
+
+def load_result(path: PathLike) -> SimulationResult:
+    """Load a simulation result summary previously saved with :func:`save_result`."""
+    return result_from_dict(load_json(path))

@@ -1,0 +1,86 @@
+"""Structural characterizations of MinLA for disjoint cliques and lines.
+
+The correctness of the whole online framework rests on two classic facts,
+stated in Section 1 of DESIGN.md and verified against the brute-force solver
+in the test suite:
+
+* **Cliques.**  A permutation is a MinLA of a disjoint union of cliques if
+  and only if every clique occupies contiguous positions.  The internal order
+  of a clique is irrelevant (all pairs are edges, and the sum of pairwise
+  distances of a contiguous block does not depend on the internal order).
+* **Lines.**  A permutation is a MinLA of a disjoint union of paths if and
+  only if every path occupies contiguous positions *and* its nodes appear in
+  path order (in one of the two orientations).  Each of the ``size − 1``
+  edges then has stretch exactly 1, which is optimal.
+
+These predicates are what the simulator uses to verify, after every update of
+an online algorithm, that the maintained permutation really is a MinLA of the
+revealed subgraph — the hard feasibility requirement of the learning model.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, Tuple, Union
+
+from repro.core.permutation import Arrangement
+from repro.graphs.clique_forest import CliqueForest
+from repro.graphs.line_forest import LineForest
+from repro.minla.cost import optimal_clique_cost, optimal_path_cost
+
+Node = Hashable
+Forest = Union[CliqueForest, LineForest]
+
+
+def is_minla_of_cliques(
+    arrangement: Arrangement, components: Iterable[Iterable[Node]]
+) -> bool:
+    """``True`` iff every clique occupies contiguous positions in ``arrangement``."""
+    return all(arrangement.is_contiguous(component) for component in components)
+
+
+def is_path_ordered(arrangement: Arrangement, path: Sequence[Node]) -> bool:
+    """``True`` iff ``path`` is contiguous and laid out in path order (either direction)."""
+    path = list(path)
+    if not arrangement.is_contiguous(path):
+        return False
+    if len(path) <= 1:
+        return True
+    lo, _ = arrangement.span(path)
+    laid_out = tuple(arrangement[lo + offset] for offset in range(len(path)))
+    return laid_out == tuple(path) or laid_out == tuple(reversed(path))
+
+
+def is_minla_of_lines(arrangement: Arrangement, paths: Iterable[Sequence[Node]]) -> bool:
+    """``True`` iff every path is contiguous and in path order in ``arrangement``."""
+    return all(is_path_ordered(arrangement, path) for path in paths)
+
+
+def is_minla_of_forest(arrangement: Arrangement, forest: Forest) -> bool:
+    """Dispatch the feasibility check on the forest kind."""
+    if isinstance(forest, CliqueForest):
+        return is_minla_of_cliques(arrangement, forest.components())
+    return is_minla_of_lines(arrangement, forest.paths())
+
+
+def optimal_value_of_forest(forest: Forest) -> int:
+    """The optimal MinLA objective value of the forest's current graph."""
+    sizes = [len(component) for component in forest.components()]
+    if isinstance(forest, CliqueForest):
+        return sum(optimal_clique_cost(size) for size in sizes)
+    return sum(optimal_path_cost(size) for size in sizes)
+
+
+def violated_components(
+    arrangement: Arrangement, forest: Forest
+) -> Tuple[Tuple[Node, ...], ...]:
+    """The components violating the MinLA characterization (for error messages)."""
+    violations = []
+    if isinstance(forest, CliqueForest):
+        for component in forest.components():
+            if not arrangement.is_contiguous(component):
+                violations.append(tuple(sorted(component, key=repr)))
+    else:
+        for path in forest.paths():
+            if not is_path_ordered(arrangement, path):
+                violations.append(tuple(path))
+    return tuple(violations)

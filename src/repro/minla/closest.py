@@ -1,0 +1,349 @@
+"""Closest feasible arrangement: the optimization behind ``Det`` and OPT.
+
+Both the deterministic algorithm of Section 2 ("move to an arbitrary MinLA of
+``G_i`` that minimizes the distance to ``π_0``") and the offline-optimum
+bounds need to solve the same subproblem:
+
+    Given the initial permutation ``π_0`` and the components of a revealed
+    graph (cliques, or paths with a fixed node order), find an arrangement in
+    which every component is contiguous (and path-ordered, for lines) that
+    minimizes the Kendall-tau distance to ``π_0``.
+
+The distance decomposes into
+
+* an *internal* part per component — zero for cliques (use the order induced
+  by ``π_0``), and the better of the two orientations for a path — and
+* a *cross* part depending only on the left-to-right order of the components:
+  for components ``A`` placed before ``B`` it contributes the number of pairs
+  ``(a, b) ∈ A × B`` that ``π_0`` orders the other way.
+
+Choosing the component order is a (weighted) linear ordering problem.  This
+module provides three strategies:
+
+* ``exact`` — dynamic programming over subsets of components,
+  ``O(2^m · m²)``; exact for any instance but only practical for ``m ≲ 14``
+  components,
+* ``insertion`` — exact special case used when at most one component has more
+  than one node (singletons keep their ``π_0`` order, the single block is
+  inserted in the best gap); this covers the Theorem 16 adversary for any
+  ``n``,
+* ``greedy`` — order components by mean ``π_0`` position followed by
+  local search over adjacent component swaps; a documented approximation used
+  only when the exact strategies are out of reach.
+
+``method="auto"`` picks the best applicable strategy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.permutation import Arrangement, count_inversions
+from repro.errors import SolverError
+from repro.graphs.clique_forest import CliqueForest
+from repro.graphs.line_forest import LineForest
+
+Node = Hashable
+
+#: Default limit on the number of components for the subset-DP strategy.
+DEFAULT_MAX_EXACT_BLOCKS = 13
+
+
+class BlockKind(str, enum.Enum):
+    """How a component constrains its internal order in a MinLA."""
+
+    FREE = "free"
+    """Any internal order is allowed (cliques)."""
+
+    PATH = "path"
+    """Only the stored node order or its reverse is allowed (lines)."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """One component of the revealed graph, as seen by the solver."""
+
+    kind: BlockKind
+    nodes: Tuple[Node, ...]
+    """For ``PATH`` blocks, the nodes in path order; for ``FREE`` blocks any order."""
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the block."""
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class ClosestResult:
+    """Result of a closest-feasible-arrangement computation."""
+
+    arrangement: Arrangement
+    distance: int
+    exact: bool
+    method: str
+
+
+def blocks_from_forest(forest: Union[CliqueForest, LineForest]) -> List[Block]:
+    """Convert a clique or line forest into the solver's block representation."""
+    if isinstance(forest, CliqueForest):
+        return [
+            Block(BlockKind.FREE, tuple(sorted(component, key=repr)))
+            for component in forest.components()
+        ]
+    return [Block(BlockKind.PATH, path) for path in forest.paths()]
+
+
+# ----------------------------------------------------------------------
+# Internal order of a single block
+# ----------------------------------------------------------------------
+def best_internal_order(pi0: Arrangement, block: Block) -> Tuple[Tuple[Node, ...], int]:
+    """The block's internal order closest to ``π_0`` and its internal cost.
+
+    For a ``FREE`` block the order induced by ``π_0`` costs zero.  For a
+    ``PATH`` block only the path order and its reverse are allowed; their
+    costs sum to ``C(size, 2)``, so the cheaper one is returned.
+    """
+    if block.kind is BlockKind.FREE:
+        return pi0.restricted_order(block.nodes), 0
+    forward = tuple(block.nodes)
+    positions = [pi0.position(node) for node in forward]
+    forward_cost = count_inversions(positions)
+    total_pairs = block.size * (block.size - 1) // 2
+    backward_cost = total_pairs - forward_cost
+    if forward_cost <= backward_cost:
+        return forward, forward_cost
+    return tuple(reversed(forward)), backward_cost
+
+
+# ----------------------------------------------------------------------
+# Cross-block inversion counts
+# ----------------------------------------------------------------------
+def _pairwise_inversions(pi0: Arrangement, blocks: Sequence[Block]) -> List[List[int]]:
+    """Matrix ``inv[i][j]``: cost of placing block ``i`` entirely before block ``j``.
+
+    The cost is the number of pairs ``(x, y)`` with ``x`` in block ``i`` and
+    ``y`` in block ``j`` that ``π_0`` orders as ``y`` before ``x``.
+    Complements satisfy ``inv[i][j] + inv[j][i] = size_i · size_j``.
+    """
+    sorted_positions = [
+        sorted(pi0.position(node) for node in block.nodes) for block in blocks
+    ]
+    m = len(blocks)
+    inv = [[0] * m for _ in range(m)]
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                continue
+            # Count pairs (x in i, y in j) with position(x) > position(y).
+            positions_i = sorted_positions[i]
+            positions_j = sorted_positions[j]
+            count = 0
+            pointer = 0
+            for pos_i in positions_i:
+                while pointer < len(positions_j) and positions_j[pointer] < pos_i:
+                    pointer += 1
+                count += pointer
+            inv[i][j] = count
+    return inv
+
+
+def _order_cost(order: Sequence[int], inv: Sequence[Sequence[int]]) -> int:
+    """Total cross cost of placing blocks in the given index order."""
+    cost = 0
+    for left_pos in range(len(order)):
+        for right_pos in range(left_pos + 1, len(order)):
+            cost += inv[order[left_pos]][order[right_pos]]
+    return cost
+
+
+# ----------------------------------------------------------------------
+# Ordering strategies
+# ----------------------------------------------------------------------
+def _exact_order_dp(inv: Sequence[Sequence[int]]) -> Tuple[List[int], int]:
+    """Optimal block order by dynamic programming over subsets."""
+    m = len(inv)
+    if m == 0:
+        return [], 0
+    full = (1 << m) - 1
+    # dp[mask] = minimal cross cost already committed by the prefix ``mask``.
+    dp: List[Optional[int]] = [None] * (1 << m)
+    choice: List[int] = [-1] * (1 << m)
+    dp[0] = 0
+    masks_by_popcount: List[List[int]] = [[] for _ in range(m + 1)]
+    for mask in range(1 << m):
+        masks_by_popcount[bin(mask).count("1")].append(mask)
+    for popcount in range(m):
+        for mask in masks_by_popcount[popcount]:
+            base = dp[mask]
+            if base is None:
+                continue
+            remaining = [j for j in range(m) if not mask & (1 << j)]
+            for block in remaining:
+                extra = 0
+                for other in remaining:
+                    if other != block:
+                        extra += inv[block][other]
+                new_mask = mask | (1 << block)
+                candidate = base + extra
+                if dp[new_mask] is None or candidate < dp[new_mask]:
+                    dp[new_mask] = candidate
+                    choice[new_mask] = block
+    # Reconstruct the order.
+    order_reversed: List[int] = []
+    mask = full
+    while mask:
+        block = choice[mask]
+        order_reversed.append(block)
+        mask ^= 1 << block
+    order_reversed.reverse()
+    return order_reversed, int(dp[full])
+
+
+def _mean_position_order(pi0: Arrangement, blocks: Sequence[Block]) -> List[int]:
+    """Blocks sorted by their mean ``π_0`` position (greedy starting point)."""
+    means = [
+        sum(pi0.position(node) for node in block.nodes) / block.size for block in blocks
+    ]
+    return sorted(range(len(blocks)), key=lambda index: means[index])
+
+
+def _local_search(order: List[int], inv: Sequence[Sequence[int]], max_passes: int = 50) -> List[int]:
+    """Improve a block order by swapping adjacent blocks until a local optimum."""
+    order = list(order)
+    for _ in range(max_passes):
+        improved = False
+        for index in range(len(order) - 1):
+            left, right = order[index], order[index + 1]
+            if inv[right][left] < inv[left][right]:
+                order[index], order[index + 1] = right, left
+                improved = True
+        if not improved:
+            break
+    return order
+
+
+def _insertion_order(
+    pi0: Arrangement, blocks: Sequence[Block], inv: Sequence[Sequence[int]]
+) -> Tuple[List[int], int]:
+    """Exact order when at most one block has more than one node.
+
+    Singleton blocks keep their ``π_0`` order (optimal by an exchange
+    argument); the unique non-trivial block, if any, is inserted into the gap
+    that minimizes the cross cost.
+    """
+    singleton_indices = [i for i, block in enumerate(blocks) if block.size == 1]
+    big_indices = [i for i, block in enumerate(blocks) if block.size > 1]
+    if len(big_indices) > 1:
+        raise SolverError("insertion strategy requires at most one non-trivial block")
+    singleton_indices.sort(key=lambda i: pi0.position(blocks[i].nodes[0]))
+    if not big_indices:
+        return singleton_indices, 0
+    big = big_indices[0]
+    # Cost of each singleton relative to the big block depending on its side.
+    before_costs = [inv[i][big] for i in singleton_indices]
+    after_costs = [inv[big][i] for i in singleton_indices]
+    suffix_after = [0] * (len(singleton_indices) + 1)
+    for index in range(len(singleton_indices) - 1, -1, -1):
+        suffix_after[index] = suffix_after[index + 1] + after_costs[index]
+    best_gap = 0
+    best_cost = None
+    prefix_before = 0
+    for gap in range(len(singleton_indices) + 1):
+        cost = prefix_before + suffix_after[gap]
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_gap = gap
+        if gap < len(singleton_indices):
+            prefix_before += before_costs[gap]
+    order = singleton_indices[:best_gap] + [big] + singleton_indices[best_gap:]
+    return order, int(best_cost)
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def closest_feasible_arrangement(
+    pi0: Arrangement,
+    blocks: Sequence[Block],
+    method: str = "auto",
+    max_exact_blocks: int = DEFAULT_MAX_EXACT_BLOCKS,
+) -> ClosestResult:
+    """The feasible arrangement (blocks contiguous, paths ordered) closest to ``π_0``.
+
+    Parameters
+    ----------
+    pi0:
+        The reference permutation distances are measured against.
+    blocks:
+        The components of the revealed graph; their node sets must partition
+        the node set of ``pi0``.
+    method:
+        ``"auto"`` (default), ``"exact"``, ``"insertion"`` or ``"greedy"``.
+    max_exact_blocks:
+        Upper limit on the number of blocks for the subset DP used by
+        ``"auto"``/``"exact"``.
+
+    Returns
+    -------
+    ClosestResult
+        The arrangement, its Kendall-tau distance to ``π_0``, whether the
+        result is provably optimal, and which strategy produced it.
+    """
+    all_nodes = [node for block in blocks for node in block.nodes]
+    if len(set(all_nodes)) != len(all_nodes):
+        raise SolverError("blocks overlap: a node appears in two blocks")
+    if set(all_nodes) != set(pi0.nodes):
+        raise SolverError("blocks must partition the node set of the reference permutation")
+
+    internal: List[Tuple[Tuple[Node, ...], int]] = [
+        best_internal_order(pi0, block) for block in blocks
+    ]
+    internal_cost = sum(cost for _, cost in internal)
+    inv = _pairwise_inversions(pi0, blocks)
+
+    num_nontrivial = sum(1 for block in blocks if block.size > 1)
+    if method == "auto":
+        if len(blocks) <= max_exact_blocks:
+            method = "exact"
+        elif num_nontrivial <= 1:
+            method = "insertion"
+        else:
+            method = "greedy"
+
+    if method == "exact":
+        if len(blocks) > max_exact_blocks:
+            raise SolverError(
+                f"exact ordering limited to {max_exact_blocks} blocks; got {len(blocks)}"
+            )
+        order, cross_cost = _exact_order_dp(inv)
+        exact = True
+    elif method == "insertion":
+        order, cross_cost = _insertion_order(pi0, blocks, inv)
+        exact = True
+    elif method == "greedy":
+        order = _local_search(_mean_position_order(pi0, blocks), inv)
+        cross_cost = _order_cost(order, inv)
+        exact = False  # greedy never claims optimality
+    else:
+        raise SolverError(f"unknown closest-arrangement method {method!r}")
+
+    layout: List[Node] = []
+    for index in order:
+        layout.extend(internal[index][0])
+    arrangement = Arrangement(layout)
+    distance = cross_cost + internal_cost
+    return ClosestResult(arrangement=arrangement, distance=distance, exact=exact, method=method)
+
+
+def closest_minla_distance(
+    pi0: Arrangement,
+    forest: Union[CliqueForest, LineForest],
+    method: str = "auto",
+    max_exact_blocks: int = DEFAULT_MAX_EXACT_BLOCKS,
+) -> ClosestResult:
+    """Convenience wrapper: closest MinLA of a forest's current graph to ``π_0``."""
+    return closest_feasible_arrangement(
+        pi0, blocks_from_forest(forest), method=method, max_exact_blocks=max_exact_blocks
+    )

@@ -1,0 +1,23 @@
+"""Virtual network embedding case-study substrate (Section 1.2 motivation)."""
+
+from repro.vnet.controller import (
+    ControllerReport,
+    DemandAwareController,
+    OracleController,
+    StaticController,
+)
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.vnet.traffic import TrafficTrace, pipeline_traffic, tenant_traffic
+
+__all__ = [
+    "ControllerReport",
+    "DemandAwareController",
+    "Embedding",
+    "LinearDatacenter",
+    "OracleController",
+    "StaticController",
+    "TrafficTrace",
+    "pipeline_traffic",
+    "tenant_traffic",
+]

@@ -1,0 +1,176 @@
+"""Embedding controllers: demand-aware, static and oracle.
+
+The case study of experiment E10 compares three ways of placing virtual
+nodes on the linear datacenter while a traffic trace plays out:
+
+* :class:`StaticController` — keep the initial embedding forever (no
+  migration cost, full communication cost),
+* :class:`OracleController` — an offline yardstick that knows the final
+  communication pattern, migrates once to the MinLA embedding closest to the
+  initial one, and then never moves,
+* :class:`DemandAwareController` — the paper's approach: run an online
+  learning MinLA algorithm; whenever the trace reveals a new piece of the
+  pattern (two previously separate components communicate for the first
+  time) the learner migrates VMs, otherwise requests are served in place.
+
+Every controller returns a :class:`ControllerReport` with the migration and
+communication cost split, so the trade-off the paper motivates (migrate more
+to communicate less) can be read off directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.opt import offline_optimum_bounds
+from repro.core.instance import OnlineMinLAInstance
+from repro.errors import EmbeddingError
+from repro.graphs.components import DisjointSetForest
+from repro.graphs.line_forest import LineForest
+from repro.graphs.reveal import GraphKind, RevealStep
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.vnet.traffic import TrafficTrace
+
+
+@dataclass(frozen=True)
+class ControllerReport:
+    """Cost summary of one controller run over one traffic trace."""
+
+    controller_name: str
+    num_requests: int
+    migration_cost: float
+    communication_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Migration plus communication cost."""
+        return self.migration_cost + self.communication_cost
+
+
+class StaticController:
+    """Never migrate: serve all traffic on the initial embedding."""
+
+    name = "static-embedding"
+
+    def __init__(self, datacenter: LinearDatacenter) -> None:
+        self._datacenter = datacenter
+
+    def run(
+        self,
+        trace: TrafficTrace,
+        initial_embedding: Optional[Embedding] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ControllerReport:
+        """Replay the trace without ever moving a virtual node."""
+        embedding = _default_embedding(self._datacenter, trace, initial_embedding)
+        communication = embedding.communication_cost(trace.requests)
+        return ControllerReport(
+            controller_name=self.name,
+            num_requests=trace.num_requests,
+            migration_cost=0.0,
+            communication_cost=communication,
+        )
+
+
+class OracleController:
+    """Offline yardstick: jump once to the best final embedding, then stay."""
+
+    name = "oracle-embedding"
+
+    def __init__(self, datacenter: LinearDatacenter) -> None:
+        self._datacenter = datacenter
+
+    def run(
+        self,
+        trace: TrafficTrace,
+        initial_embedding: Optional[Embedding] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ControllerReport:
+        """Migrate to the single-jump offline target before any traffic flows."""
+        embedding = _default_embedding(self._datacenter, trace, initial_embedding)
+        instance = OnlineMinLAInstance(trace.sequence, embedding.arrangement)
+        bounds = offline_optimum_bounds(instance)
+        target = embedding.with_arrangement(bounds.upper_arrangement)
+        migration = embedding.migration_cost_to(target)
+        communication = target.communication_cost(trace.requests)
+        return ControllerReport(
+            controller_name=self.name,
+            num_requests=trace.num_requests,
+            migration_cost=migration,
+            communication_cost=communication,
+        )
+
+
+class DemandAwareController:
+    """Online re-embedding driven by a learning MinLA algorithm."""
+
+    def __init__(
+        self,
+        datacenter: LinearDatacenter,
+        learner_factory: Callable[[], OnlineMinLAAlgorithm],
+        name: Optional[str] = None,
+    ) -> None:
+        self._datacenter = datacenter
+        self._learner_factory = learner_factory
+        self.name = name or "demand-aware-embedding"
+
+    def run(
+        self,
+        trace: TrafficTrace,
+        initial_embedding: Optional[Embedding] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ControllerReport:
+        """Replay the trace, migrating whenever the learner reacts to a reveal."""
+        embedding = _default_embedding(self._datacenter, trace, initial_embedding)
+        learner = self._learner_factory()
+        learner.reset(
+            nodes=list(trace.virtual_nodes),
+            kind=trace.kind,
+            initial_arrangement=embedding.arrangement,
+            rng=rng if rng is not None else random.Random(0),
+        )
+        components = DisjointSetForest(trace.virtual_nodes)
+        line_view = (
+            LineForest(trace.virtual_nodes) if trace.kind is GraphKind.LINES else None
+        )
+        migration_swaps = 0
+        communication = 0.0
+        for u, v in trace.requests:
+            if not components.connected(u, v):
+                if line_view is not None:
+                    line_view.add_edge(u, v)
+                record = learner.process(RevealStep(u, v))
+                migration_swaps += record.total_cost
+                components.union(u, v)
+                embedding = embedding.with_arrangement(learner.current_arrangement)
+            communication += embedding.communication_cost([(u, v)])
+        return ControllerReport(
+            controller_name=self.name,
+            num_requests=trace.num_requests,
+            migration_cost=self._datacenter.migration_cost(migration_swaps),
+            communication_cost=communication,
+        )
+
+
+def _default_embedding(
+    datacenter: LinearDatacenter,
+    trace: TrafficTrace,
+    initial_embedding: Optional[Embedding],
+) -> Embedding:
+    """Validate a provided embedding or build the canonical initial one."""
+    if initial_embedding is not None:
+        if initial_embedding.datacenter != datacenter:
+            raise EmbeddingError("the provided embedding uses a different datacenter")
+        if initial_embedding.arrangement.nodes != frozenset(trace.virtual_nodes):
+            raise EmbeddingError("the provided embedding does not cover the trace's nodes")
+        return initial_embedding
+    if datacenter.num_slots != trace.num_nodes:
+        raise EmbeddingError(
+            f"the datacenter has {datacenter.num_slots} slots but the trace uses "
+            f"{trace.num_nodes} virtual nodes"
+        )
+    return Embedding.initial(datacenter, trace.virtual_nodes)

@@ -1,0 +1,78 @@
+"""Physical topology model for the virtual network embedding case study.
+
+Section 1.2 of the paper motivates online learning MinLA with dynamic virtual
+network embedding: virtual nodes (VMs, containers, tenant endpoints) are
+placed on a physical *line* topology — a rack of hosts, a linear optical
+bus, or the linearised view of any topology where communication cost grows
+with the distance between slots — and can be migrated at a cost while the
+communication pattern is only learned over time.
+
+This module models that physical substrate:
+
+* a :class:`LinearDatacenter` with ``num_slots`` equally spaced slots,
+* per-hop communication cost and per-swap migration cost factors, so the
+  case study can translate "swaps" and "stretch" into the same currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import EmbeddingError
+
+
+@dataclass(frozen=True)
+class LinearDatacenter:
+    """A line of physical hosts, one virtual node per host slot.
+
+    Attributes
+    ----------
+    num_slots:
+        Number of physical slots (hosts); slots are indexed ``0 … num_slots-1``.
+    communication_cost_per_hop:
+        Cost charged for each hop a message travels between two slots.
+    migration_cost_per_swap:
+        Cost charged for exchanging the VMs of two *adjacent* slots — the
+        physical counterpart of one adjacent transposition in the arrangement.
+    """
+
+    num_slots: int
+    communication_cost_per_hop: float = 1.0
+    migration_cost_per_swap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise EmbeddingError("a datacenter needs at least one slot")
+        if self.communication_cost_per_hop < 0 or self.migration_cost_per_swap < 0:
+            raise EmbeddingError("cost factors must be non-negative")
+
+    @property
+    def slots(self) -> List[int]:
+        """The slot indices ``0 … num_slots-1``."""
+        return list(range(self.num_slots))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_slots))
+
+    def distance(self, first_slot: int, second_slot: int) -> int:
+        """Number of hops between two slots."""
+        self._check_slot(first_slot)
+        self._check_slot(second_slot)
+        return abs(first_slot - second_slot)
+
+    def communication_cost(self, first_slot: int, second_slot: int) -> float:
+        """Cost of one message exchanged between the two slots."""
+        return self.distance(first_slot, second_slot) * self.communication_cost_per_hop
+
+    def migration_cost(self, num_swaps: int) -> float:
+        """Cost of performing ``num_swaps`` adjacent VM exchanges."""
+        if num_swaps < 0:
+            raise EmbeddingError("the number of swaps cannot be negative")
+        return num_swaps * self.migration_cost_per_swap
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise EmbeddingError(
+                f"slot {slot} is outside the datacenter (0 … {self.num_slots - 1})"
+            )

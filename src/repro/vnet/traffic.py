@@ -1,0 +1,138 @@
+"""Traffic generators for the virtual network embedding case study.
+
+The case study (experiment E10) replays a *communication request stream*
+between virtual nodes whose hidden structure is one of the paper's two
+fundamental patterns:
+
+* **tenant traffic** — groups of virtual nodes that all talk to each other
+  (the clique pattern: distributed training jobs, scale-out databases),
+* **pipeline traffic** — chains of virtual nodes where only neighbouring
+  stages talk (the line pattern: streaming / ETL pipelines).
+
+A :class:`TrafficTrace` carries both views of the same workload: the raw
+request stream (used to charge communication cost) and the induced reveal
+sequence (the first time two components of the hidden pattern communicate,
+the learning algorithm treats it as a reveal and may migrate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.graphs.components import DisjointSetForest
+from repro.graphs.line_forest import LineForest
+from repro.graphs.reveal import (
+    CliqueRevealSequence,
+    GraphKind,
+    LineRevealSequence,
+    RevealSequence,
+    RevealStep,
+)
+
+VirtualNode = Hashable
+Request = Tuple[VirtualNode, VirtualNode]
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A communication workload plus the reveal sequence it induces."""
+
+    kind: GraphKind
+    virtual_nodes: Tuple[VirtualNode, ...]
+    requests: Tuple[Request, ...]
+    sequence: RevealSequence
+    """The hidden pattern, revealed in the order its pieces first communicate."""
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of virtual nodes."""
+        return len(self.virtual_nodes)
+
+    @property
+    def num_requests(self) -> int:
+        """Length of the communication request stream."""
+        return len(self.requests)
+
+
+def tenant_traffic(
+    group_sizes: Sequence[int], num_requests: int, rng: random.Random
+) -> TrafficTrace:
+    """A tenant-group (clique) workload.
+
+    Every request picks a tenant group with probability proportional to its
+    number of node pairs and then a uniform pair inside the group.  The
+    induced reveal sequence contains, in stream order, the requests that join
+    two previously separate components of a tenant — exactly the clique-merge
+    requests the learning algorithm reacts to.
+    """
+    if num_requests < 1:
+        raise ReproError("num_requests must be positive")
+    if not group_sizes or any(size < 2 for size in group_sizes):
+        raise ReproError("every tenant group needs at least two virtual nodes")
+    nodes: List[VirtualNode] = list(range(sum(group_sizes)))
+    groups: List[List[VirtualNode]] = []
+    offset = 0
+    for size in group_sizes:
+        groups.append(nodes[offset : offset + size])
+        offset += size
+    weights = [len(group) * (len(group) - 1) // 2 for group in groups]
+
+    requests: List[Request] = []
+    reveal_steps: List[RevealStep] = []
+    components = DisjointSetForest(nodes)
+    for _ in range(num_requests):
+        group = rng.choices(groups, weights=weights)[0]
+        u, v = rng.sample(group, 2)
+        requests.append((u, v))
+        if not components.connected(u, v):
+            components.union(u, v)
+            reveal_steps.append(RevealStep(u, v))
+    sequence = CliqueRevealSequence(nodes, reveal_steps)
+    return TrafficTrace(
+        kind=GraphKind.CLIQUES,
+        virtual_nodes=tuple(nodes),
+        requests=tuple(requests),
+        sequence=sequence,
+    )
+
+
+def pipeline_traffic(
+    pipeline_sizes: Sequence[int], num_requests: int, rng: random.Random
+) -> TrafficTrace:
+    """A pipeline (line) workload.
+
+    Every request is an edge of one of the hidden pipelines (stages only talk
+    to their neighbours).  The induced reveal sequence contains each pipeline
+    edge the first time it is requested.
+    """
+    if num_requests < 1:
+        raise ReproError("num_requests must be positive")
+    if not pipeline_sizes or any(size < 2 for size in pipeline_sizes):
+        raise ReproError("every pipeline needs at least two virtual nodes")
+    nodes: List[VirtualNode] = list(range(sum(pipeline_sizes)))
+    edges: List[Request] = []
+    offset = 0
+    for size in pipeline_sizes:
+        members = nodes[offset : offset + size]
+        offset += size
+        edges.extend(zip(members, members[1:]))
+
+    requests: List[Request] = []
+    reveal_steps: List[RevealStep] = []
+    revealed = LineForest(nodes)
+    for _ in range(num_requests):
+        u, v = rng.choice(edges)
+        requests.append((u, v))
+        if not revealed.same_component(u, v):
+            revealed.add_edge(u, v)
+            reveal_steps.append(RevealStep(u, v))
+    sequence = LineRevealSequence(nodes, reveal_steps)
+    return TrafficTrace(
+        kind=GraphKind.LINES,
+        virtual_nodes=tuple(nodes),
+        requests=tuple(requests),
+        sequence=sequence,
+    )

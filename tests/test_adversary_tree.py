@@ -1,0 +1,82 @@
+"""Tests for the Theorem 15 binary-tree adversary distribution."""
+
+import random
+
+import pytest
+
+from repro.adversary.tree_adversary import (
+    expected_ratio_lower_bound,
+    offline_cost_upper_bound,
+    online_cost_lower_bound,
+    tree_adversary_instance,
+    tree_adversary_sequence,
+    tree_adversary_steps,
+)
+from repro.core.opt import offline_optimum_bounds
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.core.simulator import run_online
+from repro.errors import ReproError
+
+
+class TestTreeAdversaryConstruction:
+    def test_steps_connect_adjacent_leaves_level_by_level(self):
+        leaves = list(range(8))
+        steps = tree_adversary_steps(leaves)
+        assert len(steps) == 7
+        # Level 1 (penultimate): pairs (0,1), (2,3), (4,5), (6,7).
+        level1 = {step.as_tuple() for step in steps[:4]}
+        assert level1 == {(0, 1), (2, 3), (4, 5), (6, 7)}
+        # Level 2: (1,2), (5,6); level 3: (3,4).
+        level2 = {step.as_tuple() for step in steps[4:6]}
+        assert level2 == {(1, 2), (5, 6)}
+        assert steps[6].as_tuple() == (3, 4)
+
+    def test_final_graph_is_the_hidden_path(self):
+        rng = random.Random(0)
+        sequence, leaf_order = tree_adversary_sequence(16, rng)
+        paths = sequence.final_paths()
+        assert len(paths) == 1
+        assert paths[0] in (leaf_order, tuple(reversed(leaf_order)))
+
+    def test_every_prefix_is_a_collection_of_lines(self):
+        rng = random.Random(1)
+        sequence, _ = tree_adversary_sequence(8, rng)
+        # Construction of the sequence validates every prefix; double check sizes.
+        sizes_after_level1 = sorted(len(c) for c in sequence.components_after(4))
+        assert sizes_after_level1 == [2, 2, 2, 2]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ReproError):
+            tree_adversary_sequence(12, random.Random(0))
+        with pytest.raises(ReproError):
+            tree_adversary_steps(list(range(6)))
+        with pytest.raises(ReproError):
+            offline_cost_upper_bound(10)
+
+    def test_instance_constructor(self):
+        rng = random.Random(2)
+        instance, leaf_order = tree_adversary_instance(8, rng)
+        assert instance.num_nodes == 8
+        assert set(leaf_order) == set(range(8))
+
+
+class TestTreeAdversaryBounds:
+    def test_paper_bound_values(self):
+        assert offline_cost_upper_bound(16) == 256
+        assert online_cost_lower_bound(16) == pytest.approx(256 * 4 / 16)
+        assert expected_ratio_lower_bound(16) == pytest.approx(4 / 16)
+
+    def test_offline_optimum_is_below_paper_bound(self):
+        rng = random.Random(3)
+        instance, _ = tree_adversary_instance(16, rng)
+        bounds = offline_optimum_bounds(instance)
+        assert bounds.upper <= offline_cost_upper_bound(16)
+
+    def test_rand_cost_exceeds_opt_on_adversarial_distribution(self):
+        rng = random.Random(4)
+        instance, _ = tree_adversary_instance(16, rng)
+        bounds = offline_optimum_bounds(instance)
+        result = run_online(RandomizedLineLearner(), instance, rng=random.Random(5))
+        # The distribution is designed to make online algorithms pay much more
+        # than OPT; with n=16 the gap should already be visible.
+        assert result.total_cost > bounds.upper

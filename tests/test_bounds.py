@@ -1,0 +1,153 @@
+"""Tests for the formula sheet (theoretical bounds and probability formulas)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bounds import (
+    det_competitive_bound,
+    harmonic_number,
+    lemma3_left_probability,
+    lemma5_left_side,
+    lemma5_right_side,
+    lemma10_orientation_probability,
+    lemma13_product_left_side,
+    lemma13_right_side,
+    lemma13_square_left_side,
+    rand_cliques_cost_bound,
+    rand_cliques_ratio_bound,
+    rand_lines_cost_bound,
+    rand_lines_ratio_bound,
+    randomized_lower_bound,
+)
+from repro.core.permutation import Arrangement, random_arrangement
+
+
+class TestHarmonicAndRatioBounds:
+    def test_harmonic_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_harmonic_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+    def test_harmonic_bounds_log(self):
+        for n in (2, 10, 100, 1000):
+            assert math.log(n) < harmonic_number(n) <= math.log(n) + 1
+
+    def test_det_bound(self):
+        assert det_competitive_bound(10) == 18
+
+    def test_rand_ratio_bounds(self):
+        assert rand_cliques_ratio_bound(10) == pytest.approx(4 * harmonic_number(10))
+        assert rand_lines_ratio_bound(10) == pytest.approx(8 * harmonic_number(10))
+        assert rand_cliques_ratio_bound(10, use_harmonic=False) == pytest.approx(
+            4 * math.log(10)
+        )
+        assert rand_lines_ratio_bound(1, use_harmonic=False) == 0.0
+
+    def test_rand_cost_bounds(self):
+        assert rand_cliques_cost_bound(8, 10) == pytest.approx(40 * harmonic_number(8))
+        assert rand_lines_cost_bound(8, 10) == pytest.approx(80 * harmonic_number(8))
+
+    def test_lower_bound(self):
+        assert randomized_lower_bound(16) == pytest.approx(4 / 16)
+        assert randomized_lower_bound(1) == 0.0
+        with pytest.raises(ValueError):
+            randomized_lower_bound(0)
+        with pytest.raises(ValueError):
+            rand_cliques_ratio_bound(0)
+        with pytest.raises(ValueError):
+            rand_lines_ratio_bound(-1)
+
+
+class TestLemma5:
+    @pytest.mark.parametrize(
+        "series",
+        [
+            [1, 1, 1, 1],
+            [5],
+            [1, 2, 3, 4, 5],
+            [10, 1, 1, 1],
+            [1, 1, 1, 10],
+            [3, 3, 3, 3, 3, 3],
+        ],
+    )
+    def test_inequality_holds(self, series):
+        assert lemma5_left_side(series) <= lemma5_right_side(series) + 1e-12
+
+    def test_tightness_for_all_ones(self):
+        series = [1] * 20
+        assert lemma5_left_side(series) == pytest.approx(lemma5_right_side(series))
+
+    def test_positive_values_required(self):
+        with pytest.raises(ValueError):
+            lemma5_left_side([1, 0, 2])
+
+
+class TestLemma13:
+    @pytest.mark.parametrize(
+        "series",
+        [
+            [1, 1, 1, 1, 1],
+            [2, 3, 4],
+            [7, 1, 1, 2],
+            [1, 5, 1, 5, 1],
+            [4] * 10,
+        ],
+    )
+    def test_both_inequalities_hold(self, series):
+        bound = lemma13_right_side(series)
+        assert lemma13_square_left_side(series) <= bound + 1e-12
+        assert lemma13_product_left_side(series) <= bound + 1e-12
+
+    def test_positive_values_required(self):
+        with pytest.raises(ValueError):
+            lemma13_square_left_side([0, 1])
+        with pytest.raises(ValueError):
+            lemma13_product_left_side([1, -1])
+
+
+class TestLemmaProbabilities:
+    def test_lemma3_simple_cases(self):
+        pi0 = Arrangement(["a", "b", "c", "d"])
+        assert lemma3_left_probability({"a"}, {"b"}, pi0) == 1.0
+        assert lemma3_left_probability({"d"}, {"a"}, pi0) == 0.0
+        assert lemma3_left_probability({"a", "d"}, {"b"}, pi0) == 0.5
+
+    def test_lemma3_symmetry(self):
+        rng = random.Random(0)
+        pi0 = random_arrangement(range(8), rng)
+        x, y = {0, 1, 2}, {5, 6}
+        assert lemma3_left_probability(x, y, pi0) + lemma3_left_probability(
+            y, x, pi0
+        ) == pytest.approx(1.0)
+
+    def test_lemma3_validation(self):
+        pi0 = Arrangement(range(4))
+        with pytest.raises(ValueError):
+            lemma3_left_probability(set(), {1}, pi0)
+        with pytest.raises(ValueError):
+            lemma3_left_probability({1, 2}, {2, 3}, pi0)
+
+    def test_lemma10_simple_cases(self):
+        pi0 = Arrangement([0, 1, 2, 3])
+        assert lemma10_orientation_probability((0, 1, 2), pi0) == 1.0
+        assert lemma10_orientation_probability((2, 1, 0), pi0) == 0.0
+        assert lemma10_orientation_probability((0, 2, 1), pi0) == pytest.approx(2 / 3)
+
+    def test_lemma10_orientations_sum_to_one(self):
+        rng = random.Random(1)
+        pi0 = random_arrangement(range(9), rng)
+        path = (3, 7, 1, 4)
+        assert lemma10_orientation_probability(path, pi0) + lemma10_orientation_probability(
+            tuple(reversed(path)), pi0
+        ) == pytest.approx(1.0)
+
+    def test_lemma10_requires_two_nodes(self):
+        pi0 = Arrangement(range(3))
+        with pytest.raises(ValueError):
+            lemma10_orientation_probability((1,), pi0)

@@ -1,0 +1,62 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.charts import horizontal_bar_chart, scaling_table, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_single_value(self):
+        assert len(sparkline([3])) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+
+class TestHorizontalBarChart:
+    def test_basic_rendering(self):
+        chart = horizontal_bar_chart(["rand", "det"], [10.0, 40.0], width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("rand")
+        assert lines[1].count("█") == 20
+        assert "10.0" in lines[0] and "40.0" in lines[1]
+
+    def test_zero_values_render_without_bars(self):
+        chart = horizontal_bar_chart(["a", "b"], [0.0, 5.0])
+        assert chart.splitlines()[0].count("█") == 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            horizontal_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            horizontal_bar_chart([], [])
+        with pytest.raises(ExperimentError):
+            horizontal_bar_chart(["a"], [-1.0])
+        with pytest.raises(ExperimentError):
+            horizontal_bar_chart(["a"], [1.0], width=0)
+
+
+class TestScalingTable:
+    def test_growth_column(self):
+        table = scaling_table([8, 16, 32], [2.0, 4.0, 8.0], value_label="cost")
+        assert "x2.00" in table
+        assert "cost" in table
+        assert "trend" in table
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            scaling_table([1, 2], [1.0])
+        with pytest.raises(ExperimentError):
+            scaling_table([], [])

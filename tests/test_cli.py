@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import algorithm_factory, build_parser, main
+from repro.core.det import DeterministicClosestLearner
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.errors import ReproError
+from repro.graphs.reveal import GraphKind
+
+
+class TestAlgorithmResolution:
+    def test_known_names(self):
+        assert algorithm_factory(GraphKind.CLIQUES, "rand") is RandomizedCliqueLearner
+        assert algorithm_factory(GraphKind.LINES, "rand") is RandomizedLineLearner
+        assert algorithm_factory(GraphKind.LINES, "det") is DeterministicClosestLearner
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            algorithm_factory(GraphKind.CLIQUES, "nope")
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        arguments = build_parser().parse_args(["simulate"])
+        assert arguments.kind == "cliques"
+        assert arguments.algorithm == "rand"
+        assert arguments.nodes == 32
+
+
+class TestSimulateCommand:
+    def test_simulate_cliques(self, capsys):
+        exit_code = main(
+            ["simulate", "--kind", "cliques", "--nodes", "12", "--trials", "3", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mean cost" in output
+        assert "offline optimum" in output
+        assert "paper bound" in output
+
+    def test_simulate_lines_with_det(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--kind",
+                "lines",
+                "--algorithm",
+                "det",
+                "--nodes",
+                "10",
+                "--trials",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "det-closest-to-initial" in output
+
+    def test_simulate_unknown_algorithm_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--algorithm", "nope", "--nodes", "8"])
+
+
+class TestAdversaryCommand:
+    def test_line_adversary(self, capsys):
+        exit_code = main(["adversary", "--construction", "line", "--nodes", "11"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Theorem 16" in output
+        assert "ratio" in output
+
+    def test_tree_adversary(self, capsys):
+        exit_code = main(
+            [
+                "adversary",
+                "--construction",
+                "tree",
+                "--algorithm",
+                "rand",
+                "--nodes",
+                "16",
+                "--trials",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Theorem 15" in output
+
+
+class TestProfileCommand:
+    def test_profile_output(self, capsys):
+        exit_code = main(["profile", "--kind", "cliques", "--nodes", "12", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Lemma 5 sum" in output
+        assert "harmonic budget" in output
+
+
+class TestExperimentsCommand:
+    def test_runs_a_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(
+            [
+                "experiments",
+                "--scale",
+                "smoke",
+                "--only",
+                "E8",
+                "--output",
+                str(tmp_path / "EXPERIMENTS.md"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "E8" in output
+        assert (tmp_path / "EXPERIMENTS.md").exists()

@@ -1,0 +1,70 @@
+"""Unit tests for the union-find substrate."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs.components import DisjointSetForest
+
+
+class TestDisjointSetForest:
+    def test_initial_singletons(self):
+        forest = DisjointSetForest(["a", "b", "c"])
+        assert forest.num_components == 3
+        assert forest.component_of("a") == frozenset({"a"})
+        assert len(forest) == 3
+        assert forest.nodes == frozenset({"a", "b", "c"})
+
+    def test_union_merges_components(self):
+        forest = DisjointSetForest(range(5))
+        forest.union(0, 1)
+        forest.union(2, 3)
+        assert forest.num_components == 3
+        assert forest.connected(0, 1)
+        assert not forest.connected(0, 2)
+        forest.union(1, 3)
+        assert forest.connected(0, 2)
+        assert forest.component_of(3) == frozenset({0, 1, 2, 3})
+        assert forest.component_size(0) == 4
+
+    def test_union_same_component_rejected(self):
+        forest = DisjointSetForest([1, 2])
+        forest.union(1, 2)
+        with pytest.raises(ReproError):
+            forest.union(1, 2)
+
+    def test_find_unknown_node_rejected(self):
+        forest = DisjointSetForest([1])
+        with pytest.raises(ReproError):
+            forest.find(99)
+
+    def test_add_is_idempotent(self):
+        forest = DisjointSetForest()
+        forest.add("x")
+        forest.add("x")
+        assert forest.num_components == 1
+        assert "x" in forest
+        assert "y" not in forest
+
+    def test_components_listing(self):
+        forest = DisjointSetForest(range(4))
+        forest.union(0, 1)
+        components = sorted(tuple(sorted(c)) for c in forest.components())
+        assert components == [(0, 1), (2,), (3,)]
+        assert sorted(forest.representatives()) == sorted(
+            {forest.find(node) for node in range(4)}
+        )
+
+    def test_copy_is_independent(self):
+        forest = DisjointSetForest(range(4))
+        forest.union(0, 1)
+        clone = forest.copy()
+        clone.union(2, 3)
+        assert clone.num_components == 2
+        assert forest.num_components == 3
+
+    def test_union_by_size_keeps_all_members(self):
+        forest = DisjointSetForest(range(10))
+        for i in range(1, 10):
+            forest.union(0, i)
+        assert forest.component_of(5) == frozenset(range(10))
+        assert forest.num_components == 1

@@ -1,0 +1,97 @@
+"""Consistency checks between the code and the repository documentation.
+
+These tests keep ``DESIGN.md``, ``EXPERIMENTS.md`` and ``README.md`` honest:
+every experiment registered in the suite must be indexed in the design
+document and reported in the experiments record, and the public API presented
+in the README quickstart must actually exist.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.suite import ALL_EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _read(name: str) -> str:
+    path = REPO_ROOT / name
+    assert path.exists(), f"{name} is missing from the repository root"
+    return path.read_text()
+
+
+class TestDesignDocument:
+    def test_mentions_every_experiment(self):
+        design = _read("DESIGN.md")
+        for experiment_id in ALL_EXPERIMENTS:
+            assert f"| {experiment_id} " in design, f"{experiment_id} missing from DESIGN.md"
+
+    def test_confirms_paper_identity(self):
+        design = _read("DESIGN.md")
+        assert "Learning Minimum Linear Arrangement" in design
+        assert "2405.15963" in design
+
+    def test_lists_core_packages(self):
+        design = _read("DESIGN.md")
+        for package in ("repro.core", "repro.graphs", "repro.minla", "repro.adversary",
+                        "repro.dynamic_minla", "repro.vnet", "repro.experiments"):
+            assert package.split(".")[1] in design
+
+
+class TestExperimentsDocument:
+    def test_reports_every_experiment(self):
+        experiments = _read("EXPERIMENTS.md")
+        for experiment_id in ALL_EXPERIMENTS:
+            assert f"## {experiment_id}:" in experiments, (
+                f"{experiment_id} has no section in EXPERIMENTS.md; regenerate with "
+                "python -m repro.experiments.suite"
+            )
+
+    def test_contains_summary_verdicts(self):
+        experiments = _read("EXPERIMENTS.md")
+        assert "Summary: paper claim vs measured outcome" in experiments
+        assert "reproduced" in experiments
+
+
+class TestReadme:
+    def test_quickstart_symbols_exist(self):
+        readme = _read("README.md")
+        for symbol in (
+            "OnlineMinLAInstance",
+            "RandomizedCliqueLearner",
+            "random_clique_merge_sequence",
+            "run_online",
+            "offline_optimum_bounds",
+            "rand_cliques_ratio_bound",
+        ):
+            assert symbol in readme
+            assert hasattr(repro, symbol)
+
+    def test_examples_listed_in_readme_exist(self):
+        readme = _read("README.md")
+        for example in (
+            "quickstart.py",
+            "datacenter_embedding.py",
+            "adversarial_lower_bounds.py",
+            "algorithm_showdown.py",
+        ):
+            assert example in readme
+            assert (REPO_ROOT / "examples" / example).exists()
+
+    def test_examples_directory_has_at_least_three_runnable_scripts(self):
+        scripts = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(scripts) >= 3
+        for script in scripts:
+            source = script.read_text()
+            assert '__name__ == "__main__"' in source
+            assert source.lstrip().startswith('"""')
+
+
+class TestBenchmarkCoverage:
+    @pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+    def test_every_experiment_has_a_benchmark_module(self, experiment_id):
+        pattern = f"bench_{experiment_id.lower()}_*.py"
+        matches = list((REPO_ROOT / "benchmarks").glob(pattern))
+        assert matches, f"no benchmark module found for {experiment_id}"

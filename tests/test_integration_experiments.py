@@ -1,0 +1,120 @@
+"""Integration tests: every experiment of the suite runs end-to-end at smoke scale."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import det_competitive_bound, rand_cliques_ratio_bound, rand_lines_ratio_bound
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.suite_applications import (
+    run_e9_dynamic_baselines,
+    run_e10_vnet_case_study,
+)
+from repro.experiments.suite_core import (
+    run_e1_det_upper_bound,
+    run_e2_rand_cliques,
+    run_e3_rand_lines,
+    run_e4_tree_lower_bound,
+    run_e5_det_lower_bound,
+)
+from repro.experiments.suite_invariants import (
+    run_e6_lemma3_probability,
+    run_e7_lemma10_probability,
+    run_e8_action_probabilities,
+)
+
+SCALE = ExperimentScale.SMOKE
+
+
+class TestCompetitiveRatioExperiments:
+    def test_e1_det_respects_theorem_1(self):
+        result = run_e1_det_upper_bound(SCALE, seed=1)
+        table = result.tables[0]
+        for row in table.rows:
+            size = row[table.columns.index("n")]
+            max_ratio = row[table.columns.index("max ratio (vs OPT lb)")]
+            assert max_ratio <= det_competitive_bound(size) + 1e-9
+
+    def test_e2_rand_cliques_respects_theorem_2(self):
+        result = run_e2_rand_cliques(SCALE, seed=1)
+        table = result.tables[0]
+        for row in table.rows:
+            if row[table.columns.index("algorithm")] != "rand (paper)":
+                continue
+            size = row[table.columns.index("n")]
+            ratio = row[table.columns.index("ratio vs OPT ub")]
+            assert ratio <= rand_cliques_ratio_bound(size) * 1.05
+
+    def test_e3_rand_lines_respects_theorem_8(self):
+        result = run_e3_rand_lines(SCALE, seed=1)
+        table = result.tables[0]
+        for row in table.rows:
+            if row[table.columns.index("algorithm")] != "rand (paper)":
+                continue
+            size = row[table.columns.index("n")]
+            ratio = row[table.columns.index("ratio vs OPT")]
+            assert ratio <= rand_lines_ratio_bound(size) * 1.05
+            moving = row[table.columns.index("mean moving")]
+            rearranging = row[table.columns.index("mean rearranging")]
+            total = row[table.columns.index("mean cost")]
+            assert moving + rearranging == pytest.approx(total)
+
+    def test_e4_tree_adversary_ratio_grows_with_n(self):
+        result = run_e4_tree_lower_bound(SCALE, seed=1)
+        table = result.tables[0]
+        ratios = table.column("mean ratio")
+        sizes = table.column("n")
+        # At smoke scale the growth signal is noisy; require the ratio not to
+        # shrink and leave the strict Theta(log n) check to the bench/full runs.
+        assert ratios[-1] > 0.9 * ratios[0]
+        # The ratio normalized by log2(n) stays within a small band.
+        normalized = [ratio / math.log2(size) for ratio, size in zip(ratios, sizes)]
+        assert max(normalized) <= 4 * min(normalized)
+
+    def test_e5_det_ratio_grows_linearly_and_rand_stays_low(self):
+        result = run_e5_det_lower_bound(SCALE, seed=1)
+        table = result.tables[0]
+        det_ratios = table.column("Det ratio")
+        rand_ratios = table.column("Rand mean ratio")
+        sizes = table.column("n")
+        assert det_ratios[-1] > det_ratios[0]
+        # Det's ratio exceeds Rand's on the largest adversarial instance.
+        assert det_ratios[-1] > rand_ratios[-1]
+        # And it stays below the Theorem 1 upper bound.
+        for size, ratio in zip(sizes, det_ratios):
+            assert ratio <= det_competitive_bound(size) + 1e-9
+
+
+class TestInvariantExperiments:
+    def test_e6_lemma3_deviation_is_small(self):
+        result = run_e6_lemma3_probability(SCALE, seed=1)
+        assert result.findings["max deviation"] < 0.12
+        assert result.findings["mean deviation"] < 0.04
+
+    def test_e7_lemma10_deviation_is_small(self):
+        result = run_e7_lemma10_probability(SCALE, seed=1)
+        assert result.findings["max deviation"] < 0.12
+        assert result.findings["mean deviation"] < 0.04
+
+    def test_e8_action_probabilities_match_figures(self):
+        result = run_e8_action_probabilities(SCALE, seed=1)
+        assert result.findings["max deviation"] < 0.08
+
+
+class TestApplicationExperiments:
+    def test_e9_learning_beats_never_move_on_repeating_traffic(self):
+        result = run_e9_dynamic_baselines(SCALE, seed=1)
+        for key, value in result.findings.items():
+            assert value < 1.0, key
+
+    def test_e10_demand_aware_beats_static(self):
+        result = run_e10_vnet_case_study(SCALE, seed=1)
+        for key, value in result.findings.items():
+            assert value < 1.0, key
+
+    def test_tables_have_rows(self):
+        for result in (
+            run_e9_dynamic_baselines(SCALE, seed=2),
+            run_e10_vnet_case_study(SCALE, seed=2),
+        ):
+            assert all(table.rows for table in result.tables)

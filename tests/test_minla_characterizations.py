@@ -1,0 +1,111 @@
+"""Tests for the clique/line MinLA characterizations, validated against brute force."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.permutation import Arrangement, random_arrangement
+from repro.graphs.clique_forest import CliqueForest
+from repro.graphs.line_forest import LineForest
+from repro.minla.characterizations import (
+    is_minla_of_cliques,
+    is_minla_of_forest,
+    is_minla_of_lines,
+    is_path_ordered,
+    optimal_value_of_forest,
+    violated_components,
+)
+from repro.minla.cost import linear_arrangement_cost
+from repro.minla.exact import exact_minla_value
+
+
+class TestCliqueCharacterization:
+    def test_contiguous_cliques_are_minla(self):
+        arrangement = Arrangement([0, 1, 2, 3, 4])
+        assert is_minla_of_cliques(arrangement, [{0, 1, 2}, {3, 4}])
+
+    def test_split_clique_is_not_minla(self):
+        arrangement = Arrangement([0, 3, 1, 2, 4])
+        assert not is_minla_of_cliques(arrangement, [{0, 1, 2}, {3, 4}])
+
+    def test_matches_brute_force_value(self):
+        forest = CliqueForest(range(6))
+        forest.merge(0, 1)
+        forest.merge(0, 2)
+        forest.merge(4, 5)
+        graph = forest.to_networkx()
+        optimum = exact_minla_value(graph)
+        assert optimum == optimal_value_of_forest(forest)
+        # Every arrangement satisfying the characterization achieves the optimum.
+        rng = random.Random(0)
+        found_optimal = 0
+        for _ in range(60):
+            arrangement = random_arrangement(range(6), rng)
+            cost = linear_arrangement_cost(arrangement, graph)
+            if is_minla_of_forest(arrangement, forest):
+                assert cost == optimum
+                found_optimal += 1
+            else:
+                assert cost > optimum
+        assert found_optimal > 0
+
+
+class TestLineCharacterization:
+    def test_path_ordered_accepts_both_orientations(self):
+        arrangement = Arrangement([0, 1, 2, 3])
+        assert is_path_ordered(arrangement, (1, 2, 3))
+        assert is_path_ordered(arrangement, (3, 2, 1))
+        assert is_path_ordered(arrangement, (0,))
+
+    def test_path_ordered_rejects_scrambled_layout(self):
+        arrangement = Arrangement([0, 2, 1, 3])
+        assert not is_path_ordered(arrangement, (0, 1, 2))
+        assert not is_path_ordered(arrangement, (1, 2, 3))
+
+    def test_collection_of_lines(self):
+        arrangement = Arrangement(["a", "b", "c", "x", "y"])
+        assert is_minla_of_lines(arrangement, [("a", "b", "c"), ("y", "x")])
+        assert not is_minla_of_lines(arrangement, [("a", "c", "b")])
+
+    def test_matches_brute_force_value(self):
+        forest = LineForest(range(6))
+        forest.add_edge(0, 1)
+        forest.add_edge(1, 2)
+        forest.add_edge(3, 4)
+        graph = forest.to_networkx()
+        optimum = exact_minla_value(graph)
+        assert optimum == optimal_value_of_forest(forest)
+        rng = random.Random(1)
+        for _ in range(60):
+            arrangement = random_arrangement(range(6), rng)
+            cost = linear_arrangement_cost(arrangement, graph)
+            if is_minla_of_forest(arrangement, forest):
+                assert cost == optimum
+            else:
+                assert cost > optimum
+
+
+class TestViolatedComponents:
+    def test_reports_only_violations_for_cliques(self):
+        forest = CliqueForest(range(4))
+        forest.merge(0, 1)
+        forest.merge(2, 3)
+        arrangement = Arrangement([0, 2, 1, 3])
+        violations = violated_components(arrangement, forest)
+        assert set(violations) == {(0, 1), (2, 3)}
+
+    def test_reports_only_violations_for_lines(self):
+        forest = LineForest(range(4))
+        forest.add_edge(0, 1)
+        forest.add_edge(1, 2)
+        arrangement = Arrangement([0, 2, 1, 3])
+        violations = violated_components(arrangement, forest)
+        assert len(violations) == 1
+        assert set(violations[0]) == {0, 1, 2}
+
+    def test_no_violations_for_feasible_arrangement(self):
+        forest = CliqueForest(range(3))
+        forest.merge(0, 2)
+        arrangement = Arrangement([1, 0, 2])
+        assert violated_components(arrangement, forest) == ()

@@ -1,0 +1,62 @@
+"""Unit tests for arrangement cost functions and closed-form optima."""
+
+import networkx as nx
+import pytest
+
+from repro.core.permutation import Arrangement
+from repro.minla.cost import (
+    linear_arrangement_cost,
+    optimal_clique_collection_cost,
+    optimal_clique_cost,
+    optimal_line_collection_cost,
+    optimal_path_cost,
+)
+
+
+class TestLinearArrangementCost:
+    def test_cost_from_edge_list(self):
+        arrangement = Arrangement(["a", "b", "c", "d"])
+        assert linear_arrangement_cost(arrangement, [("a", "d"), ("b", "c")]) == 4
+
+    def test_cost_from_networkx_graph(self):
+        graph = nx.path_graph(5)
+        arrangement = Arrangement(range(5))
+        assert linear_arrangement_cost(arrangement, graph) == 4
+
+    def test_empty_edge_set(self):
+        assert linear_arrangement_cost(Arrangement(range(3)), []) == 0
+
+    def test_clique_cost_is_layout_invariant_when_contiguous(self):
+        graph = nx.complete_graph(4)
+        cost_a = linear_arrangement_cost(Arrangement([0, 1, 2, 3]), graph)
+        cost_b = linear_arrangement_cost(Arrangement([2, 0, 3, 1]), graph)
+        assert cost_a == cost_b == optimal_clique_cost(4)
+
+
+class TestClosedFormOptima:
+    def test_clique_formula_small_values(self):
+        assert optimal_clique_cost(0) == 0
+        assert optimal_clique_cost(1) == 0
+        assert optimal_clique_cost(2) == 1
+        assert optimal_clique_cost(3) == 4
+        assert optimal_clique_cost(4) == 10
+
+    def test_clique_formula_matches_direct_sum(self):
+        for size in range(2, 12):
+            direct = sum(d * (size - d) for d in range(1, size))
+            assert optimal_clique_cost(size) == direct
+
+    def test_path_formula(self):
+        assert optimal_path_cost(0) == 0
+        assert optimal_path_cost(1) == 0
+        assert optimal_path_cost(5) == 4
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_clique_cost(-1)
+        with pytest.raises(ValueError):
+            optimal_path_cost(-2)
+
+    def test_collection_costs(self):
+        assert optimal_clique_collection_cost([2, 3, 1]) == 1 + 4 + 0
+        assert optimal_line_collection_cost([2, 3, 1]) == 1 + 2 + 0

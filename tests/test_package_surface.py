@@ -1,0 +1,107 @@
+"""Tests for the package surface: exception hierarchy, public exports, metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    ArrangementError,
+    EmbeddingError,
+    ExperimentError,
+    InfeasibleArrangementError,
+    ReproError,
+    RevealError,
+    SolverError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ArrangementError,
+            EmbeddingError,
+            ExperimentError,
+            InfeasibleArrangementError,
+            RevealError,
+            SolverError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+
+    def test_errors_can_carry_messages(self):
+        error = SolverError("too many blocks")
+        assert "too many blocks" in str(error)
+
+    def test_catching_the_base_class_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise RevealError("bad reveal")
+
+
+class TestPublicExports:
+    def test_declared_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"{name} is declared in __all__ but missing"
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    def test_core_exports_are_classes_or_callables(self):
+        from repro import (
+            Arrangement,
+            DeterministicClosestLearner,
+            OnlineMinLAInstance,
+            RandomizedCliqueLearner,
+            RandomizedLineLearner,
+            run_online,
+        )
+
+        assert callable(run_online)
+        for cls in (
+            Arrangement,
+            DeterministicClosestLearner,
+            OnlineMinLAInstance,
+            RandomizedCliqueLearner,
+            RandomizedLineLearner,
+        ):
+            assert isinstance(cls, type)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.core.analysis",
+            "repro.core.auto",
+            "repro.graphs",
+            "repro.minla",
+            "repro.adversary",
+            "repro.adversary.random_adversary",
+            "repro.dynamic_minla",
+            "repro.vnet",
+            "repro.experiments",
+            "repro.experiments.charts",
+            "repro.io",
+            "repro.cli",
+        ],
+    )
+    def test_submodules_import_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} is missing a module docstring"
+
+    def test_subpackage_all_lists_are_consistent(self):
+        for module_name in (
+            "repro.core",
+            "repro.graphs",
+            "repro.minla",
+            "repro.adversary",
+            "repro.dynamic_minla",
+            "repro.vnet",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"

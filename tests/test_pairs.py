@@ -1,0 +1,80 @@
+"""Unit tests for the pair-set machinery mirroring the paper's notation."""
+
+import pytest
+
+from repro.core.pairs import (
+    count_pairs_in,
+    cross_pairs,
+    disagreement_pairs,
+    internal_pairs,
+    left_pairs,
+    oriented_pairs,
+    product_pairs,
+)
+from repro.core.permutation import Arrangement
+
+
+class TestLeftPairs:
+    def test_small_arrangement(self):
+        arrangement = Arrangement(["a", "b", "c"])
+        assert left_pairs(arrangement) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_count_is_n_choose_2(self):
+        arrangement = Arrangement(range(7))
+        assert len(left_pairs(arrangement)) == 21
+
+    def test_single_node(self):
+        assert left_pairs(Arrangement(["only"])) == frozenset()
+
+
+class TestCrossAndInternalPairs:
+    def test_cross_pairs_contains_both_orders(self):
+        pairs = cross_pairs({"a"}, {"x", "y"})
+        assert pairs == {("a", "x"), ("x", "a"), ("a", "y"), ("y", "a")}
+
+    def test_cross_pairs_requires_disjoint_sets(self):
+        with pytest.raises(ValueError):
+            cross_pairs({"a", "b"}, {"b"})
+
+    def test_internal_pairs(self):
+        pairs = internal_pairs({"a", "b", "c"})
+        assert len(pairs) == 6
+        assert ("a", "b") in pairs and ("b", "a") in pairs
+
+    def test_product_pairs_is_one_directional(self):
+        pairs = product_pairs({"a", "b"}, {"x"})
+        assert pairs == {("a", "x"), ("b", "x")}
+
+
+class TestOrientedPairs:
+    def test_orientation_order(self):
+        pairs = oriented_pairs(["p", "q", "r"])
+        assert pairs == {("p", "q"), ("p", "r"), ("q", "r")}
+
+    def test_reverse_orientation_is_disjoint(self):
+        forward = oriented_pairs([1, 2, 3])
+        backward = oriented_pairs([3, 2, 1])
+        assert forward & backward == frozenset()
+        assert len(forward | backward) == 6
+
+
+class TestDisagreementPairs:
+    def test_cardinality_equals_kendall_tau(self):
+        first = Arrangement([0, 1, 2, 3, 4])
+        second = Arrangement([2, 0, 4, 1, 3])
+        assert len(disagreement_pairs(first, second)) == first.kendall_tau(second)
+
+    def test_identical_arrangements_disagree_nowhere(self):
+        arrangement = Arrangement(["a", "b", "c"])
+        assert disagreement_pairs(arrangement, arrangement) == frozenset()
+
+    def test_requires_same_node_set(self):
+        with pytest.raises(ValueError):
+            disagreement_pairs(Arrangement([1, 2]), Arrangement([2, 3]))
+
+    def test_count_pairs_in_helper(self):
+        first = Arrangement([0, 1, 2, 3])
+        second = Arrangement([3, 2, 1, 0])
+        disagreement = disagreement_pairs(first, second)
+        restriction = cross_pairs({0, 1}, {2, 3})
+        assert count_pairs_in(disagreement, restriction) == 4

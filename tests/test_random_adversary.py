@@ -1,0 +1,104 @@
+"""Tests for the worst-of-k random adversarial search."""
+
+import random
+
+import pytest
+
+from repro.adversary.random_adversary import (
+    AdversarialSearchResult,
+    random_instance,
+    stress_costs,
+    worst_of_k_search,
+)
+from repro.core.bounds import rand_cliques_ratio_bound, rand_lines_ratio_bound
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.errors import ReproError
+from repro.graphs.reveal import GraphKind
+
+
+class TestRandomInstance:
+    def test_kinds_and_sizes(self):
+        rng = random.Random(0)
+        clique_instance = random_instance(GraphKind.CLIQUES, 10, rng)
+        line_instance = random_instance(GraphKind.LINES, 10, rng, num_final_components=2)
+        assert clique_instance.kind is GraphKind.CLIQUES
+        assert clique_instance.num_nodes == 10
+        assert line_instance.kind is GraphKind.LINES
+        assert len(line_instance.sequence.final_components()) == 2
+
+
+class TestWorstOfKSearch:
+    def test_search_respects_theoretical_bound_cliques(self):
+        rng = random.Random(1)
+        result = worst_of_k_search(
+            RandomizedCliqueLearner,
+            GraphKind.CLIQUES,
+            num_nodes=10,
+            num_candidates=6,
+            rng=rng,
+            trials_per_candidate=4,
+        )
+        assert isinstance(result, AdversarialSearchResult)
+        assert result.candidates_evaluated == 6
+        assert result.opt_lower <= result.opt_upper
+        # Even the worst random instance cannot break the theorem.
+        assert result.ratio <= rand_cliques_ratio_bound(10)
+
+    def test_search_respects_theoretical_bound_lines(self):
+        rng = random.Random(2)
+        result = worst_of_k_search(
+            RandomizedLineLearner,
+            GraphKind.LINES,
+            num_nodes=10,
+            num_candidates=6,
+            rng=rng,
+            trials_per_candidate=4,
+        )
+        assert result.kind is GraphKind.LINES
+        assert result.ratio <= rand_lines_ratio_bound(10)
+
+    def test_search_is_reproducible(self):
+        first = worst_of_k_search(
+            RandomizedCliqueLearner,
+            GraphKind.CLIQUES,
+            num_nodes=8,
+            num_candidates=4,
+            rng=random.Random(7),
+        )
+        second = worst_of_k_search(
+            RandomizedCliqueLearner,
+            GraphKind.CLIQUES,
+            num_nodes=8,
+            num_candidates=4,
+            rng=random.Random(7),
+        )
+        assert first.ratio == second.ratio
+        assert first.mean_cost == second.mean_cost
+
+    def test_parameter_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ReproError):
+            worst_of_k_search(
+                RandomizedCliqueLearner, GraphKind.CLIQUES, 8, num_candidates=0, rng=rng
+            )
+        with pytest.raises(ReproError):
+            worst_of_k_search(
+                RandomizedCliqueLearner,
+                GraphKind.CLIQUES,
+                8,
+                num_candidates=2,
+                rng=rng,
+                trials_per_candidate=0,
+            )
+
+
+class TestStressCosts:
+    def test_costs_cover_all_instances_and_are_reproducible(self):
+        rng = random.Random(3)
+        instances = [random_instance(GraphKind.LINES, 8, rng) for _ in range(4)]
+        first = stress_costs(RandomizedLineLearner, instances, seed=1)
+        second = stress_costs(RandomizedLineLearner, instances, seed=1)
+        assert len(first) == 4
+        assert first == second
+        assert all(cost >= 0 for cost in first)

@@ -1,0 +1,88 @@
+"""Golden regression tests: pinned outputs of deterministic computations.
+
+The pinned values were produced by the reviewed initial implementation and
+guard against silent behavioural changes during refactoring.  Every quantity
+is deterministic: either the computation has no randomness (``Det``, exact
+solvers, adversary constructions) or the randomness is fully determined by
+the explicit seeds used below.
+"""
+
+import random
+
+import networkx as nx
+
+from repro.adversary.line_adversary import run_line_adversary
+from repro.adversary.tree_adversary import tree_adversary_steps
+from repro.core.det import DeterministicClosestLearner
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.opt import exact_optimal_online_cost, offline_optimum_bounds
+from repro.core.permutation import Arrangement
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.core.simulator import run_online
+from repro.graphs.generators import random_clique_merge_sequence, random_line_sequence
+from repro.graphs.reveal import CliqueRevealSequence, LineRevealSequence
+from repro.minla.exact import exact_minla_value
+
+
+class TestGoldenDeterministicValues:
+    def test_kendall_tau_golden(self):
+        first = Arrangement([0, 3, 1, 4, 2, 5])
+        second = Arrangement([5, 4, 3, 2, 1, 0])
+        assert first.kendall_tau(second) == 12
+
+    def test_exact_minla_golden_values(self):
+        assert exact_minla_value(nx.cycle_graph(6)) == 10
+        assert exact_minla_value(nx.complete_bipartite_graph(2, 3)) == 10
+
+    def test_tree_adversary_steps_golden_n8(self):
+        steps = [step.as_tuple() for step in tree_adversary_steps(list(range(8)))]
+        assert steps == [(0, 1), (2, 3), (4, 5), (6, 7), (1, 2), (5, 6), (3, 4)]
+
+    def test_det_on_fixed_clique_instance(self):
+        sequence = CliqueRevealSequence.from_pairs(
+            range(6), [(0, 5), (1, 4), (2, 3), (0, 1), (2, 5)]
+        )
+        instance = OnlineMinLAInstance.with_identity_start(sequence)
+        result = run_online(DeterministicClosestLearner(), instance)
+        bounds = offline_optimum_bounds(instance)
+        exact = exact_optimal_online_cost(instance)
+        assert result.total_cost == 12
+        assert (bounds.lower, bounds.upper) == (6, 6)
+        assert exact == 6
+
+    def test_det_on_fixed_line_instance(self):
+        sequence = LineRevealSequence.from_pairs(
+            range(6), [(0, 5), (1, 4), (5, 1), (2, 3), (4, 2)]
+        )
+        instance = OnlineMinLAInstance.with_identity_start(sequence)
+        result = run_online(DeterministicClosestLearner(), instance)
+        bounds = offline_optimum_bounds(instance)
+        assert bounds.exact
+        assert (bounds.lower, bounds.upper) == (6, 6)
+        assert result.total_cost == 18
+
+    def test_line_adversary_golden_n11(self):
+        result = run_line_adversary(DeterministicClosestLearner(), 11)
+        assert result.total_cost == 45
+        assert result.opt_bounds.upper == 5
+        assert len(result.sequence) == 9
+
+    def test_seeded_rand_cliques_golden(self):
+        rng = random.Random(42)
+        sequence = random_clique_merge_sequence(10, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        result = run_online(RandomizedCliqueLearner(), instance, rng=random.Random(7))
+        assert result.total_cost == 27
+        bounds = offline_optimum_bounds(instance)
+        assert bounds.lower == 11
+        assert result.total_cost >= bounds.lower
+
+    def test_seeded_rand_lines_golden(self):
+        rng = random.Random(42)
+        sequence = random_line_sequence(10, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        result = run_online(RandomizedLineLearner(), instance, rng=random.Random(7))
+        assert result.total_cost == 55
+        assert result.ledger.total_moving_cost == 22
+        assert result.ledger.total_rearranging_cost == 33

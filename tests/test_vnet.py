@@ -1,0 +1,175 @@
+"""Tests for the virtual network embedding substrate (topology, embedding, traffic, controllers)."""
+
+import random
+
+import pytest
+
+from repro.core.det import DeterministicClosestLearner
+from repro.core.permutation import Arrangement, random_arrangement
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.errors import EmbeddingError, ReproError
+from repro.graphs.reveal import GraphKind
+from repro.vnet.controller import (
+    DemandAwareController,
+    OracleController,
+    StaticController,
+)
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.vnet.traffic import pipeline_traffic, tenant_traffic
+
+
+class TestLinearDatacenter:
+    def test_distances_and_costs(self):
+        datacenter = LinearDatacenter(8, communication_cost_per_hop=2.0, migration_cost_per_swap=3.0)
+        assert datacenter.distance(1, 5) == 4
+        assert datacenter.communication_cost(1, 5) == 8.0
+        assert datacenter.migration_cost(5) == 15.0
+        assert list(datacenter) == list(range(8))
+        assert datacenter.slots == list(range(8))
+
+    def test_validation(self):
+        with pytest.raises(EmbeddingError):
+            LinearDatacenter(0)
+        with pytest.raises(EmbeddingError):
+            LinearDatacenter(4, communication_cost_per_hop=-1)
+        datacenter = LinearDatacenter(4)
+        with pytest.raises(EmbeddingError):
+            datacenter.distance(0, 4)
+        with pytest.raises(EmbeddingError):
+            datacenter.migration_cost(-1)
+
+
+class TestEmbedding:
+    def test_initial_embedding_and_queries(self):
+        datacenter = LinearDatacenter(3)
+        embedding = Embedding.initial(datacenter, ["vmA", "vmB", "vmC"])
+        assert embedding.slot_of("vmB") == 1
+        assert embedding.virtual_node_at(2) == "vmC"
+        assert embedding.communication_cost([("vmA", "vmC")]) == 2.0
+
+    def test_from_slot_map(self):
+        datacenter = LinearDatacenter(2)
+        embedding = Embedding.from_slot_map(datacenter, {"x": 1, "y": 0})
+        assert embedding.virtual_node_at(0) == "y"
+
+    def test_size_mismatch_rejected(self):
+        datacenter = LinearDatacenter(3)
+        with pytest.raises(EmbeddingError):
+            Embedding.initial(datacenter, ["a", "b"])
+
+    def test_unknown_slot_rejected(self):
+        datacenter = LinearDatacenter(2)
+        embedding = Embedding.initial(datacenter, ["a", "b"])
+        with pytest.raises(EmbeddingError):
+            embedding.virtual_node_at(5)
+
+    def test_migration_cost_is_kendall_tau_times_price(self):
+        datacenter = LinearDatacenter(4, migration_cost_per_swap=2.0)
+        first = Embedding.initial(datacenter, ["a", "b", "c", "d"])
+        second = first.with_arrangement(Arrangement(["b", "a", "d", "c"]))
+        assert first.migration_cost_to(second) == 4.0
+
+    def test_migration_requires_same_datacenter(self):
+        first = Embedding.initial(LinearDatacenter(2), ["a", "b"])
+        second = Embedding.initial(LinearDatacenter(2, migration_cost_per_swap=5.0), ["a", "b"])
+        with pytest.raises(EmbeddingError):
+            first.migration_cost_to(second)
+
+
+class TestTrafficGenerators:
+    def test_tenant_traffic_structure(self):
+        rng = random.Random(0)
+        trace = tenant_traffic([4, 4], 300, rng)
+        assert trace.kind is GraphKind.CLIQUES
+        assert trace.num_nodes == 8
+        assert trace.num_requests == 300
+        groups = [set(range(4)), set(range(4, 8))]
+        for u, v in trace.requests:
+            assert any(u in group and v in group for group in groups)
+        # The induced reveal sequence only ever merges within groups.
+        final_sizes = sorted(len(c) for c in trace.sequence.final_components())
+        assert max(final_sizes) <= 4
+
+    def test_pipeline_traffic_structure(self):
+        rng = random.Random(1)
+        trace = pipeline_traffic([5, 3], 300, rng)
+        assert trace.kind is GraphKind.LINES
+        valid_edges = {(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)}
+        for u, v in trace.requests:
+            assert (u, v) in valid_edges or (v, u) in valid_edges
+
+    def test_generator_validation(self):
+        with pytest.raises(ReproError):
+            tenant_traffic([1, 4], 10, random.Random(0))
+        with pytest.raises(ReproError):
+            pipeline_traffic([4], 0, random.Random(0))
+
+
+class TestControllers:
+    def _setup(self, seed=0):
+        rng = random.Random(seed)
+        trace = tenant_traffic([4, 4, 4], 400, rng)
+        datacenter = LinearDatacenter(trace.num_nodes)
+        initial = Embedding(datacenter, random_arrangement(trace.virtual_nodes, rng))
+        return datacenter, trace, initial
+
+    def test_static_controller_never_migrates(self):
+        datacenter, trace, initial = self._setup()
+        report = StaticController(datacenter).run(trace, initial_embedding=initial)
+        assert report.migration_cost == 0.0
+        assert report.communication_cost > 0
+        assert report.total_cost == report.communication_cost
+        assert report.num_requests == trace.num_requests
+
+    def test_oracle_controller_migrates_once_and_reduces_communication(self):
+        datacenter, trace, initial = self._setup()
+        static = StaticController(datacenter).run(trace, initial_embedding=initial)
+        oracle = OracleController(datacenter).run(trace, initial_embedding=initial)
+        assert oracle.communication_cost < static.communication_cost
+        assert oracle.migration_cost >= 0
+
+    def test_demand_aware_controller_beats_static_on_repeating_traffic(self):
+        datacenter, trace, initial = self._setup()
+        static = StaticController(datacenter).run(trace, initial_embedding=initial)
+        demand_aware = DemandAwareController(datacenter, RandomizedCliqueLearner).run(
+            trace, initial_embedding=initial, rng=random.Random(7)
+        )
+        assert demand_aware.total_cost < static.total_cost
+        assert demand_aware.migration_cost > 0
+
+    def test_demand_aware_with_det_on_pipeline_traffic(self):
+        rng = random.Random(2)
+        trace = pipeline_traffic([4, 4], 200, rng)
+        datacenter = LinearDatacenter(trace.num_nodes)
+        initial = Embedding(datacenter, random_arrangement(trace.virtual_nodes, rng))
+        report = DemandAwareController(datacenter, DeterministicClosestLearner).run(
+            trace, initial_embedding=initial
+        )
+        assert report.total_cost > 0
+
+    def test_demand_aware_with_rand_lines_on_pipeline_traffic(self):
+        rng = random.Random(3)
+        trace = pipeline_traffic([5, 5], 300, rng)
+        datacenter = LinearDatacenter(trace.num_nodes)
+        initial = Embedding(datacenter, random_arrangement(trace.virtual_nodes, rng))
+        static = StaticController(datacenter).run(trace, initial_embedding=initial)
+        demand_aware = DemandAwareController(datacenter, RandomizedLineLearner).run(
+            trace, initial_embedding=initial, rng=random.Random(4)
+        )
+        assert demand_aware.communication_cost < static.communication_cost
+
+    def test_default_embedding_requires_matching_slot_count(self):
+        rng = random.Random(5)
+        trace = tenant_traffic([3, 3], 50, rng)
+        datacenter = LinearDatacenter(trace.num_nodes + 1)
+        with pytest.raises(EmbeddingError):
+            StaticController(datacenter).run(trace)
+
+    def test_mismatched_embedding_rejected(self):
+        datacenter, trace, _ = self._setup()
+        other_datacenter = LinearDatacenter(trace.num_nodes, migration_cost_per_swap=9.0)
+        wrong_embedding = Embedding.initial(other_datacenter, trace.virtual_nodes)
+        with pytest.raises(EmbeddingError):
+            StaticController(datacenter).run(trace, initial_embedding=wrong_embedding)
