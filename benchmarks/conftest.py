@@ -4,8 +4,15 @@ Every benchmark runs one experiment of the suite (``repro.experiments.suite``)
 exactly once under ``pytest-benchmark`` timing, prints the experiment's result
 tables (the rows that ``EXPERIMENTS.md`` is generated from), and asserts the
 "shape" claims of the paper — who wins, what grows, what stays below which
-bound.  The scale can be tuned with the ``REPRO_BENCH_SCALE`` environment
-variable (``smoke``, ``bench`` — the default — or ``full``).
+bound.  Two environment variables tune the harness:
+
+* ``REPRO_BENCH_SCALE`` — how much work each experiment does (``smoke``,
+  ``bench`` — the default — or ``full``); an invalid value aborts the run
+  with a usage error instead of silently falling back.
+* ``REPRO_BENCH_JOBS`` — worker processes for each experiment's internal
+  trial batches (forwarded to the ``REPRO_JOBS`` mechanism of
+  :mod:`repro.experiments.parallel`); results are bit-identical for every
+  value.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import os
 
 import pytest
 
+from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.experiments.runner import ExperimentResult, ExperimentScale
 
 
@@ -21,8 +29,26 @@ def _selected_scale() -> ExperimentScale:
     value = os.environ.get("REPRO_BENCH_SCALE", ExperimentScale.BENCH.value)
     try:
         return ExperimentScale(value)
-    except ValueError:  # pragma: no cover - defensive
-        return ExperimentScale.BENCH
+    except ValueError:
+        valid = ", ".join(scale.value for scale in ExperimentScale)
+        raise pytest.UsageError(
+            f"invalid REPRO_BENCH_SCALE={value!r}: choose one of {valid}"
+        ) from None
+
+
+def _selected_jobs() -> int:
+    raw = os.environ.get("REPRO_BENCH_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"invalid REPRO_BENCH_JOBS={raw!r}: expected a positive integer"
+        ) from None
+    if jobs < 1:
+        raise pytest.UsageError(
+            f"invalid REPRO_BENCH_JOBS={raw!r}: expected a positive integer"
+        )
+    return jobs
 
 
 @pytest.fixture(scope="session")
@@ -31,11 +57,18 @@ def bench_scale() -> ExperimentScale:
     return _selected_scale()
 
 
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """The worker-process count used by the benchmark harness."""
+    return _selected_jobs()
+
+
 @pytest.fixture
-def run_experiment(benchmark, bench_scale):
+def run_experiment(benchmark, bench_scale, bench_jobs, monkeypatch):
     """Run an experiment function once under benchmark timing and print its tables."""
 
     def runner(experiment_function, seed: int = 0) -> ExperimentResult:
+        monkeypatch.setenv(JOBS_ENV_VAR, str(bench_jobs))
         result = benchmark.pedantic(
             experiment_function, args=(bench_scale, seed), rounds=1, iterations=1
         )

@@ -29,6 +29,7 @@ inventory and ``EXPERIMENTS.md`` for the paper-versus-measured record.
 from repro.core import (
     Arrangement,
     CostLedger,
+    MutableArrangement,
     DeterministicClosestLearner,
     GreedyClosestLearner,
     GreedyOrientationLineLearner,
@@ -112,6 +113,7 @@ __all__ = [
     "LineRevealSequence",
     "MoveSmallerCliqueLearner",
     "MoveSmallerLineLearner",
+    "MutableArrangement",
     "OnlineMinLAAlgorithm",
     "OnlineMinLAInstance",
     "OptBounds",

@@ -186,6 +186,8 @@ def command_profile(arguments: argparse.Namespace) -> int:
 def command_experiments(arguments: argparse.Namespace) -> int:
     """The ``experiments`` sub-command (delegates to the experiment suite CLI)."""
     forwarded: List[str] = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
+    if arguments.jobs is not None:
+        forwarded += ["--jobs", str(arguments.jobs)]
     if arguments.only:
         forwarded += ["--only", *arguments.only]
     if arguments.output:
@@ -231,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = subparsers.add_parser("experiments", help="run the E1-E10 experiment suite")
     experiments.add_argument("--scale", choices=["smoke", "bench", "full"], default="bench")
     experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent experiments (default: REPRO_JOBS, else 1)",
+    )
     experiments.add_argument("--only", nargs="*", default=None)
     experiments.add_argument("--output", default=None)
     experiments.set_defaults(handler=command_experiments)

@@ -12,7 +12,12 @@ from repro.core.cost import CostLedger, SimulationResult, UpdateRecord
 from repro.core.det import DeterministicClosestLearner, GreedyClosestLearner
 from repro.core.instance import OnlineMinLAInstance
 from repro.core.opt import OptBounds, exact_optimal_online_cost, offline_optimum_bounds
-from repro.core.permutation import Arrangement, kendall_tau_distance, random_arrangement
+from repro.core.permutation import (
+    Arrangement,
+    MutableArrangement,
+    kendall_tau_distance,
+    random_arrangement,
+)
 from repro.core.rand_cliques import (
     MoveSmallerCliqueLearner,
     RandomizedCliqueLearner,
@@ -24,11 +29,17 @@ from repro.core.rand_lines import (
     RandomizedLineLearner,
     UnbiasedCoinLineLearner,
 )
-from repro.core.simulator import expected_cost, run_online, run_trials
+from repro.core.simulator import (
+    expected_cost,
+    run_online,
+    run_trials,
+    run_trials_sequential,
+)
 
 __all__ = [
     "Arrangement",
     "CostLedger",
+    "MutableArrangement",
     "DeterministicClosestLearner",
     "GreedyClosestLearner",
     "GreedyOrientationLineLearner",
@@ -55,4 +66,5 @@ __all__ = [
     "randomized_lower_bound",
     "run_online",
     "run_trials",
+    "run_trials_sequential",
 ]

@@ -59,8 +59,8 @@ class KindDispatchingLearner(OnlineMinLAAlgorithm):
         if self._delegate is None:
             raise ReproError("the algorithm has not been reset with an instance yet")
         record = self._delegate.process(step)
-        # Keep the wrapper's own view consistent for callers inspecting it.
-        self._arrangement = self._delegate.current_arrangement
+        # The wrapper's own arrangement properties delegate lazily, so no
+        # per-step snapshot is materialized here.
         self._step_index += 1
         return record
 
@@ -69,6 +69,11 @@ class KindDispatchingLearner(OnlineMinLAAlgorithm):
         if self._delegate is not None:
             return self._delegate.current_arrangement
         return super().current_arrangement
+
+    def arrangement_view(self):
+        if self._delegate is not None:
+            return self._delegate.arrangement_view()
+        return super().arrangement_view()
 
     @property
     def delegate(self) -> OnlineMinLAAlgorithm:

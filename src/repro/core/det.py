@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.core.algorithm import OnlineMinLAAlgorithm
-from repro.core.permutation import Arrangement
+from repro.core.permutation import MutableArrangement
 from repro.graphs.clique_forest import CliqueForest
 from repro.graphs.reveal import RevealStep
 from repro.minla.closest import (
@@ -61,7 +61,9 @@ class DeterministicClosestLearner(OnlineMinLAAlgorithm):
         """Whether the most recent closest-MinLA computation was provably optimal."""
         return self._last_result_exact
 
-    def _handle_step(self, step: RevealStep) -> Tuple[int, int, Arrangement]:
+    def _handle_step_fast(
+        self, step: RevealStep, arrangement: MutableArrangement
+    ) -> Tuple[int, int, int]:
         forest = self.forest
         if isinstance(forest, CliqueForest):
             forest.merge(step.u, step.v)
@@ -74,8 +76,10 @@ class DeterministicClosestLearner(OnlineMinLAAlgorithm):
             max_exact_blocks=self._max_exact_blocks,
         )
         self._last_result_exact = result.exact
-        cost = self.current_arrangement.kendall_tau(result.arrangement)
-        return cost, 0, result.arrangement
+        # Adopting the solver's arrangement wholesale costs exactly the
+        # Kendall-tau distance, computed once by the in-place rewrite.
+        cost = arrangement.rewrite_to(result.arrangement)
+        return cost, 0, cost
 
 
 class GreedyClosestLearner(DeterministicClosestLearner):

@@ -18,8 +18,14 @@ node labels, together with
 * small helpers (spans, contiguity checks, restrictions) shared by the
   offline solvers, the online algorithms and the analysis code.
 
-All block operations preserve immutability: they return a fresh
-:class:`Arrangement` and never mutate ``self``.
+All block operations on :class:`Arrangement` preserve immutability: they
+return a fresh :class:`Arrangement` and never mutate ``self``.
+
+:class:`MutableArrangement` is the array-backed fast path used internally by
+the online algorithms: the same block operations, but executed in place on
+int-indexed ``order``/``position`` arrays, each returning only the swap
+count.  Immutable :class:`Arrangement` snapshots are materialized at API
+boundaries via :meth:`MutableArrangement.snapshot`.
 """
 
 from __future__ import annotations
@@ -120,6 +126,17 @@ class Arrangement:
         return cls(range(n))
 
     @classmethod
+    def _from_trusted(
+        cls, order: Tuple[Node, ...], positions: Dict[Node, int]
+    ) -> "Arrangement":
+        """Internal constructor skipping validation (inputs already consistent)."""
+        instance = object.__new__(cls)
+        instance._order = order
+        instance._positions = positions
+        instance._hash = hash(order)
+        return instance
+
+    @classmethod
     def from_positions(cls, positions: Dict[Node, int]) -> "Arrangement":
         """Build an arrangement from a ``node -> position`` mapping.
 
@@ -160,6 +177,20 @@ class Arrangement:
     def positions(self) -> Dict[Node, int]:
         """A fresh ``node -> position`` dictionary."""
         return dict(self._positions)
+
+    def order_list(self) -> List[Node]:
+        """The nodes from left to right as a fresh list."""
+        return list(self._order)
+
+    def positions_of(self, nodes: Iterable[Node]) -> List[int]:
+        """The positions of ``nodes``, in iteration order."""
+        positions = self._positions
+        try:
+            return [positions[node] for node in nodes]
+        except KeyError as exc:
+            raise ArrangementError(
+                f"node {exc.args[0]!r} is not part of the arrangement"
+            ) from exc
 
     def __len__(self) -> int:
         return len(self._order)
@@ -370,6 +401,296 @@ class Arrangement:
         new_order = others[:new_leftmost_index] + moved + others[new_leftmost_index:]
         cost = size * abs(new_leftmost_index - lo)
         return Arrangement(new_order), cost
+
+
+class MutableArrangement:
+    """An array-backed, mutable linear arrangement — the hot-path twin of
+    :class:`Arrangement`.
+
+    Node labels are interned into dense integer indices once at construction;
+    afterwards the arrangement is two plain int arrays (``order``: position →
+    node index, ``position``: node index → position) that the block operations
+    rewrite in place.  Every operation returns the exact number of adjacent
+    swaps it performed, with the same semantics (and the same
+    :class:`~repro.errors.ArrangementError` validation) as the corresponding
+    :class:`Arrangement` method.
+
+    The read-only query surface (``position``, ``span``, ``is_contiguous``,
+    indexing, iteration) mirrors :class:`Arrangement`, so feasibility checks
+    can run directly against a mutable arrangement without materializing a
+    snapshot.
+
+    Examples
+    --------
+    >>> m = MutableArrangement(["a", "b", "c", "d"])
+    >>> m.slide_block_next_to(["a"], ["c", "d"])
+    1
+    >>> list(m)
+    ['b', 'a', 'c', 'd']
+    >>> m.snapshot() == Arrangement(["b", "a", "c", "d"])
+    True
+    """
+
+    __slots__ = ("_labels", "_index_of", "_order", "_position")
+
+    def __init__(self, order: Iterable[Node]):
+        labels = list(order)
+        index_of: Dict[Node, int] = {}
+        for index, node in enumerate(labels):
+            if node in index_of:
+                raise ArrangementError(f"duplicate node {node!r} in arrangement")
+            index_of[node] = index
+        self._labels: List[Node] = labels
+        self._index_of: Dict[Node, int] = index_of
+        self._order: List[int] = list(range(len(labels)))
+        self._position: List[int] = list(range(len(labels)))
+
+    @classmethod
+    def from_arrangement(cls, arrangement: Arrangement) -> "MutableArrangement":
+        """A mutable copy of an immutable arrangement."""
+        return cls(arrangement.order)
+
+    # ------------------------------------------------------------------
+    # Read-only queries (same surface as Arrangement)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Arrangement:
+        """Materialize the current state as an immutable :class:`Arrangement`."""
+        labels = self._labels
+        order = tuple(labels[index] for index in self._order)
+        position = self._position
+        positions = {node: position[index] for node, index in self._index_of.items()}
+        return Arrangement._from_trusted(order, positions)
+
+    @property
+    def order(self) -> Tuple[Node, ...]:
+        """The nodes from left to right as a tuple (materialized per call)."""
+        return tuple(self._labels[index] for index in self._order)
+
+    @property
+    def nodes(self) -> frozenset:
+        """The (fixed) set of nodes of the arrangement."""
+        return frozenset(self._index_of)
+
+    def position(self, node: Node) -> int:
+        """The 0-based position of ``node``; raises if the node is unknown."""
+        try:
+            return self._position[self._index_of[node]]
+        except KeyError as exc:
+            raise ArrangementError(f"node {node!r} is not part of the arrangement") from exc
+
+    def order_list(self) -> List[Node]:
+        """The nodes from left to right as a fresh list."""
+        labels = self._labels
+        return [labels[index] for index in self._order]
+
+    def positions_of(self, nodes: Iterable[Node]) -> List[int]:
+        """The positions of ``nodes``, in iteration order."""
+        position = self._position
+        index_of = self._index_of
+        try:
+            return [position[index_of[node]] for node in nodes]
+        except KeyError as exc:
+            raise ArrangementError(
+                f"node {exc.args[0]!r} is not part of the arrangement"
+            ) from exc
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Node]:
+        labels = self._labels
+        return (labels[index] for index in self._order)
+
+    def __getitem__(self, index: int) -> Node:
+        return self._labels[self._order[index]]
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MutableArrangement({list(self)!r})"
+
+    def span(self, nodes: Iterable[Node]) -> Tuple[int, int]:
+        """The ``(leftmost, rightmost)`` positions occupied by ``nodes``."""
+        positions = self.positions_of(nodes)
+        if not positions:
+            raise ArrangementError("span() of an empty node set is undefined")
+        return min(positions), max(positions)
+
+    def is_contiguous(self, nodes: Iterable[Node]) -> bool:
+        """``True`` iff ``nodes`` occupy a contiguous interval of positions."""
+        positions = self.positions_of(nodes)
+        if not positions:
+            raise ArrangementError("is_contiguous() of an empty node set is undefined")
+        return max(positions) - min(positions) + 1 == len(positions)
+
+    def _block_bounds(self, block: Sequence[Node]) -> Tuple[int, int]:
+        """Validate that ``block`` is contiguous and return its (lo, hi) span."""
+        if not block:
+            raise ArrangementError("block operations require a non-empty block")
+        lo, hi = self.span(block)
+        if hi - lo + 1 != len(set(block)):
+            raise ArrangementError("block operations require the block to be contiguous")
+        return lo, hi
+
+    def _rewrite_bounds(self, new_block_order: Sequence[Node]) -> Tuple[int, int]:
+        """Like :meth:`_block_bounds`, additionally rejecting duplicate nodes.
+
+        Rewrite-style operations slice-assign ``new_block_order`` over the
+        block's span, so a duplicate entry would silently grow the order
+        array and corrupt the arrangement instead of producing a wrong-but-
+        valid permutation.
+        """
+        lo, hi = self._block_bounds(new_block_order)
+        if hi - lo + 1 != len(new_block_order):
+            raise ArrangementError(
+                f"duplicate node in block order {new_block_order!r}"
+            )
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # In-place block operations
+    # ------------------------------------------------------------------
+    def _reindex(self, lo: int, hi: int) -> None:
+        """Refresh the position array for the order segment ``lo..hi`` inclusive."""
+        order = self._order
+        position = self._position
+        for index in range(lo, hi + 1):
+            position[order[index]] = index
+
+    def slide_block_next_to(self, block: Iterable[Node], target: Iterable[Node]) -> int:
+        """Slide the contiguous ``block`` until it touches the contiguous ``target``.
+
+        In-place counterpart of :meth:`Arrangement.slide_block_next_to`;
+        returns the number of adjacent swaps performed.
+        """
+        block = list(block)
+        target = list(target)
+        if set(block) & set(target):
+            raise ArrangementError("slide_block_next_to() requires disjoint block and target")
+        b_lo, b_hi = self._block_bounds(block)
+        t_lo, t_hi = self._block_bounds(target)
+        order = self._order
+        if b_hi < t_lo:
+            # Block is to the left of the target: slide it right.
+            moved = order[b_lo : b_hi + 1]
+            between = order[b_hi + 1 : t_lo]
+            order[b_lo:t_lo] = between + moved
+            self._reindex(b_lo, t_lo - 1)
+        elif t_hi < b_lo:
+            # Block is to the right of the target: slide it left.
+            moved = order[b_lo : b_hi + 1]
+            between = order[t_hi + 1 : b_lo]
+            order[t_hi + 1 : b_hi + 1] = moved + between
+            self._reindex(t_hi + 1, b_hi)
+        else:
+            raise ArrangementError("block and target overlap in positions")
+        return len(block) * len(between)
+
+    def reverse_block(self, block: Iterable[Node]) -> int:
+        """Reverse a contiguous ``block`` in place; returns ``C(|block|, 2)`` swaps."""
+        block = list(block)
+        lo, hi = self._block_bounds(block)
+        segment = self._order[lo : hi + 1]
+        segment.reverse()
+        self._order[lo : hi + 1] = segment
+        self._reindex(lo, hi)
+        size = hi - lo + 1
+        return size * (size - 1) // 2
+
+    def rewrite_block(self, new_block_order: Sequence[Node]) -> int:
+        """Replace the internal order of a contiguous block of nodes, in place.
+
+        Returns the Kendall-tau distance restricted to the block, exactly like
+        :meth:`Arrangement.rewrite_block`.
+        """
+        new_block_order = list(new_block_order)
+        lo, hi = self._rewrite_bounds(new_block_order)
+        cost = self.block_inversions(new_block_order, lo, hi)
+        index_of = self._index_of
+        self._order[lo : hi + 1] = [index_of[node] for node in new_block_order]
+        self._reindex(lo, hi)
+        return cost
+
+    def set_block_order(self, new_block_order: Sequence[Node]) -> None:
+        """Apply a block rewrite without computing its cost.
+
+        Same validation and effect as :meth:`rewrite_block`; for callers that
+        already obtained the cost from :meth:`block_inversions` (e.g. to
+        weigh the two orientations of a merged path before committing to
+        one), this skips the redundant second inversion count.
+        """
+        new_block_order = list(new_block_order)
+        lo, hi = self._rewrite_bounds(new_block_order)
+        index_of = self._index_of
+        self._order[lo : hi + 1] = [index_of[node] for node in new_block_order]
+        self._reindex(lo, hi)
+
+    def block_inversions(
+        self, new_block_order: Sequence[Node], lo: int = -1, hi: int = -1
+    ) -> int:
+        """The swaps :meth:`rewrite_block` *would* cost, without mutating.
+
+        ``new_block_order`` must contain exactly the nodes of a contiguous
+        block; the cost of the mirror-image rewrite is
+        ``C(|block|, 2) - block_inversions(...)`` since the two orientations'
+        costs always sum to the number of node pairs in the block.
+        """
+        new_block_order = list(new_block_order)
+        if lo < 0 or hi < 0:
+            lo, hi = self._rewrite_bounds(new_block_order)
+        target_positions = {node: index for index, node in enumerate(new_block_order)}
+        labels = self._labels
+        current = [target_positions[labels[index]] for index in self._order[lo : hi + 1]]
+        return count_inversions(current)
+
+    def move_block_to_index(self, block: Iterable[Node], new_leftmost_index: int) -> int:
+        """Move a contiguous ``block`` so that it starts at ``new_leftmost_index``."""
+        block = list(block)
+        lo, hi = self._block_bounds(block)
+        size = hi - lo + 1
+        if new_leftmost_index < 0 or new_leftmost_index + size > len(self._order):
+            raise ArrangementError("move_block_to_index(): target span is out of range")
+        order = self._order
+        moved = order[lo : hi + 1]
+        if new_leftmost_index < lo:
+            between = order[new_leftmost_index:lo]
+            order[new_leftmost_index : hi + 1] = moved + between
+            self._reindex(new_leftmost_index, hi)
+        elif new_leftmost_index > lo:
+            between = order[hi + 1 : new_leftmost_index + size]
+            order[lo : new_leftmost_index + size] = between + moved
+            self._reindex(lo, new_leftmost_index + size - 1)
+        return size * abs(new_leftmost_index - lo)
+
+    def rewrite_to(self, target: Arrangement) -> int:
+        """Adopt the order of ``target`` wholesale; returns the Kendall-tau distance.
+
+        ``target`` must range over the same node set.  This is the fast path
+        of algorithms (such as ``Det``) that recompute their arrangement from
+        scratch each step: one inversion count instead of two full-arrangement
+        Kendall-tau computations.
+        """
+        if len(target) != len(self._order) or any(
+            node not in self._index_of for node in target.order
+        ):
+            raise ArrangementError("rewrite_to() requires identical node sets")
+        index_of = self._index_of
+        labels = self._labels
+        target_position = target.positions()
+        cost = count_inversions(
+            [target_position[labels[index]] for index in self._order]
+        )
+        self._order = [index_of[node] for node in target.order]
+        self._reindex(0, len(self._order) - 1)
+        return cost
+
+    def kendall_tau(self, other: Arrangement) -> int:
+        """Kendall-tau distance to an immutable arrangement over the same nodes."""
+        if self.nodes != other.nodes:
+            raise ArrangementError("Kendall-tau distance requires identical node sets")
+        labels = self._labels
+        return count_inversions([other.position(labels[index]) for index in self._order])
 
 
 def kendall_tau_distance(first: Arrangement, second: Arrangement) -> int:

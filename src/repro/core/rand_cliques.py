@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import FrozenSet, Hashable, Tuple
 
 from repro.core.algorithm import OnlineMinLAAlgorithm
-from repro.core.permutation import Arrangement
+from repro.core.permutation import MutableArrangement
 from repro.errors import ReproError
 from repro.graphs.clique_forest import CliqueForest
 from repro.graphs.reveal import GraphKind, RevealStep
@@ -70,15 +70,18 @@ class RandomizedCliqueLearner(OnlineMinLAAlgorithm):
     # ------------------------------------------------------------------
     # Update
     # ------------------------------------------------------------------
-    def _handle_step(self, step: RevealStep) -> Tuple[int, int, Arrangement]:
+    def _handle_step_fast(
+        self, step: RevealStep, arrangement: MutableArrangement
+    ) -> Tuple[int, int, int]:
         forest = self.forest
         if not isinstance(forest, CliqueForest):
             raise ReproError(f"{self.name} only handles clique instances")
         component_x, component_z = forest.peek_merge(step.u, step.v)
         mover, stayer = self._choose_mover(component_x, component_z)
-        new_arrangement, cost = self.current_arrangement.slide_block_next_to(mover, stayer)
+        # A slide's swap count is exactly the Kendall-tau distance it induces.
+        cost = arrangement.slide_block_next_to(mover, stayer)
         forest.merge(step.u, step.v)
-        return cost, 0, new_arrangement
+        return cost, 0, cost
 
 
 class UnbiasedCoinCliqueLearner(RandomizedCliqueLearner):

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import FrozenSet, Hashable, Sequence, Tuple
 
 from repro.core.algorithm import OnlineMinLAAlgorithm
-from repro.core.permutation import Arrangement
+from repro.core.permutation import MutableArrangement
 from repro.errors import ReproError
 from repro.graphs.line_forest import LineForest
 from repro.graphs.reveal import GraphKind, RevealStep
@@ -75,23 +75,27 @@ class RandomizedLineLearner(OnlineMinLAAlgorithm):
         return second, first
 
     def _rearrange(
-        self, arrangement: Arrangement, merged_path: Sequence[Node]
-    ) -> Tuple[Arrangement, int]:
-        """Pick one of the two orientations of the merged path, biased by cost."""
-        forward = tuple(merged_path)
-        backward = tuple(reversed(forward))
-        arrangement_forward, forward_cost = arrangement.rewrite_block(forward)
-        arrangement_backward, backward_cost = arrangement.rewrite_block(backward)
-        size = len(forward)
-        if forward_cost + backward_cost != size * (size - 1) // 2:
-            raise ReproError(
-                "internal error: orientation costs do not add up to C(size, 2)"
-            )
-        if self._rng.random() < self._forward_probability(forward_cost, backward_cost):
-            return arrangement_forward, forward_cost
-        return arrangement_backward, backward_cost
+        self, arrangement: MutableArrangement, merged_path: Sequence[Node]
+    ) -> int:
+        """Pick one of the two orientations of the merged path, biased by cost.
 
-    def _handle_step(self, step: RevealStep) -> Tuple[int, int, Arrangement]:
+        The two orientations are mirror images, so their costs always sum to
+        ``C(|path|, 2)``; only the chosen one is applied (in place) after the
+        forward cost is counted without mutation.
+        """
+        forward = tuple(merged_path)
+        forward_cost = arrangement.block_inversions(forward)
+        size = len(forward)
+        backward_cost = size * (size - 1) // 2 - forward_cost
+        if self._rng.random() < self._forward_probability(forward_cost, backward_cost):
+            arrangement.set_block_order(forward)
+            return forward_cost
+        arrangement.set_block_order(tuple(reversed(forward)))
+        return backward_cost
+
+    def _handle_step_fast(
+        self, step: RevealStep, arrangement: MutableArrangement
+    ) -> Tuple[int, int, int]:
         forest = self.forest
         if not isinstance(forest, LineForest):
             raise ReproError(f"{self.name} only handles line instances")
@@ -102,18 +106,18 @@ class RandomizedLineLearner(OnlineMinLAAlgorithm):
 
         # Moving part: make the two components adjacent.
         mover, stayer = self._choose_mover(component_x, component_z)
-        arrangement_after_move, moving_cost = self.current_arrangement.slide_block_next_to(
-            mover, stayer
-        )
+        moving_cost = arrangement.slide_block_next_to(mover, stayer)
 
         # Reveal the edge; the forest gives us the merged path's node order.
         record = forest.add_edge(step.u, step.v)
 
-        # Rearranging part: orient the merged path inside its span.
-        final_arrangement, rearranging_cost = self._rearrange(
-            arrangement_after_move, record.merged
-        )
-        return moving_cost, rearranging_cost, final_arrangement
+        # Rearranging part: orient the merged path inside its span.  The
+        # moving phase flips only (mover, between) pairs and the rearranging
+        # phase only pairs inside the merged path, so the two swap counts are
+        # over disjoint pair sets and their sum is the exact Kendall-tau
+        # distance of the combined update.
+        rearranging_cost = self._rearrange(arrangement, record.merged)
+        return moving_cost, rearranging_cost, moving_cost + rearranging_cost
 
 
 class UnbiasedCoinLineLearner(RandomizedLineLearner):

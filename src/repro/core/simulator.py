@@ -6,13 +6,26 @@ enforces the model's rules independently of the algorithm's own bookkeeping:
 * after every update the maintained permutation must be a MinLA of the
   revealed subgraph (checked via the structural characterizations of
   :mod:`repro.minla.characterizations`);
-* the number of swaps an algorithm reports for an update can never be smaller
-  than the Kendall-tau distance between the consecutive permutations;
+* the Kendall-tau distance an algorithm records for an update must equal the
+  distance the verifier measures from its own copy of the previous
+  permutation, and the reported swap count can never be smaller;
 * the node universe never changes.
 
 Violations raise :class:`~repro.errors.InfeasibleArrangementError` /
 :class:`~repro.errors.ReproError`, so experiment results can only ever be
 produced by feasible runs.
+
+Verification is *incremental*: each reveal step merges exactly two
+components, so the per-step feasibility check re-validates only the merged
+component (falling back to the whole-forest characterization check when the
+algorithm rearranged anything beyond it — see
+:class:`~repro.minla.characterizations.IncrementalStepVerifier`).  The same
+violations are detected either way; only the per-step cost differs.
+
+:func:`run_trials` optionally fans independent trials out across worker
+processes (``jobs`` parameter or the ``REPRO_JOBS`` environment variable) via
+:mod:`repro.experiments.parallel`; per-trial seeding makes the parallel
+results bit-identical to the sequential ones.
 """
 
 from __future__ import annotations
@@ -24,9 +37,10 @@ from repro.core.algorithm import OnlineMinLAAlgorithm
 from repro.core.cost import CostLedger, SimulationResult
 from repro.core.instance import OnlineMinLAInstance
 from repro.errors import InfeasibleArrangementError, ReproError
-from repro.graphs.clique_forest import CliqueForest
-from repro.graphs.reveal import GraphKind
-from repro.minla.characterizations import is_minla_of_forest, violated_components
+from repro.minla.characterizations import (
+    IncrementalStepVerifier,
+    violated_components,
+)
 
 
 def run_online(
@@ -65,43 +79,44 @@ def run_online(
     ledger = CostLedger()
     trajectory = [instance.initial_arrangement] if record_trajectory else None
 
-    verification_forest = (
-        CliqueForest(instance.nodes)
-        if instance.kind is GraphKind.CLIQUES
+    verifier = (
+        IncrementalStepVerifier(
+            instance.sequence.new_forest(), instance.initial_arrangement
+        )
+        if verify
         else None
     )
-    if verify and verification_forest is None:
-        # Lines: build the forest lazily through the instance's own sequence
-        # replay so path orders are tracked exactly like the model requires.
-        verification_forest = instance.sequence.new_forest()
+    num_nodes = instance.num_nodes
 
     for step in instance.steps:
-        previous_arrangement = algorithm.current_arrangement
         record = algorithm.process(step)
-        current_arrangement = algorithm.current_arrangement
 
-        if verify:
-            if record.total_cost < record.kendall_tau:
+        if verifier is not None:
+            merged = verifier.observe(step)
+            view = algorithm.arrangement_view()
+            if len(view) != num_nodes:
+                raise ReproError("the node universe changed during an update")
+            feasible, kendall_tau = verifier.check_step(view, merged)
+            if record.kendall_tau != kendall_tau:
+                raise ReproError(
+                    f"{algorithm.name} recorded Kendall-tau {record.kendall_tau} for an "
+                    f"update of measured Kendall-tau distance {kendall_tau}"
+                )
+            if record.total_cost < kendall_tau:
                 raise ReproError(
                     f"{algorithm.name} reported {record.total_cost} swaps for an update "
-                    f"of Kendall-tau distance {record.kendall_tau}"
+                    f"of Kendall-tau distance {kendall_tau}"
                 )
-            if instance.kind is GraphKind.CLIQUES:
-                verification_forest.merge(step.u, step.v)
-            else:
-                verification_forest.add_edge(step.u, step.v)
-            if not is_minla_of_forest(current_arrangement, verification_forest):
-                violations = violated_components(current_arrangement, verification_forest)
+            if not feasible:
+                violations = violated_components(view, verifier.forest)
                 raise InfeasibleArrangementError(
                     f"{algorithm.name} left components {violations} in a non-MinLA "
                     f"arrangement after step {record.step_index}"
                 )
-            if previous_arrangement.nodes != current_arrangement.nodes:
-                raise ReproError("the node universe changed during an update")
 
         ledger.add(record)
         if trajectory is not None:
-            trajectory.append(current_arrangement)
+            trajectory.append(algorithm.current_arrangement)
 
     return SimulationResult(
         algorithm_name=algorithm.name,
@@ -117,17 +132,70 @@ def run_trials(
     num_trials: int,
     seed: int = 0,
     verify: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Run independent trials of a (typically randomized) algorithm.
 
     Each trial gets a fresh algorithm object from ``algorithm_factory`` and an
     independent :class:`random.Random` seeded deterministically from ``seed``
-    and the trial index, so the whole batch is reproducible.
+    and the trial index, so the whole batch is reproducible — and independent
+    of how the batch is scheduled.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``None`` (default) reads the
+        ``REPRO_JOBS`` environment variable (falling back to 1); ``1`` runs
+        sequentially in-process.  Results are bit-identical for every value.
+        Parallel execution ships ``algorithm_factory`` and ``instance`` to
+        workers, so they must be picklable; an unpicklable factory (lambda,
+        closure) runs sequentially when the worker count came from the
+        environment, and raises a clear error when ``jobs`` was explicit.
     """
     if num_trials < 1:
         raise ReproError("num_trials must be at least 1")
+    from repro.experiments.parallel import (
+        is_picklable,
+        resolve_jobs,
+        run_trials_parallel,
+    )
+
+    resolved = resolve_jobs(jobs)
+    if resolved > 1 and num_trials > 1:
+        # Opportunistic env-driven parallelism must not break callers that
+        # were valid before REPRO_JOBS existed: an unpicklable factory or
+        # instance only errors when the caller explicitly asked for workers.
+        if jobs is not None or (
+            is_picklable(algorithm_factory) and is_picklable(instance)
+        ):
+            return run_trials_parallel(
+                algorithm_factory,
+                instance,
+                num_trials,
+                seed=seed,
+                verify=verify,
+                jobs=resolved,
+            )
+    return run_trials_sequential(
+        algorithm_factory, instance, num_trials, seed=seed, verify=verify
+    )
+
+
+def run_trials_sequential(
+    algorithm_factory: Callable[[], OnlineMinLAAlgorithm],
+    instance: OnlineMinLAInstance,
+    num_trials: int,
+    seed: int = 0,
+    verify: bool = True,
+    trial_offset: int = 0,
+) -> List[SimulationResult]:
+    """The in-process trial loop; ``trial_offset`` shifts the per-trial seeds.
+
+    Worker processes call this with the offsets of their batch, which is what
+    makes the parallel runner's output bit-identical to the sequential path.
+    """
     results: List[SimulationResult] = []
-    for trial in range(num_trials):
+    for trial in range(trial_offset, trial_offset + num_trials):
         algorithm = algorithm_factory()
         trial_rng = random.Random(f"{seed}|trial-{trial}")
         results.append(run_online(algorithm, instance, rng=trial_rng, verify=verify))

@@ -1,6 +1,11 @@
-"""Experiment harness: metrics, tables and the E1–E10 suite."""
+"""Experiment harness: metrics, tables, the E1–E10 suite and the parallel runner."""
 
 from repro.experiments.metrics import SampleSummary, geometric_mean, mean, sample_std, summarize
+from repro.experiments.parallel import (
+    resolve_jobs,
+    run_experiments_parallel,
+    run_trials_parallel,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentScale,
@@ -18,7 +23,10 @@ __all__ = [
     "SampleSummary",
     "geometric_mean",
     "mean",
+    "resolve_jobs",
     "run_all",
+    "run_experiments_parallel",
+    "run_trials_parallel",
     "sample_std",
     "scale_pick",
     "seeded_rng",

@@ -1,0 +1,229 @@
+"""Parallel experiment execution with deterministic, schedule-independent results.
+
+Two fan-out levels:
+
+* :func:`run_trials_parallel` spreads the independent trials of one
+  :func:`~repro.core.simulator.run_trials` batch across worker processes.
+  Each trial's randomness is derived solely from ``(seed, trial index)`` —
+  never from worker identity or scheduling — so the assembled result list is
+  bit-identical to the sequential path, whatever the worker count.
+* :func:`run_experiments_parallel` runs independent experiments of the E1–E10
+  suite in separate workers; each experiment is already a pure function of
+  ``(scale, seed)``, so here too parallelism cannot change any number.
+
+Worker-count resolution is shared by every entry point (``run_trials``,
+``run_all``, ``python -m repro experiments --jobs N``, the benchmark
+harness): an explicit ``jobs`` argument wins, otherwise the ``REPRO_JOBS``
+environment variable, otherwise 1.  A pool is only spun up when it can help
+(more than one work item and more than one job).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.algorithm import OnlineMinLAAlgorithm
+    from repro.core.cost import SimulationResult
+    from repro.core.instance import OnlineMinLAInstance
+    from repro.experiments.runner import ExperimentResult, ExperimentScale
+
+#: Environment variable consulted when no explicit ``jobs`` value is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR)
+        if raw is None:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"invalid {JOBS_ENV_VAR}={raw!r}: expected a positive integer"
+            ) from None
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be a positive integer, got {jobs}")
+    return jobs
+
+
+def is_picklable(value: object) -> bool:
+    """Whether ``value`` survives pickling (required to ship it to a worker).
+
+    Lambdas, closures and locally-defined classes are not picklable; the
+    sequential paths accept them, so env-driven opportunistic parallelism
+    (``REPRO_JOBS``) checks this first and falls back to the sequential loop
+    instead of crashing previously-valid callers.
+    """
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+#: Cached worker pools, keyed by the resolved ``jobs`` value (not the task
+#: count), reused across fan-out calls so nested experiment loops do not pay
+#: pool spawn/teardown per ``run_trials`` — and so one process keeps exactly
+#: one pool per configured worker count.  ``ProcessPoolExecutor`` spawns its
+#: workers lazily, so submitting fewer tasks than ``max_workers`` does not
+#: fork idle processes.
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _run_in_pool(
+    workers: int, fn: Callable, argument_tuples: Sequence[Tuple]
+) -> List:
+    """Run ``fn(*arguments)`` for every tuple on the cached ``workers``-wide pool.
+
+    Results come back in submission order.  A broken pool (a worker died) is
+    evicted from the cache before the error propagates, so the next call
+    starts from a fresh pool.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [pool.submit(fn, *arguments) for arguments in argument_tuples]
+        return [future.result() for future in futures]
+    except BrokenExecutor:
+        _POOLS.pop(workers, None)
+        raise
+
+
+def _partition_trials(num_trials: int, jobs: int) -> List[range]:
+    """Split ``range(num_trials)`` into at most ``jobs`` contiguous batches."""
+    batches = min(jobs, num_trials)
+    base, extra = divmod(num_trials, batches)
+    ranges: List[range] = []
+    start = 0
+    for index in range(batches):
+        size = base + (1 if index < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def _disable_nested_fan_out() -> None:
+    """Pin ``REPRO_JOBS=1`` inside a worker process.
+
+    Workers inherit the parent's environment, so without this a fan-out at
+    one level (e.g. experiments across workers) would make every inner
+    ``run_trials`` call spawn its own pool — up to ``jobs²`` concurrent
+    processes of oversubscription.  One fan-out level at a time.
+    """
+    os.environ[JOBS_ENV_VAR] = "1"
+
+
+def _trial_batch_worker(
+    algorithm_factory: "Callable[[], OnlineMinLAAlgorithm]",
+    instance: "OnlineMinLAInstance",
+    trial_offset: int,
+    num_trials: int,
+    seed: int,
+    verify: bool,
+) -> "List[SimulationResult]":
+    """Run one contiguous batch of trials (executed in a worker process)."""
+    from repro.core.simulator import run_trials_sequential
+
+    _disable_nested_fan_out()
+    return run_trials_sequential(
+        algorithm_factory,
+        instance,
+        num_trials,
+        seed=seed,
+        verify=verify,
+        trial_offset=trial_offset,
+    )
+
+
+def run_trials_parallel(
+    algorithm_factory: "Callable[[], OnlineMinLAAlgorithm]",
+    instance: "OnlineMinLAInstance",
+    num_trials: int,
+    seed: int = 0,
+    verify: bool = True,
+    jobs: Optional[int] = None,
+) -> "List[SimulationResult]":
+    """Run independent trials across worker processes.
+
+    The result list is bit-identical to
+    :func:`repro.core.simulator.run_trials_sequential` with the same
+    arguments: trial ``t`` always uses ``random.Random(f"{seed}|trial-{t}")``
+    and results are reassembled in trial order.
+
+    ``algorithm_factory`` and ``instance`` must be picklable (module-level
+    classes/functions, not lambdas or closures) — they are shipped to worker
+    processes.
+    """
+    from repro.core.simulator import run_trials_sequential
+
+    jobs = resolve_jobs(jobs)
+    if num_trials < 1:
+        raise ExperimentError("num_trials must be at least 1")
+    if jobs == 1 or num_trials == 1:
+        return run_trials_sequential(
+            algorithm_factory, instance, num_trials, seed=seed, verify=verify
+        )
+    if not is_picklable(algorithm_factory):
+        raise ExperimentError(
+            "parallel run_trials requires a picklable algorithm_factory "
+            "(a module-level class or function, not a lambda or closure); "
+            f"got {algorithm_factory!r}"
+        )
+    batches = _partition_trials(num_trials, jobs)
+    batch_results = _run_in_pool(
+        jobs,
+        _trial_batch_worker,
+        [
+            (algorithm_factory, instance, batch.start, len(batch), seed, verify)
+            for batch in batches
+        ],
+    )
+    results: "List[SimulationResult]" = []
+    for batch in batch_results:
+        results.extend(batch)
+    return results
+
+
+def _experiment_worker(
+    experiment_id: str, scale: "ExperimentScale", seed: int
+) -> "ExperimentResult":
+    """Run one registered experiment (executed in a worker process)."""
+    from repro.experiments.suite import ALL_EXPERIMENTS
+
+    _disable_nested_fan_out()
+    return ALL_EXPERIMENTS[experiment_id](scale, seed)
+
+
+def run_experiments_parallel(
+    experiment_ids: Sequence[str],
+    scale: "ExperimentScale",
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> "List[ExperimentResult]":
+    """Run the selected experiments across worker processes, in input order.
+
+    Every experiment is a pure function of ``(scale, seed)``, so the returned
+    list is identical to running them sequentially.
+    """
+    from repro.experiments.suite import ALL_EXPERIMENTS
+
+    unknown = [name for name in experiment_ids if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(f"unknown experiment ids: {unknown}")
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(experiment_ids) <= 1:
+        return [ALL_EXPERIMENTS[name](scale, seed) for name in experiment_ids]
+    return _run_in_pool(
+        jobs,
+        _experiment_worker,
+        [(name, scale, seed) for name in experiment_ids],
+    )

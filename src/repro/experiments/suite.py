@@ -9,6 +9,10 @@ CSV files under ``results/``.
 Run from the command line with::
 
     python -m repro.experiments.suite --scale bench --output EXPERIMENTS.md
+
+Pass ``--jobs N`` to fan independent experiments out across ``N`` worker
+processes (see :mod:`repro.experiments.parallel`); results are bit-identical
+to a sequential run.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import resolve_jobs, run_experiments_parallel
 from repro.experiments.runner import ExperimentResult, ExperimentScale
 from repro.experiments.suite_applications import (
     run_e9_dynamic_baselines,
@@ -59,13 +64,20 @@ def run_all(
     scale: ExperimentScale = ExperimentScale.BENCH,
     seed: int = 0,
     only: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentResult]:
-    """Run the selected experiments (all of them by default) and return the results."""
+    """Run the selected experiments (all of them by default) and return the results.
+
+    ``jobs`` fans independent experiments out across worker processes
+    (``None`` reads the ``REPRO_JOBS`` environment variable, default 1);
+    every experiment is a pure function of ``(scale, seed)``, so the results
+    are identical for every worker count.
+    """
     selected = list(only) if only is not None else list(ALL_EXPERIMENTS)
     unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
     if unknown:
         raise ExperimentError(f"unknown experiment ids: {unknown}")
-    return [ALL_EXPERIMENTS[name](scale, seed) for name in selected]
+    return run_experiments_parallel(selected, scale, seed=seed, jobs=resolve_jobs(jobs))
 
 
 def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
@@ -199,6 +211,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent experiments "
+        "(default: the REPRO_JOBS environment variable, else 1)",
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         default=None,
@@ -219,7 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     scale = ExperimentScale(arguments.scale)
     start = time.time()
-    results = run_all(scale=scale, seed=arguments.seed, only=arguments.only)
+    results = run_all(
+        scale=scale, seed=arguments.seed, only=arguments.only, jobs=arguments.jobs
+    )
     elapsed = time.time() - start
     write_experiments_markdown(
         results,

@@ -16,15 +16,32 @@ in the test suite:
 These predicates are what the simulator uses to verify, after every update of
 an online algorithm, that the maintained permutation really is a MinLA of the
 revealed subgraph — the hard feasibility requirement of the learning model.
+
+All predicates are duck-typed over *arrangement views*: anything exposing
+``position``/``span``/``is_contiguous``/``__getitem__``/``__len__`` (both
+:class:`~repro.core.permutation.Arrangement` and
+:class:`~repro.core.permutation.MutableArrangement` qualify), so per-step
+verification can run against an algorithm's live mutable state without
+materializing immutable snapshots.
+
+:class:`IncrementalStepVerifier` is the high-throughput form of the check: it
+exploits that each reveal step merges exactly two components, so when the
+algorithm only moved the merged component (the case for the paper's
+randomized algorithms), re-validating that single component — plus two O(n)
+structural guards — is equivalent to re-validating the whole forest.  Steps
+that rearranged anything else fall back to the full characterization check,
+so exactly the same violations are detected either way.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence, Tuple, Union
+from typing import Hashable, Iterable, List, Sequence, Tuple, Union
 
-from repro.core.permutation import Arrangement
+from repro.core.permutation import Arrangement, count_inversions
+from repro.errors import ArrangementError
 from repro.graphs.clique_forest import CliqueForest
 from repro.graphs.line_forest import LineForest
+from repro.graphs.reveal import RevealStep
 from repro.minla.cost import optimal_clique_cost, optimal_path_cost
 
 Node = Hashable
@@ -68,6 +85,154 @@ def optimal_value_of_forest(forest: Forest) -> int:
     if isinstance(forest, CliqueForest):
         return sum(optimal_clique_cost(size) for size in sizes)
     return sum(optimal_path_cost(size) for size in sizes)
+
+
+class IncrementalStepVerifier:
+    """Re-validate only the component(s) touched by each reveal step.
+
+    The verifier owns an independent forest replica (mutated via
+    :meth:`observe`) plus a copy of the previous arrangement order, and checks
+    after every step that the arrangement is still a MinLA of the revealed
+    graph.  The check is split into:
+
+    1. the merged component satisfies its characterization (contiguous for
+       cliques, contiguous *and* path-ordered for lines) — ``O(|component|)``;
+    2. the relative order of all untouched nodes is unchanged — one ``O(n)``
+       scan with no sorting or per-component set building;
+    3. the merged component's block does not sit strictly inside another
+       component's span — ``O(1)`` via the two block-boundary neighbours.
+
+    Given that the previous arrangement was feasible, (1)–(3) imply the full
+    characterization.  When (2) or (3) fails — e.g. ``Det`` rearranged other
+    components wholesale — the verifier falls back to the full
+    :func:`is_minla_of_forest` check, so the outcome is always identical to
+    re-validating the entire forest; only the cost of reaching it differs.
+
+    The verifier also measures each step's true Kendall-tau distance from its
+    own copy of the previous order (see :meth:`_kendall_tau_from_previous`),
+    giving the simulator a cost cross-check that is independent of whatever
+    swap counts the algorithm reports.
+    """
+
+    def __init__(self, forest: Forest, initial_order: Iterable[Node]):
+        self._forest = forest
+        self._previous_order: List[Node] = list(initial_order)
+
+    @property
+    def forest(self) -> Forest:
+        """The verifier's independent replica of the revealed graph."""
+        return self._forest
+
+    def observe(self, step: RevealStep) -> Union[Iterable[Node], Sequence[Node]]:
+        """Apply ``step`` to the replica; returns the merged component.
+
+        For cliques the merged clique is returned as a node set, for lines the
+        merged path in path order.
+        """
+        if isinstance(self._forest, CliqueForest):
+            return self._forest.merge(step.u, step.v).merged
+        return self._forest.add_edge(step.u, step.v).merged
+
+    def check_step(self, arrangement, merged) -> Tuple[bool, int]:
+        """Validate ``arrangement`` against the forest after :meth:`observe`.
+
+        ``merged`` is the component returned by the matching :meth:`observe`
+        call.  Returns ``(feasible, kendall_tau)`` where ``kendall_tau`` is
+        the verifier's *independent* measurement of the distance between the
+        previous and the current arrangement — computed from its own stored
+        copy of the previous order, never from algorithm-reported costs.
+        Updates the stored previous order when (and only when) the
+        arrangement is feasible, so one verifier instance tracks one run.
+        """
+        order = arrangement.order_list()
+        kendall_tau = self._kendall_tau_from_previous(order)
+        positions = arrangement.positions_of(merged)
+        lo, hi = min(positions), max(positions)
+        contiguous = hi - lo + 1 == len(positions)
+        if isinstance(self._forest, CliqueForest):
+            merged_ok = contiguous
+        else:
+            # A path must additionally be laid out in path order, in one of
+            # its two orientations.
+            merged_list = list(merged)
+            window = order[lo : hi + 1]
+            merged_ok = contiguous and (
+                window == merged_list or window == merged_list[::-1]
+            )
+        if not merged_ok:
+            return False, kendall_tau
+        feasible = self._step_left_rest_untouched(
+            order, set(merged), lo, hi
+        ) or is_minla_of_forest(arrangement, self._forest)
+        if feasible:
+            self._previous_order = order
+        return feasible, kendall_tau
+
+    def _kendall_tau_from_previous(self, order: List[Node]) -> int:
+        """Kendall-tau distance between the stored previous order and ``order``.
+
+        Every node outside the minimal window of mismatching positions kept
+        its exact position, so no pair involving such a node changed relative
+        order; the distance therefore equals the inversion count inside the
+        window — ``O(w log w)`` for a window of size ``w`` instead of
+        ``O(n log n)`` for the whole arrangement.  The dominant update shape,
+        a block slide, rotates its window (``A+B`` becomes ``B+A`` with both
+        parts order-preserved, flipping exactly ``|A|·|B|`` pairs); that case
+        is recognized with two slice comparisons and costs no inversion count
+        at all.
+        """
+        previous = self._previous_order
+        n = len(previous)
+        if len(order) != n:
+            raise ArrangementError("the node universe changed during an update")
+        lo = 0
+        while lo < n and previous[lo] == order[lo]:
+            lo += 1
+        if lo == n:
+            return 0
+        hi = n - 1
+        while previous[hi] == order[hi]:
+            hi -= 1
+        prev_window = previous[lo : hi + 1]
+        window = order[lo : hi + 1]
+        width = hi - lo + 1
+        try:
+            split = window.index(prev_window[0])
+        except ValueError:
+            raise ArrangementError("the node universe changed during an update") from None
+        if (
+            window[split:] == prev_window[: width - split]
+            and window[:split] == prev_window[width - split :]
+        ):
+            return (width - split) * split
+        window_position = {node: index for index, node in enumerate(window)}
+        try:
+            return count_inversions([window_position[node] for node in prev_window])
+        except KeyError:
+            raise ArrangementError("the node universe changed during an update") from None
+
+    def _step_left_rest_untouched(
+        self, order: List[Node], touched: set, lo: int, hi: int
+    ) -> bool:
+        """Sufficient condition: only the merged component moved this step.
+
+        ``lo``/``hi`` bound the merged component's (contiguous) span.  Checks
+        guards (2) and (3) of the class docstring.  A ``False`` return is not
+        a violation — merely a signal to run the full check.
+        """
+        # Guard 3: the merged block must not split another component.  The
+        # merged component is contiguous (guard 1 passed), so the only way an
+        # untouched component can lose contiguity while keeping its internal
+        # order is having the merged block land strictly inside its span —
+        # in which case both block neighbours belong to that component.
+        if lo > 0 and hi + 1 < len(order):
+            if self._forest.same_component(order[lo - 1], order[hi + 1]):
+                return False
+        # Guard 2: untouched nodes must appear in the same relative order as
+        # before the step.
+        untouched_now = [node for node in order if node not in touched]
+        untouched_before = [node for node in self._previous_order if node not in touched]
+        return untouched_now == untouched_before
 
 
 def violated_components(

@@ -1,0 +1,281 @@
+"""Equivalence tests for the array-backed fast path.
+
+Two layers are covered:
+
+* :class:`~repro.core.permutation.MutableArrangement` block operations must
+  produce the same final order and the same swap count as the corresponding
+  immutable :class:`~repro.core.permutation.Arrangement` operations, on
+  seeded random block layouts;
+* the fast-path online algorithms must produce step-by-step identical cost
+  records, Kendall-tau distances and final arrangements as the classic
+  immutable protocol (forced via a subclass overriding ``_handle_step``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.det import DeterministicClosestLearner
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.permutation import Arrangement, MutableArrangement
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.rand_lines import RandomizedLineLearner
+from repro.core.simulator import run_online
+from repro.errors import ArrangementError
+from repro.graphs.generators import random_clique_merge_sequence, random_line_sequence
+
+
+def _random_disjoint_spans(rng: random.Random, n: int):
+    """Two disjoint, non-empty contiguous position spans of ``range(n)``."""
+    while True:
+        cuts = sorted(rng.sample(range(n + 1), 4))
+        (a_lo, a_hi), (b_lo, b_hi) = (cuts[0], cuts[1]), (cuts[2], cuts[3])
+        if a_hi > a_lo and b_hi > b_lo:
+            return (a_lo, a_hi), (b_lo, b_hi)
+
+
+class TestBlockOperationEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_slide_block_matches_immutable(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(4, 24)
+        order = list(range(n))
+        rng.shuffle(order)
+        immutable = Arrangement(order)
+        mutable = MutableArrangement(order)
+        (a_lo, a_hi), (b_lo, b_hi) = _random_disjoint_spans(rng, n)
+        block = [order[i] for i in range(a_lo, a_hi)]
+        target = [order[i] for i in range(b_lo, b_hi)]
+        if rng.random() < 0.5:
+            block, target = target, block
+        expected, expected_cost = immutable.slide_block_next_to(block, target)
+        cost = mutable.slide_block_next_to(block, target)
+        assert cost == expected_cost
+        assert mutable.snapshot() == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reverse_and_rewrite_match_immutable(self, seed):
+        rng = random.Random(seed + 100)
+        n = rng.randrange(3, 20)
+        order = [f"v{i}" for i in range(n)]
+        rng.shuffle(order)
+        immutable = Arrangement(order)
+        mutable = MutableArrangement(order)
+        lo = rng.randrange(n)
+        hi = rng.randrange(lo, n)
+        block = [order[i] for i in range(lo, hi + 1)]
+
+        expected, expected_cost = immutable.reverse_block(block)
+        cost = mutable.reverse_block(block)
+        assert cost == expected_cost
+        assert mutable.snapshot() == expected
+
+        new_block = list(block)
+        rng.shuffle(new_block)
+        expected2, expected_cost2 = expected.rewrite_block(new_block)
+        assert mutable.block_inversions(new_block) == expected_cost2
+        cost2 = mutable.rewrite_block(new_block)
+        assert cost2 == expected_cost2
+        assert mutable.snapshot() == expected2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_move_block_to_index_matches_immutable(self, seed):
+        rng = random.Random(seed + 200)
+        n = rng.randrange(3, 20)
+        order = list(range(n))
+        rng.shuffle(order)
+        immutable = Arrangement(order)
+        mutable = MutableArrangement(order)
+        lo = rng.randrange(n)
+        hi = rng.randrange(lo, n)
+        block = [order[i] for i in range(lo, hi + 1)]
+        new_index = rng.randrange(n - (hi - lo))
+        expected, expected_cost = immutable.move_block_to_index(block, new_index)
+        cost = mutable.move_block_to_index(block, new_index)
+        assert cost == expected_cost
+        assert mutable.snapshot() == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_set_block_order_matches_rewrite_block(self, seed):
+        rng = random.Random(seed + 400)
+        n = rng.randrange(3, 20)
+        order = list(range(n))
+        rng.shuffle(order)
+        lo = rng.randrange(n)
+        hi = rng.randrange(lo, n)
+        new_block = [order[i] for i in range(lo, hi + 1)]
+        rng.shuffle(new_block)
+        reference = MutableArrangement(order)
+        expected_cost = reference.rewrite_block(new_block)
+        mutable = MutableArrangement(order)
+        assert mutable.block_inversions(new_block) == expected_cost
+        mutable.set_block_order(new_block)
+        assert mutable.snapshot() == reference.snapshot()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rewrite_to_costs_kendall_tau(self, seed):
+        rng = random.Random(seed + 300)
+        n = rng.randrange(2, 30)
+        order = list(range(n))
+        rng.shuffle(order)
+        target_order = list(range(n))
+        rng.shuffle(target_order)
+        mutable = MutableArrangement(order)
+        target = Arrangement(target_order)
+        cost = mutable.rewrite_to(target)
+        assert cost == Arrangement(order).kendall_tau(target)
+        assert mutable.snapshot() == target
+
+    def test_query_surface_matches_immutable(self):
+        order = ["a", "b", "c", "d", "e"]
+        immutable = Arrangement(order)
+        mutable = MutableArrangement(order)
+        assert list(mutable) == list(immutable)
+        assert len(mutable) == len(immutable)
+        assert mutable.order == immutable.order
+        assert mutable.nodes == immutable.nodes
+        for node in order:
+            assert mutable.position(node) == immutable.position(node)
+            assert node in mutable
+        assert "z" not in mutable
+        assert mutable[2] == immutable[2]
+        assert mutable.span(["b", "d"]) == immutable.span(["b", "d"])
+        assert mutable.is_contiguous(["b", "c"]) and not mutable.is_contiguous(["a", "c"])
+        assert mutable.kendall_tau(immutable) == 0
+
+    def test_validation_errors_match_immutable_semantics(self):
+        mutable = MutableArrangement(["a", "b", "c", "d"])
+        with pytest.raises(ArrangementError):
+            MutableArrangement(["a", "a"])
+        with pytest.raises(ArrangementError):
+            mutable.position("z")
+        with pytest.raises(ArrangementError):
+            mutable.reverse_block([])
+        with pytest.raises(ArrangementError):
+            mutable.rewrite_block(["a", "c"])  # not contiguous
+        with pytest.raises(ArrangementError):
+            mutable.slide_block_next_to(["a", "b"], ["b", "c"])  # overlap
+        with pytest.raises(ArrangementError):
+            mutable.move_block_to_index(["a", "b"], 3)  # out of range
+        with pytest.raises(ArrangementError):
+            mutable.rewrite_to(Arrangement(["a", "b"]))  # node-set mismatch
+        with pytest.raises(ArrangementError):
+            mutable.rewrite_block(["a", "a", "b"])  # duplicate node
+        with pytest.raises(ArrangementError):
+            mutable.set_block_order(["a", "a", "b"])  # duplicate node
+        with pytest.raises(ArrangementError):
+            mutable.block_inversions(["b", "b", "c"])  # duplicate node
+        # Failed operations must not have corrupted the state.
+        assert mutable.snapshot() == Arrangement(["a", "b", "c", "d"])
+
+    def test_handlerless_algorithm_subclass_fails_at_construction(self):
+        from repro.core.algorithm import OnlineMinLAAlgorithm
+
+        class NoHandlers(OnlineMinLAAlgorithm):
+            pass
+
+        with pytest.raises(TypeError, match="_handle_step"):
+            NoHandlers()
+        with pytest.raises(TypeError):
+            OnlineMinLAAlgorithm()
+
+
+class _SlowPathMixin:
+    """Force the classic immutable protocol through the base-class shim."""
+
+    def _handle_step(self, step):
+        return super()._handle_step(step)
+
+
+class SlowRandCliques(_SlowPathMixin, RandomizedCliqueLearner):
+    pass
+
+
+class SlowRandLines(_SlowPathMixin, RandomizedLineLearner):
+    pass
+
+
+class SlowDet(_SlowPathMixin, DeterministicClosestLearner):
+    pass
+
+
+def _records(result):
+    return [
+        (r.step_index, r.moving_cost, r.rearranging_cost, r.kendall_tau)
+        for r in result.ledger
+    ]
+
+
+class TestFastPathMatchesSlowPath:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rand_cliques(self, seed):
+        rng = random.Random(seed)
+        sequence = random_clique_merge_sequence(24, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        fast = run_online(
+            RandomizedCliqueLearner(), instance, rng=random.Random(seed), verify=True
+        )
+        slow = run_online(
+            SlowRandCliques(), instance, rng=random.Random(seed), verify=True
+        )
+        assert _records(fast) == _records(slow)
+        assert fast.final_arrangement == slow.final_arrangement
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rand_lines(self, seed):
+        rng = random.Random(seed)
+        sequence = random_line_sequence(20, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        fast = run_online(
+            RandomizedLineLearner(), instance, rng=random.Random(seed), verify=True
+        )
+        slow = run_online(
+            SlowRandLines(), instance, rng=random.Random(seed), verify=True
+        )
+        assert _records(fast) == _records(slow)
+        assert fast.final_arrangement == slow.final_arrangement
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_det(self, seed):
+        rng = random.Random(seed)
+        sequence = random_clique_merge_sequence(10, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        fast = run_online(DeterministicClosestLearner(), instance, verify=True)
+        slow = run_online(SlowDet(), instance, verify=True)
+        assert _records(fast) == _records(slow)
+        assert fast.final_arrangement == slow.final_arrangement
+
+    def test_misreported_kendall_tau_is_caught_independently(self):
+        """The simulator measures the distance itself; it must not trust the
+        fast path's self-reported Kendall-tau."""
+        from repro.errors import ReproError
+
+        class LyingKendallTau(RandomizedCliqueLearner):
+            def _handle_step_fast(self, step, arrangement):
+                moving, rearranging, kendall_tau = super()._handle_step_fast(
+                    step, arrangement
+                )
+                return moving + 5, rearranging, kendall_tau + 5
+
+        rng = random.Random(0)
+        sequence = random_clique_merge_sequence(8, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        with pytest.raises(ReproError, match="measured Kendall-tau"):
+            run_online(LyingKendallTau(), instance, rng=random.Random(1))
+
+    def test_trajectory_snapshots_still_available_on_fast_path(self):
+        rng = random.Random(1)
+        sequence = random_clique_merge_sequence(8, rng)
+        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+        result = run_online(
+            RandomizedCliqueLearner(),
+            instance,
+            rng=random.Random(2),
+            record_trajectory=True,
+        )
+        assert result.arrangements is not None
+        assert len(result.arrangements) == instance.num_steps + 1
+        for before, after, record in zip(
+            result.arrangements, result.arrangements[1:], result.ledger
+        ):
+            assert before.kendall_tau(after) == record.kendall_tau
