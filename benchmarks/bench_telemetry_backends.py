@@ -1,0 +1,97 @@
+"""Benchmark: numpy vs pure-Python inversion counting on Kendall-tau calls.
+
+Asserts the telemetry acceptance criteria: on full-arrangement Kendall-tau
+distances of size n ≥ 256 the vectorized numpy backend is at least 3× faster
+than the merge-sort path, and the two backends return bit-identical
+distances.  Skipped entirely when numpy is not installed (the pure-Python
+fallback is covered by the tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.permutation import Arrangement
+from repro.telemetry import MergeSortBackend, numpy_available, set_backend
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy is not installed"
+)
+
+SIZES = (256, 512, 1024)
+MIN_SPEEDUP = 3.0
+
+
+@pytest.fixture
+def numpy_backend():
+    backend = set_backend("numpy")
+    yield backend
+    set_backend(None)
+
+
+def _random_projection(size: int, seed: int = 0):
+    """The projected-position sequence a Kendall-tau call feeds the backend."""
+    values = list(range(size))
+    random.Random(seed).shuffle(values)
+    return values
+
+
+def _best_time(function, argument, repetitions: int = 20, rounds: int = 5) -> float:
+    """Minimum mean call time over several measurement rounds."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            function(argument)
+        best = min(best, (time.perf_counter() - start) / repetitions)
+    return best
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_numpy_backend_is_bit_identical(numpy_backend, size):
+    python_backend = MergeSortBackend()
+    for seed in range(5):
+        values = _random_projection(size, seed)
+        assert numpy_backend.count_inversions(values) == (
+            python_backend.count_inversions(values)
+        )
+    ascending = list(range(size))
+    assert numpy_backend.count_inversions(ascending) == 0
+    assert numpy_backend.count_inversions(ascending[::-1]) == size * (size - 1) // 2
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_numpy_backend_speedup(numpy_backend, size):
+    values = _random_projection(size)
+    python_backend = MergeSortBackend()
+    # Warm both paths before timing.
+    numpy_backend.count_inversions(values)
+    python_backend.count_inversions(values)
+    numpy_time = _best_time(numpy_backend.count_inversions, values)
+    python_time = _best_time(python_backend.count_inversions, values)
+    speedup = python_time / numpy_time
+    print(
+        f"\nn={size}: merge-sort {python_time * 1e3:.3f} ms, "
+        f"numpy {numpy_time * 1e3:.3f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"numpy backend is only {speedup:.1f}x faster than the merge sort at "
+        f"n={size} (required: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_kendall_tau_end_to_end(benchmark, numpy_backend):
+    """Time a full Kendall-tau call (n=512) through the numpy backend."""
+    rng = random.Random(0)
+    order = list(range(512))
+    rng.shuffle(order)
+    first = Arrangement(range(512))
+    second = Arrangement(order)
+    set_backend("python")
+    expected = first.kendall_tau(second)
+    set_backend("numpy")
+    distance = benchmark(lambda: first.kendall_tau(second))
+    assert distance == expected

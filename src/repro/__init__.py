@@ -92,6 +92,7 @@ from repro.minla import (
     is_minla_of_lines,
     linear_arrangement_cost,
 )
+from repro.telemetry import CostTrace, TraceEvent, TraceRecorder
 
 __version__ = "1.0.0"
 
@@ -101,6 +102,7 @@ __all__ = [
     "CliqueForest",
     "CliqueRevealSequence",
     "CostLedger",
+    "CostTrace",
     "DeterministicClosestLearner",
     "DisjointSetForest",
     "EmbeddingError",
@@ -125,6 +127,8 @@ __all__ = [
     "RevealStep",
     "SimulationResult",
     "SolverError",
+    "TraceEvent",
+    "TraceRecorder",
     "UnbiasedCoinCliqueLearner",
     "UnbiasedCoinLineLearner",
     "UpdateRecord",

@@ -10,7 +10,9 @@ The CLI makes the common workflows available without writing Python:
 ``python -m repro adversary``
     Run one of the Section 5 lower-bound constructions (the adaptive line
     adversary of Theorem 16 or the binary-tree distribution of Theorem 15)
-    against a chosen algorithm.
+    against a chosen algorithm, or a worst-of-k random search
+    (``--construction random``), optionally sharded over worker processes
+    with ``--jobs N``.
 
 ``python -m repro profile``
     Print the structural profile of a generated workload: merge profile of
@@ -28,6 +30,7 @@ import random
 from typing import Callable, Dict, List, Optional
 
 from repro.adversary.line_adversary import run_line_adversary
+from repro.adversary.random_adversary import worst_of_k_search
 from repro.adversary.tree_adversary import tree_adversary_instance
 from repro.core.algorithm import OnlineMinLAAlgorithm
 from repro.core.analysis import instance_profile, worst_harmonic_certificate
@@ -140,13 +143,40 @@ def command_adversary(arguments: argparse.Namespace) -> int:
         print(f"ratio           : {result.ratio_lower_estimate:.2f}")
         print(f"bound 2n-2      : {det_competitive_bound(arguments.nodes):.0f}")
         return 0
+    if arguments.construction == "random":
+        # Worst-of-k random search, sharded over worker processes.
+        kind = GraphKind(arguments.kind)
+        factory = algorithm_factory(kind, arguments.algorithm)
+        result = worst_of_k_search(
+            factory,
+            kind,
+            num_nodes=arguments.nodes,
+            num_candidates=arguments.candidates,
+            rng=random.Random(arguments.seed),
+            trials_per_candidate=arguments.trials,
+            jobs=arguments.jobs,
+        )
+        print(f"worst-of-{arguments.candidates} random search, {kind.value}, n={arguments.nodes}")
+        print(f"algorithm       : {arguments.algorithm}")
+        print(f"candidates      : {result.candidates_evaluated}")
+        print(f"worst mean cost : {result.mean_cost:.1f}")
+        print(f"offline optimum : between {result.opt_lower} and {result.opt_upper}")
+        print(f"worst ratio     : {result.ratio:.2f}")
+        print(f"paper bound     : {_ratio_bound(kind, arguments.algorithm, arguments.nodes):.2f}")
+        return 0
     # Binary-tree distribution (Theorem 15).
     kind = GraphKind.LINES
     factory = algorithm_factory(kind, arguments.algorithm)
     rng = random.Random(arguments.seed)
     instance, _ = tree_adversary_instance(arguments.nodes, rng)
     opt = offline_optimum_bounds(instance)
-    results = run_trials(factory, instance, num_trials=arguments.trials, seed=arguments.seed)
+    results = run_trials(
+        factory,
+        instance,
+        num_trials=arguments.trials,
+        seed=arguments.seed,
+        jobs=arguments.jobs,
+    )
     mean_cost = sum(result.total_cost for result in results) / len(results)
     print(f"Theorem 15 distribution, n={arguments.nodes}")
     print(f"algorithm       : {results[0].algorithm_name}")
@@ -215,12 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(handler=command_simulate)
 
-    adversary = subparsers.add_parser("adversary", help="run a Section 5 lower-bound construction")
-    adversary.add_argument("--construction", choices=["line", "tree"], default="line")
+    adversary = subparsers.add_parser(
+        "adversary",
+        help="run a Section 5 lower-bound construction or a worst-of-k random search",
+    )
+    adversary.add_argument("--construction", choices=["line", "tree", "random"], default="line")
     adversary.add_argument("--algorithm", default="det")
+    adversary.add_argument("--kind", choices=["cliques", "lines"], default="cliques",
+                           help="graph kind of the random-search candidates")
     adversary.add_argument("--nodes", type=int, default=21)
+    adversary.add_argument("--candidates", type=int, default=20,
+                           help="candidate instances for --construction random")
     adversary.add_argument("--trials", type=int, default=5)
     adversary.add_argument("--seed", type=int, default=0)
+    adversary.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes to shard candidates/trials over "
+        "(default: REPRO_JOBS, else 1)",
+    )
     adversary.set_defaults(handler=command_adversary)
 
     profile = subparsers.add_parser("profile", help="print the structural profile of a workload")

@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.permutation import Arrangement
 from repro.graphs.reveal import RevealStep
+from repro.telemetry.trace import CostTrace
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,8 @@ class SimulationResult:
     final_arrangement: Arrangement
     arrangements: Optional[Tuple[Arrangement, ...]] = None
     """The full trajectory ``π_0, π_1, …, π_k`` when trajectory recording is on."""
+    trace: Optional[CostTrace] = None
+    """The streamed per-step cost trace when the run was traced."""
 
     @property
     def total_cost(self) -> int:

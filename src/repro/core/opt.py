@@ -45,6 +45,7 @@ from repro.minla.closest import (
     blocks_from_forest,
     closest_feasible_arrangement,
 )
+from repro.telemetry.backends import count_cross_inversions
 
 Node = Hashable
 
@@ -120,13 +121,7 @@ def _cross_inversions(
     """Pairs ``(x, y)`` with ``x`` in the left group placed after ``y`` in ``π_0``."""
     left_positions = sorted(pi0.position(node) for node in left_group)
     right_positions = sorted(pi0.position(node) for node in right_group)
-    count = 0
-    pointer = 0
-    for left_pos in left_positions:
-        while pointer < len(right_positions) and right_positions[pointer] < left_pos:
-            pointer += 1
-        count += pointer
-    return count
+    return count_cross_inversions(left_positions, right_positions)
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,8 @@ one arrangement into the other.
 This module provides :class:`Arrangement`, an immutable ordering of hashable
 node labels, together with
 
-* the Kendall-tau distance (``O(n log n)`` via merge-sort inversion counting),
+* the Kendall-tau distance (``O(n log n)`` inversion counting through the
+  pluggable :mod:`repro.telemetry.backends` backend),
 * the block operations used by the paper's algorithms (sliding a contiguous
   component next to another one, reversing a contiguous component, rewriting
   the internal order of a contiguous component), each returning the new
@@ -33,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ArrangementError
+from repro.telemetry import backends as _backends
 
 Node = Hashable
 """Type alias for node labels: any hashable object (ints, strings, tuples)."""
@@ -44,42 +46,16 @@ def count_inversions(values: Sequence[int]) -> int:
     An inversion is a pair of indices ``i < j`` with ``values[i] > values[j]``.
     The count equals the Kendall-tau distance between the sequence and its
     sorted version, which is the workhorse of all distance computations in
-    this module.
+    this module.  The actual counting is delegated to the active
+    :mod:`repro.telemetry.backends` backend (pure-Python merge sort, or the
+    vectorized numpy backend when available).
 
     >>> count_inversions([0, 1, 2, 3])
     0
     >>> count_inversions([3, 2, 1, 0])
     6
     """
-    values = list(values)
-    if len(values) < 2:
-        return 0
-    _, inversions = _merge_sort_count(values)
-    return inversions
-
-
-def _merge_sort_count(values: List[int]) -> Tuple[List[int], int]:
-    """Return ``(sorted(values), inversion count)`` using merge sort."""
-    n = len(values)
-    if n <= 1:
-        return values, 0
-    mid = n // 2
-    left, inv_left = _merge_sort_count(values[:mid])
-    right, inv_right = _merge_sort_count(values[mid:])
-    merged: List[int] = []
-    inversions = inv_left + inv_right
-    i = j = 0
-    while i < len(left) and j < len(right):
-        if left[i] <= right[j]:
-            merged.append(left[i])
-            i += 1
-        else:
-            merged.append(right[j])
-            j += 1
-            inversions += len(left) - i
-    merged.extend(left[i:])
-    merged.extend(right[j:])
-    return merged, inversions
+    return _backends.count_inversions(values)
 
 
 class Arrangement:

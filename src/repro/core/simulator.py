@@ -41,6 +41,7 @@ from repro.minla.characterizations import (
     IncrementalStepVerifier,
     violated_components,
 )
+from repro.telemetry.trace import TraceRecorder
 
 
 def run_online(
@@ -49,6 +50,7 @@ def run_online(
     rng: Optional[random.Random] = None,
     verify: bool = True,
     record_trajectory: bool = False,
+    trace_every: Optional[int] = None,
 ) -> SimulationResult:
     """Run one algorithm on one instance and return its cost ledger.
 
@@ -69,6 +71,11 @@ def run_online(
         When ``True`` the full sequence of arrangements ``π_0 … π_k`` is kept
         in the result (useful for debugging and for the probability
         experiments E6–E8).
+    trace_every:
+        When set, a streamed :class:`~repro.telemetry.trace.CostTrace` with
+        one event per ``trace_every`` steps (totals stay exact) is attached
+        to the result — the memory-bounded way to plot cost trajectories
+        without trajectory snapshots.
     """
     algorithm.reset(
         nodes=instance.nodes,
@@ -78,6 +85,7 @@ def run_online(
     )
     ledger = CostLedger()
     trajectory = [instance.initial_arrangement] if record_trajectory else None
+    recorder = TraceRecorder(every=trace_every) if trace_every is not None else None
 
     verifier = (
         IncrementalStepVerifier(
@@ -115,6 +123,8 @@ def run_online(
                 )
 
         ledger.add(record)
+        if recorder is not None:
+            recorder.record_update(record)
         if trajectory is not None:
             trajectory.append(algorithm.current_arrangement)
 
@@ -123,6 +133,7 @@ def run_online(
         ledger=ledger,
         final_arrangement=algorithm.current_arrangement,
         arrangements=tuple(trajectory) if trajectory is not None else None,
+        trace=recorder.as_trace() if recorder is not None else None,
     )
 
 

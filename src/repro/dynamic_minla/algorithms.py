@@ -156,6 +156,11 @@ class CollocateLearnerAdapter(DynamicMinLAAlgorithm):
             self._line_view.add_edge(request.u, request.v)
         record = self._learner.process(RevealStep(request.u, request.v))
         self._components.union(request.u, request.v)
+        # Pass the learner's phase attribution through to the shared ledger,
+        # so E9 reports the moving/rearranging split exactly like E2/E3.
+        self._charge_phase_split(
+            record.moving_cost, record.rearranging_cost, record.kendall_tau
+        )
         return self._learner.current_arrangement, record.total_cost
 
 

@@ -14,6 +14,14 @@ algorithms (which enforce MinLA feasibility) against (b) the classic dynamic
 MinLA heuristics (which only chase cheap requests).  The comparison
 illustrates the price and the benefit of the learning model's stricter
 requirement.
+
+Rearrangement swaps are charged through the same telemetry machinery as the
+core experiments: every rearrangement is recorded as an
+:class:`~repro.core.cost.UpdateRecord` (with its moving/rearranging phase
+split, which the learner adapter passes through verbatim) in a
+:class:`~repro.core.cost.CostLedger`, and :func:`run_dynamic` can stream the
+records into a :class:`~repro.telemetry.trace.CostTrace`.  E9 therefore
+reports phase-split costs identically to E2/E3.
 """
 
 from __future__ import annotations
@@ -23,8 +31,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.cost import CostLedger, UpdateRecord
 from repro.core.permutation import Arrangement
 from repro.errors import ReproError
+from repro.graphs.reveal import RevealStep
+from repro.telemetry.trace import CostTrace, TraceRecorder
 
 Node = Hashable
 
@@ -64,6 +75,10 @@ class DynamicRunResult:
     algorithm_name: str
     records: List[ServeRecord] = field(default_factory=list)
     final_arrangement: Optional[Arrangement] = None
+    rearrangement_ledger: Optional[CostLedger] = None
+    """Per-request rearrangement swaps with their moving/rearranging split."""
+    trace: Optional[CostTrace] = None
+    """Streamed trace of the rearrangement swaps when the run was traced."""
 
     @property
     def total_serve_cost(self) -> int:
@@ -80,15 +95,39 @@ class DynamicRunResult:
         """The dynamic MinLA objective: serve plus move cost."""
         return self.total_serve_cost + self.total_move_cost
 
+    @property
+    def total_moving_cost(self) -> int:
+        """Rearrangement swaps attributed to moving phases."""
+        if self.rearrangement_ledger is None:
+            return self.total_move_cost
+        return self.rearrangement_ledger.total_moving_cost
+
+    @property
+    def total_rearranging_cost(self) -> int:
+        """Rearrangement swaps attributed to rearranging (orientation) phases."""
+        if self.rearrangement_ledger is None:
+            return 0
+        return self.rearrangement_ledger.total_rearranging_cost
+
 
 class DynamicMinLAAlgorithm(abc.ABC):
-    """Base class for algorithms in the dynamic MinLA cost model."""
+    """Base class for algorithms in the dynamic MinLA cost model.
+
+    Every rearrangement is additionally charged to a
+    :class:`~repro.core.cost.CostLedger` as an
+    :class:`~repro.core.cost.UpdateRecord`.  Plain heuristics report their
+    whole rearrangement as moving cost; an implementation that distinguishes
+    phases (the learner adapter) calls :meth:`_charge_phase_split` inside
+    :meth:`_rearrange` and the split is recorded instead.
+    """
 
     name: str = "dynamic-minla-algorithm"
 
     def __init__(self) -> None:
         self._arrangement: Optional[Arrangement] = None
         self._rng: random.Random = random.Random(0)
+        self._ledger = CostLedger()
+        self._pending_split: Optional[Tuple[int, int, int]] = None
 
     def reset(
         self,
@@ -101,6 +140,8 @@ class DynamicMinLAAlgorithm(abc.ABC):
             raise ReproError("initial arrangement does not match the node universe")
         self._arrangement = initial_arrangement
         self._rng = rng if rng is not None else random.Random(0)
+        self._ledger = CostLedger()
+        self._pending_split = None
         self._after_reset()
 
     def _after_reset(self) -> None:
@@ -113,15 +154,54 @@ class DynamicMinLAAlgorithm(abc.ABC):
             raise ReproError("the algorithm has not been reset yet")
         return self._arrangement
 
+    @property
+    def ledger(self) -> CostLedger:
+        """The run's rearrangement swaps as phase-attributed update records."""
+        return self._ledger
+
+    def _charge_phase_split(
+        self, moving_cost: int, rearranging_cost: int, kendall_tau: int
+    ) -> None:
+        """Report the phase split of the rearrangement being computed.
+
+        Called by :meth:`_rearrange` implementations that know how their
+        swaps divide into a moving and a rearranging phase; :meth:`serve`
+        validates the split against the returned total.
+        """
+        self._pending_split = (moving_cost, rearranging_cost, kendall_tau)
+
     def serve(self, request: DynamicRequest) -> ServeRecord:
         """Serve one request: pay its distance, then optionally rearrange."""
         arrangement = self.current_arrangement
         serve_cost = abs(
             arrangement.position(request.u) - arrangement.position(request.v)
         )
+        self._pending_split = None
         new_arrangement, move_cost = self._rearrange(request)
         if new_arrangement.nodes != arrangement.nodes:
             raise ReproError("rearranging must not change the node universe")
+        if self._pending_split is None:
+            # The block operations of the plain heuristics are swap-exact
+            # single-block moves: all swaps are moving swaps and the
+            # Kendall-tau distance equals the swap count.
+            moving_cost, rearranging_cost, kendall_tau = move_cost, 0, move_cost
+        else:
+            moving_cost, rearranging_cost, kendall_tau = self._pending_split
+            if moving_cost + rearranging_cost != move_cost:
+                raise ReproError(
+                    f"{self.name} reported a phase split of "
+                    f"{moving_cost} + {rearranging_cost} swaps for a "
+                    f"rearrangement of {move_cost} swaps"
+                )
+        self._ledger.add(
+            UpdateRecord(
+                step_index=len(self._ledger),
+                step=RevealStep(request.u, request.v),
+                moving_cost=moving_cost,
+                rearranging_cost=rearranging_cost,
+                kendall_tau=kendall_tau,
+            )
+        )
         self._arrangement = new_arrangement
         return ServeRecord(request=request, serve_cost=serve_cost, move_cost=move_cost)
 
@@ -137,10 +217,17 @@ def run_dynamic(
     initial_arrangement: Arrangement,
     rng: Optional[random.Random] = None,
     verify: bool = True,
+    trace_every: Optional[int] = None,
 ) -> DynamicRunResult:
-    """Run one dynamic MinLA algorithm over a request sequence."""
+    """Run one dynamic MinLA algorithm over a request sequence.
+
+    ``trace_every`` streams the rearrangement swaps (with their phase split)
+    into a :class:`~repro.telemetry.trace.CostTrace`, exactly as
+    ``run_online`` does for the learning model.
+    """
     algorithm.reset(nodes, initial_arrangement, rng=rng)
     result = DynamicRunResult(algorithm_name=algorithm.name)
+    recorder = TraceRecorder(every=trace_every) if trace_every is not None else None
     previous = initial_arrangement
     for request in requests:
         record = algorithm.serve(request)
@@ -151,7 +238,12 @@ def run_dynamic(
                     f"{algorithm.name} under-reported a move cost "
                     f"({record.move_cost} < {actual_distance})"
                 )
+        if recorder is not None:
+            recorder.record_update(algorithm.ledger.records[-1])
         previous = algorithm.current_arrangement
         result.records.append(record)
     result.final_arrangement = algorithm.current_arrangement
+    result.rearrangement_ledger = algorithm.ledger
+    if recorder is not None:
+        result.trace = recorder.as_trace()
     return result

@@ -8,7 +8,11 @@ look reasonable in a terminal and in Markdown code blocks:
 * :func:`sparkline` — a one-line block-character profile of a series,
 * :func:`horizontal_bar_chart` — labelled bars scaled to a maximum width,
 * :func:`scaling_table` — a two-column "n vs value" view with a sparkline
-  footer, used by the examples to display growth rates.
+  footer, used by the examples to display growth rates,
+* :func:`cost_trajectory_chart` — the cumulative-cost profile of a streamed
+  :class:`~repro.telemetry.trace.CostTrace`, with its phase split; this is
+  how E2/E3 show cost trajectories without recording any trajectory
+  snapshots.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments.metrics import trace_cumulative_costs, trace_phase_shares
+from repro.telemetry.trace import CostTrace, downsample_events
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -77,3 +83,31 @@ def scaling_table(
         previous = value
     lines.append(f"{'trend':>8} {sparkline(values):>14}")
     return "\n".join(lines)
+
+
+def cost_trajectory_chart(
+    trace: CostTrace, max_points: int = 64, seed: int = 0
+) -> str:
+    """One-line cumulative-cost profile of a streamed trace.
+
+    Renders the running total cost as a sparkline (downsampled
+    deterministically to at most ``max_points`` events, which must leave
+    room for the first and last event) followed by the trace's exact totals
+    and moving/rearranging phase shares.  Works on traces of any stride —
+    the totals come from the recorder's exact accumulators, not from the
+    sampled events.
+    """
+    if max_points < 2:
+        raise ExperimentError(
+            f"cost_trajectory_chart() needs max_points >= 2, got {max_points}"
+        )
+    cumulative = trace_cumulative_costs(trace)
+    if len(cumulative) > max_points:
+        events = downsample_events(trace.events, max_points, seed)
+        cumulative = [event.cumulative_cost for event in events]
+    shares = trace_phase_shares(trace)
+    return (
+        f"{sparkline(cumulative)} total={trace.total_cost} "
+        f"(moving {shares['moving']:.0%}, rearranging {shares['rearranging']:.0%}, "
+        f"steps={trace.num_steps})"
+    )

@@ -5,15 +5,21 @@ number should come with a dispersion estimate.  The helpers here are small,
 dependency-free (mean / standard deviation / normal-approximation confidence
 intervals) and are shared by the experiment suite, the benchmarks and the
 tests.
+
+The trace helpers at the bottom read streamed
+:class:`~repro.telemetry.trace.CostTrace` records (cumulative cost series,
+phase shares), so the charts module can plot cost trajectories without any
+run ever materializing trajectory snapshots.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import ExperimentError
+from repro.telemetry.trace import CostTrace
 
 
 @dataclass(frozen=True)
@@ -87,3 +93,28 @@ def geometric_mean(values: Sequence[float]) -> float:
     if any(value <= 0 for value in values):
         raise ExperimentError("geometric_mean() needs strictly positive values")
     return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+# ----------------------------------------------------------------------
+# Streamed-trace consumers
+# ----------------------------------------------------------------------
+def trace_cumulative_costs(trace: CostTrace) -> List[int]:
+    """The running total cost at each recorded trace event, in step order."""
+    if not trace.events:
+        raise ExperimentError("the trace recorded no events")
+    return trace.cumulative_costs()
+
+
+def trace_phase_shares(trace: CostTrace) -> Dict[str, float]:
+    """Fraction of the run's total cost spent in each phase.
+
+    A zero-cost run attributes everything to the moving phase by convention
+    (shares always sum to 1).
+    """
+    total = trace.total_cost
+    if total == 0:
+        return {"moving": 1.0, "rearranging": 0.0}
+    return {
+        "moving": trace.total_moving_cost / total,
+        "rearranging": trace.total_rearranging_cost / total,
+    }

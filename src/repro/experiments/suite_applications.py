@@ -87,6 +87,8 @@ def run_e9_dynamic_baselines(
             "algorithm",
             "serve cost",
             "move cost",
+            "move (moving)",
+            "move (rearranging)",
             "total cost",
             "total / never-move",
         ],
@@ -97,6 +99,8 @@ def run_e9_dynamic_baselines(
         totals: Dict[str, List[float]] = {}
         serves: Dict[str, List[float]] = {}
         moves: Dict[str, List[float]] = {}
+        moving_phase: Dict[str, List[float]] = {}
+        rearranging_phase: Dict[str, List[float]] = {}
         for repetition in range(repetitions):
             rng = seeded_rng(seed, "e9", pattern_name, repetition)
             if kind is GraphKind.CLIQUES:
@@ -110,6 +114,10 @@ def run_e9_dynamic_baselines(
                 totals.setdefault(label, []).append(result.total_cost)
                 serves.setdefault(label, []).append(result.total_serve_cost)
                 moves.setdefault(label, []).append(result.total_move_cost)
+                moving_phase.setdefault(label, []).append(result.total_moving_cost)
+                rearranging_phase.setdefault(label, []).append(
+                    result.total_rearranging_cost
+                )
         never_move_total = mean(totals["never move"])
         for label in _dynamic_contestants(kind):
             total = mean(totals[label])
@@ -120,6 +128,8 @@ def run_e9_dynamic_baselines(
                 label,
                 mean(serves[label]),
                 mean(moves[label]),
+                mean(moving_phase[label]),
+                mean(rearranging_phase[label]),
                 total,
                 total / never_move_total if never_move_total > 0 else float("inf"),
             )
@@ -143,7 +153,11 @@ def run_e9_dynamic_baselines(
             "Serve cost is the distance between the endpoints when a request "
             "arrives; move cost counts adjacent swaps.  'learning rand (paper)' "
             "reveals the pattern the first time two components communicate and "
-            "serves all later requests in place."
+            "serves all later requests in place.",
+            "The moving/rearranging columns split the move cost through the "
+            "shared CostLedger API: the learner's phase attribution is passed "
+            "through verbatim, the plain heuristics charge single-block slides "
+            "entirely to the moving phase.",
         ],
     )
 
@@ -168,6 +182,8 @@ def run_e10_vnet_case_study(
             "requests",
             "controller",
             "migration cost",
+            "migration (moving)",
+            "migration (rearranging)",
             "communication cost",
             "total cost",
             "total / static",
@@ -193,7 +209,13 @@ def run_e10_vnet_case_study(
             ),
         }
         sums: Dict[str, Dict[str, List[float]]] = {
-            label: {"migration": [], "communication": [], "total": []}
+            label: {
+                "migration": [],
+                "moving": [],
+                "rearranging": [],
+                "communication": [],
+                "total": [],
+            }
             for label in controllers
         }
         for repetition in range(repetitions):
@@ -209,6 +231,8 @@ def run_e10_vnet_case_study(
                 run_rng = seeded_rng(seed, "e10-run", traffic_name, repetition, label)
                 report = controller.run(trace, initial_embedding=initial_embedding, rng=run_rng)
                 sums[label]["migration"].append(report.migration_cost)
+                sums[label]["moving"].append(report.moving_migration_cost)
+                sums[label]["rearranging"].append(report.rearranging_migration_cost)
                 sums[label]["communication"].append(report.communication_cost)
                 sums[label]["total"].append(report.total_cost)
         static_total = mean(sums["static"]["total"])
@@ -220,6 +244,8 @@ def run_e10_vnet_case_study(
                 num_requests,
                 label,
                 mean(sums[label]["migration"]),
+                mean(sums[label]["moving"]),
+                mean(sums[label]["rearranging"]),
                 mean(sums[label]["communication"]),
                 total,
                 total / static_total if static_total > 0 else float("inf"),
@@ -239,6 +265,10 @@ def run_e10_vnet_case_study(
         notes=[
             "The oracle controller knows the final pattern and performs a single "
             "up-front migration; it lower-bounds what any online controller can "
-            "hope for on communication cost."
+            "hope for on communication cost.",
+            "The migration moving/rearranging columns come from the shared "
+            "CostLedger API: the demand-aware controllers record every learner "
+            "update with its phase attribution; the oracle's single offline jump "
+            "is charged entirely to the moving phase by convention.",
         ],
     )

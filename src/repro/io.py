@@ -6,8 +6,14 @@ objects to plain JSON-compatible dictionaries (and back):
 
 * reveal sequences (node universe, kind, steps),
 * full instances (sequence + initial permutation),
-* simulation results (algorithm name, per-step cost records, final
-  arrangement).
+* simulation results (algorithm name, per-step cost records with their
+  moving/rearranging phase attribution, the streamed cost trace when one
+  was recorded, and the final arrangement).
+
+Deserialization re-validates what it loads: per-record phase costs must be
+non-negative, the phase totals stored in the payload must match the records,
+and a trace's totals must match its ledger — a hand-edited or corrupted
+results file fails loudly instead of skewing a comparison.
 
 Node labels must themselves be JSON-representable (integers or strings); the
 generators in :mod:`repro.graphs.generators` use integers, and the virtual
@@ -25,6 +31,7 @@ from repro.core.cost import CostLedger, SimulationResult, UpdateRecord
 from repro.core.instance import OnlineMinLAInstance
 from repro.core.permutation import Arrangement
 from repro.errors import ReproError
+from repro.telemetry.trace import CostTrace, TraceEvent
 from repro.graphs.reveal import (
     CliqueRevealSequence,
     GraphKind,
@@ -83,16 +90,90 @@ def instance_from_dict(data: Dict[str, Any]) -> OnlineMinLAInstance:
 
 
 # ----------------------------------------------------------------------
+# Cost traces
+# ----------------------------------------------------------------------
+def trace_to_dict(trace: CostTrace) -> Dict[str, Any]:
+    """A JSON-compatible description of a streamed cost trace."""
+    return {
+        "every": trace.every,
+        "num_steps": trace.num_steps,
+        "total_moving_cost": trace.total_moving_cost,
+        "total_rearranging_cost": trace.total_rearranging_cost,
+        "total_kendall_tau": trace.total_kendall_tau,
+        "events": [
+            [
+                event.step_index,
+                event.moving_cost,
+                event.rearranging_cost,
+                event.kendall_tau,
+                event.cumulative_cost,
+            ]
+            for event in trace.events
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> CostTrace:
+    """Rebuild (and re-validate) a streamed cost trace from its dictionary form."""
+    try:
+        trace = CostTrace(
+            events=tuple(
+                TraceEvent(
+                    step_index=step_index,
+                    moving_cost=moving,
+                    rearranging_cost=rearranging,
+                    kendall_tau=kendall_tau,
+                    cumulative_cost=cumulative,
+                )
+                for step_index, moving, rearranging, kendall_tau, cumulative in data[
+                    "events"
+                ]
+            ),
+            num_steps=data["num_steps"],
+            every=data["every"],
+            total_moving_cost=data["total_moving_cost"],
+            total_rearranging_cost=data["total_rearranging_cost"],
+            total_kendall_tau=data["total_kendall_tau"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed trace payload: {exc}") from exc
+    for event in trace.events:
+        if (
+            event.moving_cost < 0
+            or event.rearranging_cost < 0
+            or event.kendall_tau < 0
+            or event.cumulative_cost < 0
+        ):
+            raise ReproError(
+                f"trace payload is inconsistent: negative cost at step "
+                f"{event.step_index}"
+            )
+    if trace.events:
+        if trace.events[-1].cumulative_cost != trace.total_cost:
+            raise ReproError(
+                "trace payload is inconsistent: the final cumulative cost does "
+                "not match the trace totals"
+            )
+    elif trace.total_cost != 0 or trace.total_kendall_tau != 0:
+        raise ReproError(
+            "trace payload is inconsistent: an event-less trace cannot have "
+            "nonzero totals"
+        )
+    return trace
+
+
+# ----------------------------------------------------------------------
 # Simulation results
 # ----------------------------------------------------------------------
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """A JSON-compatible summary of a simulation result.
 
     The full trajectory (if recorded) is intentionally not serialized — it
-    can be regenerated from the instance, the algorithm and the seed; only
-    the per-step cost records and the final arrangement are kept.
+    can be regenerated from the instance, the algorithm and the seed; the
+    per-step cost records (with their moving/rearranging phase split), the
+    streamed trace (if recorded) and the final arrangement are kept.
     """
-    return {
+    payload = {
         "algorithm": result.algorithm_name,
         "final_arrangement": list(result.final_arrangement.order),
         "records": [
@@ -106,32 +187,65 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             for record in result.ledger
         ],
         "total_cost": result.total_cost,
+        "total_moving_cost": result.ledger.total_moving_cost,
+        "total_rearranging_cost": result.ledger.total_rearranging_cost,
     }
+    if result.trace is not None:
+        payload["trace"] = trace_to_dict(result.trace)
+    return payload
 
 
 def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
-    """Rebuild a simulation-result summary from its dictionary form."""
+    """Rebuild a simulation-result summary from its dictionary form.
+
+    Phase attribution is first-class: every record's moving/rearranging
+    split is restored exactly, and the phase totals stored in the payload
+    are cross-checked against the records so a payload whose split was
+    mangled (not just its grand total) is rejected.
+    """
     try:
         ledger = CostLedger()
         for entry in data["records"]:
-            ledger.add(
-                UpdateRecord(
-                    step_index=entry["step_index"],
-                    step=RevealStep(entry["step"][0], entry["step"][1]),
-                    moving_cost=entry["moving_cost"],
-                    rearranging_cost=entry["rearranging_cost"],
-                    kendall_tau=entry["kendall_tau"],
-                )
+            record = UpdateRecord(
+                step_index=entry["step_index"],
+                step=RevealStep(entry["step"][0], entry["step"][1]),
+                moving_cost=entry["moving_cost"],
+                rearranging_cost=entry["rearranging_cost"],
+                kendall_tau=entry["kendall_tau"],
             )
+            if record.moving_cost < 0 or record.rearranging_cost < 0:
+                raise ReproError(
+                    f"result payload is inconsistent: negative phase cost at "
+                    f"step {record.step_index}"
+                )
+            ledger.add(record)
+        trace = trace_from_dict(data["trace"]) if "trace" in data else None
         result = SimulationResult(
             algorithm_name=data["algorithm"],
             ledger=ledger,
             final_arrangement=Arrangement(data["final_arrangement"]),
+            trace=trace,
         )
     except (KeyError, TypeError, IndexError) as exc:
         raise ReproError(f"malformed result payload: {exc}") from exc
     if result.total_cost != data.get("total_cost", result.total_cost):
         raise ReproError("result payload is inconsistent: total_cost does not match records")
+    for phase, total in (
+        ("total_moving_cost", ledger.total_moving_cost),
+        ("total_rearranging_cost", ledger.total_rearranging_cost),
+    ):
+        if data.get(phase, total) != total:
+            raise ReproError(
+                f"result payload is inconsistent: {phase} does not match the "
+                "records' phase attribution"
+            )
+    if trace is not None and (
+        trace.total_moving_cost != ledger.total_moving_cost
+        or trace.total_rearranging_cost != ledger.total_rearranging_cost
+    ):
+        raise ReproError(
+            "result payload is inconsistent: trace totals do not match the ledger"
+        )
     return result
 
 

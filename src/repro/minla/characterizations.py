@@ -37,7 +37,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Sequence, Tuple, Union
 
-from repro.core.permutation import Arrangement, count_inversions
+from repro.core.permutation import Arrangement
+from repro.telemetry.backends import count_inversions
 from repro.errors import ArrangementError
 from repro.graphs.clique_forest import CliqueForest
 from repro.graphs.line_forest import LineForest

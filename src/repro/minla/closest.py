@@ -40,7 +40,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.permutation import Arrangement, count_inversions
+from repro.core.permutation import Arrangement
+from repro.telemetry.backends import count_cross_inversions, count_inversions
 from repro.errors import SolverError
 from repro.graphs.clique_forest import CliqueForest
 from repro.graphs.line_forest import LineForest
@@ -137,15 +138,7 @@ def _pairwise_inversions(pi0: Arrangement, blocks: Sequence[Block]) -> List[List
             if i == j:
                 continue
             # Count pairs (x in i, y in j) with position(x) > position(y).
-            positions_i = sorted_positions[i]
-            positions_j = sorted_positions[j]
-            count = 0
-            pointer = 0
-            for pos_i in positions_i:
-                while pointer < len(positions_j) and positions_j[pointer] < pos_i:
-                    pointer += 1
-                count += pointer
-            inv[i][j] = count
+            inv[i][j] = count_cross_inversions(sorted_positions[i], sorted_positions[j])
     return inv
 
 

@@ -1,0 +1,50 @@
+"""Unified cost-measurement subsystem.
+
+Everything this library reports as "cost" flows through this package:
+
+* :mod:`repro.telemetry.backends` — the pluggable inversion-counting
+  primitive behind every Kendall-tau distance (pure-Python merge sort, plus
+  an optional vectorized numpy backend; ``REPRO_METRIC_BACKEND`` selects).
+* :mod:`repro.telemetry.trace` — streaming per-step cost traces
+  (:class:`TraceRecorder` / :class:`CostTrace`), the memory-bounded
+  replacement for full-trajectory snapshots when only costs are analysed.
+
+See the "Telemetry subsystem" section of ``DESIGN.md`` for the selection
+rules and the trace schema.
+"""
+
+from repro.telemetry.backends import (
+    BACKEND_ENV_VAR,
+    InversionBackend,
+    MergeSortBackend,
+    NumpyBackend,
+    available_backends,
+    count_cross_inversions,
+    count_inversions,
+    get_backend,
+    numpy_available,
+    set_backend,
+)
+from repro.telemetry.trace import (
+    CostTrace,
+    TraceEvent,
+    TraceRecorder,
+    downsample_events,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "CostTrace",
+    "InversionBackend",
+    "MergeSortBackend",
+    "NumpyBackend",
+    "TraceEvent",
+    "TraceRecorder",
+    "available_backends",
+    "count_cross_inversions",
+    "count_inversions",
+    "downsample_events",
+    "get_backend",
+    "numpy_available",
+    "set_backend",
+]

@@ -1,0 +1,194 @@
+"""Streaming per-step cost traces.
+
+``record_trajectory=True`` keeps every intermediate arrangement — ``O(n)``
+memory per step — which is what the probability experiments need but far
+more than cost analysis wants.  A :class:`TraceRecorder` is the streaming
+alternative: it consumes the per-update cost numbers as they are produced
+and keeps
+
+* **exact running totals** (total / moving / rearranging / Kendall-tau) for
+  every step, always, and
+* a (possibly downsampled) sequence of :class:`TraceEvent` records carrying
+  the per-step phase split and the running cumulative cost.
+
+The recorder's totals are accumulated from exactly the same update records
+a :class:`~repro.core.cost.CostLedger` ingests, so
+``trace.total_cost == ledger.total_cost`` holds for every run regardless of
+the downsampling stride — the trace is a *view* of the run's costs, never a
+second opinion.
+
+The same recorder serves every cost-producing layer: ``run_online`` streams
+the simulator's update records into it, the dynamic-MinLA runner and the
+vnet controller charge their rearrangement/migration swaps through it, and
+``repro.io`` serializes the resulting :class:`CostTrace` next to the ledger
+records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Cost snapshot of one recorded step.
+
+    Attributes
+    ----------
+    step_index:
+        Index of the update this event describes (0-based).
+    moving_cost / rearranging_cost:
+        Adjacent swaps spent in the respective phase of this update.
+    kendall_tau:
+        Kendall-tau distance between the permutations before and after the
+        update (the minimum cost any implementation could have paid).
+    cumulative_cost:
+        Total swaps spent by the run up to and including this update —
+        exact even when intermediate steps were downsampled away.
+    """
+
+    step_index: int
+    moving_cost: int
+    rearranging_cost: int
+    kendall_tau: int
+    cumulative_cost: int
+
+    @property
+    def total_cost(self) -> int:
+        """Swaps performed during this update."""
+        return self.moving_cost + self.rearranging_cost
+
+
+@dataclass(frozen=True)
+class CostTrace:
+    """The streamed cost record of one run: sampled events + exact totals."""
+
+    events: Tuple[TraceEvent, ...]
+    num_steps: int
+    every: int
+    """Sampling stride the recorder used (1 = every step was kept)."""
+    total_moving_cost: int
+    total_rearranging_cost: int
+    total_kendall_tau: int
+
+    @property
+    def total_cost(self) -> int:
+        """Exact total swaps of the run (independent of downsampling)."""
+        return self.total_moving_cost + self.total_rearranging_cost
+
+    def cumulative_costs(self) -> List[int]:
+        """The running total cost at each recorded event, in step order."""
+        return [event.cumulative_cost for event in self.events]
+
+    def step_indices(self) -> List[int]:
+        """The step index of each recorded event, in step order."""
+        return [event.step_index for event in self.events]
+
+
+class TraceRecorder:
+    """Accumulate per-step cost records into a :class:`CostTrace`, streaming.
+
+    Parameters
+    ----------
+    every:
+        Keep one :class:`TraceEvent` per ``every`` updates (the final update
+        is always kept, so the trace ends on the exact run total).  Totals
+        are accumulated for *every* update regardless of the stride.
+    """
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ReproError(f"trace stride must be a positive integer, got {every}")
+        self._every = every
+        self._events: List[TraceEvent] = []
+        self._num_steps = 0
+        self._cumulative = 0
+        self._total_moving = 0
+        self._total_rearranging = 0
+        self._total_kendall_tau = 0
+        self._last_event: Optional[TraceEvent] = None
+
+    def record(
+        self,
+        step_index: int,
+        moving_cost: int,
+        rearranging_cost: int,
+        kendall_tau: int,
+    ) -> None:
+        """Charge one update's costs to the trace."""
+        self._cumulative += moving_cost + rearranging_cost
+        self._total_moving += moving_cost
+        self._total_rearranging += rearranging_cost
+        self._total_kendall_tau += kendall_tau
+        event = TraceEvent(
+            step_index=step_index,
+            moving_cost=moving_cost,
+            rearranging_cost=rearranging_cost,
+            kendall_tau=kendall_tau,
+            cumulative_cost=self._cumulative,
+        )
+        if self._num_steps % self._every == 0:
+            self._events.append(event)
+            self._last_event = None
+        else:
+            self._last_event = event
+        self._num_steps += 1
+
+    def record_update(self, record) -> None:
+        """Charge an :class:`~repro.core.cost.UpdateRecord`-shaped object."""
+        self.record(
+            record.step_index,
+            record.moving_cost,
+            record.rearranging_cost,
+            record.kendall_tau,
+        )
+
+    @property
+    def total_cost(self) -> int:
+        """Exact total swaps charged so far."""
+        return self._total_moving + self._total_rearranging
+
+    def as_trace(self) -> CostTrace:
+        """Materialize the immutable :class:`CostTrace` recorded so far.
+
+        The final update is appended if the stride sampled it away, so the
+        last event's ``cumulative_cost`` always equals the run total.
+        """
+        events = list(self._events)
+        if self._last_event is not None:
+            events.append(self._last_event)
+        return CostTrace(
+            events=tuple(events),
+            num_steps=self._num_steps,
+            every=self._every,
+            total_moving_cost=self._total_moving,
+            total_rearranging_cost=self._total_rearranging,
+            total_kendall_tau=self._total_kendall_tau,
+        )
+
+
+def downsample_events(
+    events: Sequence[TraceEvent],
+    max_events: int,
+    seed: Union[int, str] = 0,
+) -> Tuple[TraceEvent, ...]:
+    """Thin a recorded event sequence to at most ``max_events`` events.
+
+    The first and last events are always kept (so the trace still starts at
+    the first update and ends on the exact run total); the interior sample
+    is drawn without replacement by ``random.Random(seed)`` and re-sorted
+    into step order.  The same ``(events, max_events, seed)`` triple always
+    produces the same sample, so downsampled charts are reproducible.
+    """
+    if max_events < 2:
+        raise ReproError("downsampling needs room for at least 2 events")
+    if len(events) <= max_events:
+        return tuple(events)
+    rng = random.Random(seed)
+    interior = rng.sample(range(1, len(events) - 1), max_events - 2)
+    keep = sorted([0, len(events) - 1] + interior)
+    return tuple(events[index] for index in keep)

@@ -15,7 +15,11 @@ nodes on the linear datacenter while a traffic trace plays out:
 
 Every controller returns a :class:`ControllerReport` with the migration and
 communication cost split, so the trade-off the paper motivates (migrate more
-to communicate less) can be read off directly.
+to communicate less) can be read off directly.  Migration swaps are charged
+through the same ledger machinery as the core experiments: the demand-aware
+controller records every learner update (with its moving/rearranging phase
+attribution) in a :class:`~repro.core.cost.CostLedger`, so E10 reports
+phase-split migration costs identically to E2/E3.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.cost import CostLedger
 from repro.core.opt import offline_optimum_bounds
 from repro.core.instance import OnlineMinLAInstance
 from repro.errors import EmbeddingError
@@ -44,11 +49,35 @@ class ControllerReport:
     num_requests: int
     migration_cost: float
     communication_cost: float
+    migration_ledger: Optional[CostLedger] = None
+    """Per-update migration swaps with their moving/rearranging phase split.
+
+    ``None`` for controllers without per-update accounting (the static
+    controller never migrates; the oracle performs one offline jump).
+    """
+    migration_cost_per_swap: float = 1.0
+    """The datacenter's price per adjacent swap (scales the ledger totals)."""
 
     @property
     def total_cost(self) -> float:
         """Migration plus communication cost."""
         return self.migration_cost + self.communication_cost
+
+    @property
+    def moving_migration_cost(self) -> float:
+        """Migration cost attributed to moving phases (ledger-backed)."""
+        if self.migration_ledger is None:
+            return self.migration_cost
+        return self.migration_ledger.total_moving_cost * self.migration_cost_per_swap
+
+    @property
+    def rearranging_migration_cost(self) -> float:
+        """Migration cost attributed to rearranging phases (ledger-backed)."""
+        if self.migration_ledger is None:
+            return 0.0
+        return (
+            self.migration_ledger.total_rearranging_cost * self.migration_cost_per_swap
+        )
 
 
 class StaticController:
@@ -73,6 +102,8 @@ class StaticController:
             num_requests=trace.num_requests,
             migration_cost=0.0,
             communication_cost=communication,
+            migration_ledger=CostLedger(),
+            migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
         )
 
 
@@ -137,22 +168,23 @@ class DemandAwareController:
         line_view = (
             LineForest(trace.virtual_nodes) if trace.kind is GraphKind.LINES else None
         )
-        migration_swaps = 0
+        ledger = CostLedger()
         communication = 0.0
         for u, v in trace.requests:
             if not components.connected(u, v):
                 if line_view is not None:
                     line_view.add_edge(u, v)
-                record = learner.process(RevealStep(u, v))
-                migration_swaps += record.total_cost
+                ledger.add(learner.process(RevealStep(u, v)))
                 components.union(u, v)
                 embedding = embedding.with_arrangement(learner.current_arrangement)
             communication += embedding.communication_cost([(u, v)])
         return ControllerReport(
             controller_name=self.name,
             num_requests=trace.num_requests,
-            migration_cost=self._datacenter.migration_cost(migration_swaps),
+            migration_cost=self._datacenter.migration_cost(ledger.total_cost),
             communication_cost=communication,
+            migration_ledger=ledger,
+            migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
         )
 
 

@@ -76,6 +76,75 @@ class TestWorstOfKSearch:
         assert first.ratio == second.ratio
         assert first.mean_cost == second.mean_cost
 
+    def test_sharded_search_is_bit_identical_to_sequential(self):
+        sequential = worst_of_k_search(
+            RandomizedCliqueLearner,
+            GraphKind.CLIQUES,
+            num_nodes=8,
+            num_candidates=5,
+            rng=random.Random(11),
+            trials_per_candidate=3,
+            jobs=1,
+        )
+        sharded = worst_of_k_search(
+            RandomizedCliqueLearner,
+            GraphKind.CLIQUES,
+            num_nodes=8,
+            num_candidates=5,
+            rng=random.Random(11),
+            trials_per_candidate=3,
+            jobs=3,
+        )
+        assert sharded.ratio == sequential.ratio
+        assert sharded.mean_cost == sequential.mean_cost
+        assert sharded.opt_lower == sequential.opt_lower
+        assert sharded.opt_upper == sequential.opt_upper
+        assert sharded.candidates_evaluated == 5
+        assert (
+            sharded.instance.initial_arrangement
+            == sequential.instance.initial_arrangement
+        )
+        assert [s.as_tuple() for s in sharded.instance.steps] == [
+            s.as_tuple() for s in sequential.instance.steps
+        ]
+
+    def test_sharded_search_rejects_unpicklable_factory(self):
+        with pytest.raises(ReproError):
+            worst_of_k_search(
+                lambda: RandomizedCliqueLearner(),
+                GraphKind.CLIQUES,
+                num_nodes=8,
+                num_candidates=4,
+                rng=random.Random(0),
+                jobs=2,
+            )
+
+    def test_explicit_jobs_with_unpicklable_factory_raises_even_for_one_candidate(self):
+        with pytest.raises(ReproError):
+            worst_of_k_search(
+                lambda: RandomizedCliqueLearner(),
+                GraphKind.CLIQUES,
+                num_nodes=8,
+                num_candidates=1,
+                rng=random.Random(0),
+                trials_per_candidate=4,
+                jobs=2,
+            )
+
+    def test_env_driven_sharding_falls_back_for_unpicklable_factory(self, monkeypatch):
+        from repro.experiments.parallel import JOBS_ENV_VAR
+
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        result = worst_of_k_search(
+            lambda: RandomizedCliqueLearner(),
+            GraphKind.CLIQUES,
+            num_nodes=6,
+            num_candidates=2,
+            rng=random.Random(0),
+            trials_per_candidate=2,
+        )
+        assert result.candidates_evaluated == 2
+
     def test_parameter_validation(self):
         rng = random.Random(0)
         with pytest.raises(ReproError):
