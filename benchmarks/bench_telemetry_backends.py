@@ -2,9 +2,10 @@
 
 Asserts the telemetry acceptance criteria: on full-arrangement Kendall-tau
 distances of size n ≥ 256 the vectorized numpy backend is at least 3× faster
-than the merge-sort path, and the two backends return bit-identical
-distances.  Skipped entirely when numpy is not installed (the pure-Python
-fallback is covered by the tier-1 suite).
+than the merge-sort path, batched counting of many small sequences is at
+least 3× faster than the one-at-a-time loop, and all paths return
+bit-identical counts.  Skipped entirely when numpy is not installed (the
+pure-Python fallback is covered by the tier-1 suite).
 """
 
 from __future__ import annotations
@@ -80,6 +81,52 @@ def test_numpy_backend_speedup(numpy_backend, size):
     assert speedup >= MIN_SPEEDUP, (
         f"numpy backend is only {speedup:.1f}x faster than the merge sort at "
         f"n={size} (required: {MIN_SPEEDUP}x)"
+    )
+
+
+#: Shape of the batched-counting workload: many small per-step counts, the
+#: regime where the one-at-a-time vectorized path loses to the merge sort.
+BATCH_COUNT = 4096
+BATCH_LENGTH = 48
+MIN_BATCH_SPEEDUP = 3.0
+
+
+def _random_batch(count: int = BATCH_COUNT, length: int = BATCH_LENGTH):
+    rng = random.Random(0)
+    return [[rng.randrange(10**6) for _ in range(length)] for _ in range(count)]
+
+
+def test_batch_counting_is_bit_identical(numpy_backend):
+    python_backend = MergeSortBackend()
+    batch = _random_batch(count=512)
+    # Include degenerate rows: empty, singleton, sorted, reversed.
+    batch += [[], [7], list(range(30)), list(range(30))[::-1]]
+    assert numpy_backend.count_inversions_batch(batch) == (
+        python_backend.count_inversions_batch(batch)
+    )
+
+
+def test_batch_counting_speedup(numpy_backend):
+    batch = _random_batch()
+    python_backend = MergeSortBackend()
+    # Warm both paths before timing.
+    numpy_backend.count_inversions_batch(batch)
+    python_backend.count_inversions_batch(batch)
+    numpy_time = _best_time(
+        numpy_backend.count_inversions_batch, batch, repetitions=5
+    )
+    python_time = _best_time(
+        python_backend.count_inversions_batch, batch, repetitions=5
+    )
+    speedup = python_time / numpy_time
+    print(
+        f"\nbatch {BATCH_COUNT}x{BATCH_LENGTH}: merge-sort loop "
+        f"{python_time * 1e3:.1f} ms, numpy batch {numpy_time * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched numpy counting is only {speedup:.1f}x faster than the "
+        f"merge-sort loop (required: {MIN_BATCH_SPEEDUP}x)"
     )
 
 

@@ -93,8 +93,15 @@ from repro.minla import (
     linear_arrangement_cost,
 )
 from repro.telemetry import CostTrace, TraceEvent, TraceRecorder
+from repro.workloads import (
+    RequestStream,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Arrangement",
@@ -122,9 +129,11 @@ __all__ = [
     "RandomizedCliqueLearner",
     "RandomizedLineLearner",
     "ReproError",
+    "RequestStream",
     "RevealError",
     "RevealSequence",
     "RevealStep",
+    "Scenario",
     "SimulationResult",
     "SolverError",
     "TraceEvent",
@@ -133,6 +142,7 @@ __all__ = [
     "UnbiasedCoinLineLearner",
     "UpdateRecord",
     "__version__",
+    "all_scenarios",
     "balanced_clique_merge_sequence",
     "closest_feasible_arrangement",
     "det_competitive_bound",
@@ -140,6 +150,7 @@ __all__ = [
     "exact_minla_value",
     "exact_optimal_online_cost",
     "expected_cost",
+    "get_scenario",
     "growing_clique_sequence",
     "harmonic_number",
     "heuristic_minla",
@@ -157,6 +168,7 @@ __all__ = [
     "randomized_lower_bound",
     "run_online",
     "run_trials",
+    "scenario_names",
     "sequential_line_sequence",
     "tenant_clique_sequence",
 ]

@@ -19,8 +19,16 @@ The CLI makes the common workflows available without writing Python:
     the worst node, harmonic-budget utilization, component statistics.
 
 ``python -m repro experiments``
-    Run the E1–E10 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
+    Run the E1–E12 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
     around :mod:`repro.experiments.suite`).
+
+``python -m repro scenarios``
+    Browse and exercise the workload registry: ``scenarios list`` prints
+    the catalog, ``scenarios run`` generates one scenario (or ``--all``) at
+    a chosen scale, replays the reveal view through the matching learner
+    and consumes the request stream in batches.  The ``REPRO_SCENARIO``
+    environment variable pre-selects a scenario (validated against the
+    registry).
 """
 
 from __future__ import annotations
@@ -213,6 +221,73 @@ def command_profile(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def command_scenarios(arguments: argparse.Namespace) -> int:
+    """The ``scenarios`` sub-command (workload registry catalog and runner)."""
+    from repro.core.simulator import run_online
+    from repro.workloads import (
+        all_scenarios,
+        default_scenario_name,
+        get_scenario,
+        stream_statistics,
+    )
+
+    if arguments.action == "list":
+        scenarios = all_scenarios()
+        name_width = max(len(scenario.name) for scenario in scenarios)
+        print(f"{len(scenarios)} registered scenarios:")
+        for scenario in scenarios:
+            print(
+                f"  {scenario.name:<{name_width}}  {scenario.kind_label:<8}"
+                f"{scenario.description}"
+            )
+        return 0
+
+    # scenarios run
+    if arguments.all:
+        selected = all_scenarios()
+    else:
+        name = arguments.scenario or default_scenario_name()
+        if name is None:
+            raise ReproError(
+                "scenarios run needs --scenario NAME, --all, or the "
+                "REPRO_SCENARIO environment variable"
+            )
+        selected = [get_scenario(name)]
+    for scenario in selected:
+        params = scenario.default_params(arguments.scale)
+        num_nodes = arguments.nodes if arguments.nodes is not None else params.num_nodes
+        num_requests = (
+            arguments.requests if arguments.requests is not None else params.num_requests
+        )
+        sequences = scenario.reveal_sequences(num_nodes, arguments.seed)
+        print(f"{scenario.name} ({scenario.kind_label}): {scenario.description}")
+        for sequence in sequences:
+            instance = OnlineMinLAInstance.with_random_start(
+                sequence, random.Random(f"{arguments.seed}|{scenario.name}|start")
+            )
+            factory = _ALGORITHMS[sequence.kind]["rand"]
+            result = run_online(
+                factory(),
+                instance,
+                rng=random.Random(f"{arguments.seed}|{scenario.name}|run"),
+            )
+            components = len(sequence.final_components())
+            print(
+                f"  reveal view : {sequence.kind.value}, n={sequence.num_nodes}, "
+                f"steps={len(sequence)}, final components={components}, "
+                f"rand cost={result.total_cost} swaps"
+            )
+        stream = scenario.request_stream(num_nodes, num_requests, arguments.seed)
+        batch_size = min(arguments.batch, stream.num_requests)
+        request_count, reveal_count = stream_statistics(stream, batch_size)
+        reveal_note = "" if reveal_count is None else f", induced reveals={reveal_count}"
+        print(
+            f"  traffic view: n={stream.num_nodes}, requests={request_count} "
+            f"(streamed in batches of {batch_size}{reveal_note})"
+        )
+    return 0
+
+
 def command_experiments(arguments: argparse.Namespace) -> int:
     """The ``experiments`` sub-command (delegates to the experiment suite CLI)."""
     forwarded: List[str] = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
@@ -274,7 +349,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.set_defaults(handler=command_profile)
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E10 experiment suite")
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="browse and exercise the workload scenario registry",
+    )
+    scenarios.add_argument(
+        "action",
+        choices=["list", "run"],
+        help="list the catalog, or generate and exercise scenarios",
+    )
+    scenarios.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name for 'run' (default: REPRO_SCENARIO, else use --all)",
+    )
+    scenarios.add_argument(
+        "--all", action="store_true", help="run every registered scenario"
+    )
+    scenarios.add_argument(
+        "--scale",
+        choices=["smoke", "bench", "full"],
+        default="smoke",
+        help="per-scenario default sizes (override with --nodes / --requests)",
+    )
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--nodes", type=int, default=None,
+                           help="node budget (default: the scenario's scale default)")
+    scenarios.add_argument("--requests", type=int, default=None,
+                           help="stream length (default: the scenario's scale default)")
+    scenarios.add_argument("--batch", type=int, default=1024,
+                           help="stream batch size (bounds peak memory)")
+    scenarios.set_defaults(handler=command_scenarios)
+
+    experiments = subparsers.add_parser("experiments", help="run the E1-E12 experiment suite")
     experiments.add_argument("--scale", choices=["smoke", "bench", "full"], default="bench")
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument(

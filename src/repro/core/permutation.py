@@ -674,6 +674,27 @@ def kendall_tau_distance(first: Arrangement, second: Arrangement) -> int:
     return first.kendall_tau(second)
 
 
+def kendall_tau_batch(
+    reference: Arrangement, others: Sequence[Arrangement]
+) -> List[int]:
+    """Kendall-tau distances of many arrangements to one reference, batched.
+
+    Equivalent to ``[reference.kendall_tau(other) for other in others]`` but
+    funnels all projections through one
+    :func:`~repro.telemetry.backends.count_inversions_batch` call, so the
+    numpy backend vectorizes the whole batch in a single pass — the win is
+    largest for many small arrangements (e.g. the final arrangements of a
+    trial batch), where one-at-a-time counting is dominated by per-call
+    overhead.
+    """
+    projections = []
+    for other in others:
+        if reference.nodes != other.nodes:
+            raise ArrangementError("Kendall-tau distance requires identical node sets")
+        projections.append([other.position(node) for node in reference.order])
+    return _backends.count_inversions_batch(projections)
+
+
 def arrangement_from_blocks(blocks: Sequence[Sequence[Node]]) -> Arrangement:
     """Concatenate ordered blocks (left to right) into a single arrangement."""
     order: List[Node] = []

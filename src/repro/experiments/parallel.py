@@ -7,7 +7,7 @@ Two fan-out levels:
   Each trial's randomness is derived solely from ``(seed, trial index)`` —
   never from worker identity or scheduling — so the assembled result list is
   bit-identical to the sequential path, whatever the worker count.
-* :func:`run_experiments_parallel` runs independent experiments of the E1–E10
+* :func:`run_experiments_parallel` runs independent experiments of the E1–E12
   suite in separate workers; each experiment is already a pure function of
   ``(scale, seed)``, so here too parallelism cannot change any number.
 
@@ -25,6 +25,7 @@ import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.envconfig import read_env_positive_int
 from repro.errors import ExperimentError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -38,17 +39,14 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    """Resolve a worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    The environment value is validated through the shared
+    :mod:`repro.envconfig` helper — a mis-typed ``REPRO_JOBS`` raises a
+    clear error instead of silently serializing a run meant to be parallel.
+    """
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR)
-        if raw is None:
-            return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ExperimentError(
-                f"invalid {JOBS_ENV_VAR}={raw!r}: expected a positive integer"
-            ) from None
+        return read_env_positive_int(JOBS_ENV_VAR, default=1, error=ExperimentError)
     if jobs < 1:
         raise ExperimentError(f"jobs must be a positive integer, got {jobs}")
     return jobs

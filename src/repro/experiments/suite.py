@@ -1,6 +1,6 @@
 """The complete experiment suite and the ``EXPERIMENTS.md`` report generator.
 
-``ALL_EXPERIMENTS`` maps experiment ids (E1–E10, as indexed in ``DESIGN.md``)
+``ALL_EXPERIMENTS`` maps experiment ids (E1–E12, as indexed in ``DESIGN.md``)
 to the functions implementing them; :func:`run_all` executes any subset at a
 given scale, and :func:`write_experiments_markdown` regenerates the
 paper-versus-measured record in ``EXPERIMENTS.md`` together with per-table
@@ -42,6 +42,10 @@ from repro.experiments.suite_invariants import (
     run_e7_lemma10_probability,
     run_e8_action_probabilities,
 )
+from repro.experiments.suite_workloads import (
+    run_e11_scenario_sweep,
+    run_e12_datacenter_vnet,
+)
 
 ExperimentFunction = Callable[[ExperimentScale, int], ExperimentResult]
 
@@ -57,6 +61,8 @@ ALL_EXPERIMENTS: Dict[str, ExperimentFunction] = {
     "E8": run_e8_action_probabilities,
     "E9": run_e9_dynamic_baselines,
     "E10": run_e10_vnet_case_study,
+    "E11": run_e11_scenario_sweep,
+    "E12": run_e12_datacenter_vnet,
 }
 
 
@@ -142,6 +148,18 @@ def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
             ok = all(value < 1.0 for value in result.findings.values())
             baseline = "never-move" if result.experiment_id == "E9" else "static embedding"
             return ok, f"the learning approach beats the {baseline} on total cost"
+        if result.experiment_id == "E11":
+            ok = all(value <= 1.05 for value in result.findings.values())
+            return ok, (
+                "det and rand stay below their paper bounds on every "
+                "registry scenario (5% Monte-Carlo slack)"
+            )
+        if result.experiment_id == "E12":
+            ok = all(value < 1.0 for value in result.findings.values())
+            return ok, (
+                "streamed demand-aware embedding beats the static embedding "
+                "at datacenter scale"
+            )
     except Exception:  # pragma: no cover - defensive: a malformed table is a failure
         return False, "verdict could not be computed"
     return True, "no automated criterion defined"

@@ -41,6 +41,7 @@ from repro.core.rand_lines import (
 from repro.core.simulator import run_online, run_trials
 from repro.experiments.charts import cost_trajectory_chart
 from repro.experiments.metrics import mean
+from repro.telemetry.trace import regress_phases_against_harmonic
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentScale,
@@ -202,7 +203,8 @@ def run_e2_rand_cliques(
                 )
                 trajectory_notes.append(
                     f"Cost trajectory of rand (paper), n={size}, streamed trace "
-                    f"(no snapshots): {cost_trajectory_chart(traced.trace)}"
+                    f"(no snapshots): {cost_trajectory_chart(traced.trace)} — "
+                    f"{regress_phases_against_harmonic(traced.trace).summary()}"
                 )
             for label, factory in algorithms.items():
                 results = run_trials(
@@ -284,7 +286,8 @@ def run_e3_rand_lines(
                 )
                 trajectory_notes.append(
                     f"Cost trajectory of rand (paper), n={size}, streamed trace "
-                    f"(no snapshots): {cost_trajectory_chart(traced.trace)}"
+                    f"(no snapshots): {cost_trajectory_chart(traced.trace)} — "
+                    f"{regress_phases_against_harmonic(traced.trace).summary()}"
                 )
             for label, factory in algorithms.items():
                 results = run_trials(

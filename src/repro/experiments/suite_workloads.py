@@ -1,0 +1,296 @@
+"""Experiments E11–E12: the scenario-registry sweep and the datacenter case study.
+
+* **E11** sweeps every scenario of the :mod:`repro.workloads.registry`
+  catalog and measures the empirical competitive ratio of ``Det`` and the
+  paper's randomized algorithms (plus the move-smaller ablation) against
+  the certified offline-optimum brackets.  The paper's guarantees are
+  worst-case over *all* reveal orders; the sweep checks that they hold
+  across skewed, bursty, mixed and adversarial scenario shapes alike.
+* **E12** scales the virtual-network case study of Section 1.2 to a
+  datacenter: thousands of heavy-tailed tenants with Zipf-skewed traffic,
+  generated as a lazy stream (the request list is never materialized) and
+  embedded with **batched** updates (the embedding's ``O(n)`` slot maps are
+  refreshed once per batch, not once per reveal).
+
+Both experiments are pure functions of ``(scale, seed)`` like the rest of
+the suite, so the parallel experiment runner reproduces them bit-identically
+for every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.algorithm import OnlineMinLAAlgorithm
+from repro.core.bounds import (
+    det_competitive_bound,
+    rand_cliques_ratio_bound,
+    rand_lines_ratio_bound,
+)
+from repro.core.det import DeterministicClosestLearner
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.opt import offline_optimum_bounds
+from repro.core.permutation import kendall_tau_batch, random_arrangement
+from repro.core.rand_cliques import MoveSmallerCliqueLearner, RandomizedCliqueLearner
+from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
+from repro.core.simulator import run_trials
+from repro.experiments.metrics import mean
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentScale,
+    scale_pick,
+    seeded_rng,
+)
+from repro.experiments.tables import ResultTable
+from repro.graphs.reveal import GraphKind, RevealSequence
+from repro.vnet.controller import DemandAwareController, StaticController
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.workloads.registry import DatacenterScenario, all_scenarios, get_scenario
+
+AlgorithmFactory = Callable[[], OnlineMinLAAlgorithm]
+
+
+def _sweep_factory(label: str, kind: GraphKind) -> AlgorithmFactory:
+    """The per-kind contestant behind one E11 column label."""
+    if label == "det":
+        return DeterministicClosestLearner
+    if label == "rand (paper)":
+        return (
+            RandomizedCliqueLearner
+            if kind is GraphKind.CLIQUES
+            else RandomizedLineLearner
+        )
+    return (
+        MoveSmallerCliqueLearner
+        if kind is GraphKind.CLIQUES
+        else MoveSmallerLineLearner
+    )
+
+
+def _rand_bound(sequences: List[RevealSequence]) -> float:
+    """The paper's randomized guarantee applicable to a (possibly mixed) fleet."""
+    bounds = []
+    for sequence in sequences:
+        if sequence.kind is GraphKind.CLIQUES:
+            bounds.append(rand_cliques_ratio_bound(sequence.num_nodes))
+        else:
+            bounds.append(rand_lines_ratio_bound(sequence.num_nodes))
+    return max(bounds)
+
+
+# ----------------------------------------------------------------------
+# E11 — scenario sweep over the workload registry
+# ----------------------------------------------------------------------
+def run_e11_scenario_sweep(
+    scale: ExperimentScale = ExperimentScale.BENCH, seed: int = 0
+) -> ExperimentResult:
+    """Competitive ratios of det / rand across every registered scenario."""
+    num_nodes: int = scale_pick(scale, 12, 24, 48)
+    trials: int = scale_pick(scale, 3, 8, 16)
+
+    table = ResultTable(
+        title="E11 — scenario sweep: empirical ratios across the workload registry",
+        columns=[
+            "scenario",
+            "kind",
+            "n (largest seq)",
+            "steps",
+            "algorithm",
+            "mean cost",
+            "ratio vs OPT ub",
+            "mean displacement",
+            "paper bound",
+        ],
+    )
+    worst_det_margin = 0.0
+    worst_rand_margin = 0.0
+    for scenario in all_scenarios():
+        sequences = scenario.reveal_sequences(num_nodes, seed)
+        instances: List[Tuple[RevealSequence, OnlineMinLAInstance, int]] = []
+        for index, sequence in enumerate(sequences):
+            rng = seeded_rng(seed, "e11", scenario.name, index)
+            instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+            instances.append((sequence, instance, offline_optimum_bounds(instance).upper))
+        total_steps = sum(len(sequence) for sequence in sequences)
+        largest_n = max(sequence.num_nodes for sequence in sequences)
+        for label in ("det", "rand (paper)", "move smaller"):
+            num_trials = 1 if label == "det" else trials
+            total_cost = 0.0
+            total_opt = 0
+            displacements: List[int] = []
+            for index, (sequence, instance, opt_upper) in enumerate(instances):
+                factory = _sweep_factory(label, sequence.kind)
+                results = run_trials(
+                    factory,
+                    instance,
+                    num_trials=num_trials,
+                    seed=seed + index,
+                )
+                total_cost += mean([result.total_cost for result in results])
+                total_opt += opt_upper
+                # One batched inversion pass over all final arrangements of
+                # the trial block (count_inversions_batch under the hood).
+                displacements.extend(
+                    kendall_tau_batch(
+                        instance.initial_arrangement,
+                        [result.final_arrangement for result in results],
+                    )
+                )
+            ratio = total_cost / max(total_opt, 1)
+            if label == "det":
+                bound = det_competitive_bound(largest_n)
+                worst_det_margin = max(worst_det_margin, ratio / bound)
+            else:
+                bound = _rand_bound(sequences)
+                if label == "rand (paper)":
+                    worst_rand_margin = max(worst_rand_margin, ratio / bound)
+            table.add_row(
+                scenario.name,
+                scenario.kind_label,
+                largest_n,
+                total_steps,
+                label,
+                total_cost,
+                ratio,
+                mean(displacements),
+                bound,
+            )
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Scenario sweep over the workload registry",
+        paper_claim="The guarantees of Theorems 1, 2 and 8 are worst-case "
+        "over all reveal orders: Det stays below 2n-2 and Rand below its "
+        "4/8·H_n bound on every scenario shape — uniform, skewed-popularity, "
+        "bursty, mixed fleets and adversarial replays alike.",
+        tables=[table],
+        findings={
+            "worst det ratio / (2n-2) bound": worst_det_margin,
+            "worst rand ratio / harmonic bound": worst_rand_margin,
+        },
+        notes=[
+            "Each scenario comes from the repro.workloads registry "
+            "(python -m repro scenarios list); mixed fleets contribute one "
+            "instance per graph kind and ratios aggregate cost and OPT over "
+            "both.  Ratios are measured against the certified OPT upper "
+            "bound, so they over-estimate the true competitive ratio.",
+            "The displacement column is the Kendall-tau distance between "
+            "each trial's final arrangement and the initial one, counted for "
+            "the whole trial block in a single count_inversions_batch pass.",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# E12 — datacenter-scale vnet embedding on streamed traffic
+# ----------------------------------------------------------------------
+def run_e12_datacenter_vnet(
+    scale: ExperimentScale = ExperimentScale.BENCH, seed: int = 0
+) -> ExperimentResult:
+    """Streamed, batch-updated embedding at thousands of tenants."""
+    num_tenants: int = scale_pick(scale, 60, 400, 2400)
+    num_requests: int = scale_pick(scale, 1_500, 12_000, 60_000)
+    batch_size: int = scale_pick(scale, 256, 1_024, 4_096)
+
+    table = ResultTable(
+        title="E12 — datacenter embedding: streamed traffic, batched updates",
+        columns=[
+            "traffic",
+            "tenants",
+            "nodes",
+            "requests",
+            "batch",
+            "controller",
+            "reveals",
+            "migration cost",
+            "communication cost",
+            "total cost",
+            "total / static",
+        ],
+    )
+    findings: Dict[str, float] = {}
+    rows: List[Tuple[str, str, int]] = [
+        ("tenant cliques", "datacenter-tenants", num_tenants),
+        ("pipelines", "datacenter-pipelines", max(num_tenants // 4, 2)),
+    ]
+    for traffic_name, scenario_name, tenants in rows:
+        scenario = get_scenario(scenario_name)
+        assert isinstance(scenario, DatacenterScenario)
+        stream = scenario.tenant_stream(
+            tenants, num_requests, f"{seed}|e12|{traffic_name}"
+        )
+        datacenter = LinearDatacenter(stream.num_nodes)
+        initial = Embedding(
+            datacenter,
+            random_arrangement(
+                stream.virtual_nodes, seeded_rng(seed, "e12-init", traffic_name)
+            ),
+        )
+        learner = (
+            RandomizedCliqueLearner
+            if stream.kind is GraphKind.CLIQUES
+            else RandomizedLineLearner
+        )
+        mover = (
+            MoveSmallerCliqueLearner
+            if stream.kind is GraphKind.CLIQUES
+            else MoveSmallerLineLearner
+        )
+        controllers = {
+            "static": StaticController(datacenter),
+            "demand-aware rand (paper)": DemandAwareController(
+                datacenter, learner, name="demand-aware-rand"
+            ),
+            "demand-aware move-smaller": DemandAwareController(
+                datacenter, mover, name="demand-aware-move-smaller"
+            ),
+        }
+        reports = {}
+        for label, controller in controllers.items():
+            run_rng = seeded_rng(seed, "e12-run", traffic_name, label)
+            reports[label] = controller.run_stream(
+                stream,
+                initial_embedding=initial,
+                rng=run_rng,
+                batch_size=batch_size,
+            )
+        static_total = reports["static"].total_cost
+        for label, report in reports.items():
+            ratio = (
+                report.total_cost / static_total if static_total > 0 else float("inf")
+            )
+            table.add_row(
+                traffic_name,
+                tenants,
+                stream.num_nodes,
+                report.num_requests,
+                batch_size,
+                label,
+                report.num_reveals,
+                report.migration_cost,
+                report.communication_cost,
+                report.total_cost,
+                ratio,
+            )
+            if label == "demand-aware rand (paper)":
+                findings[f"demand-aware total / static ({traffic_name})"] = ratio
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Datacenter-scale embedding on streamed traffic (Section 1.2 at scale)",
+        paper_claim="Demand-aware re-embedding keeps paying off at datacenter "
+        "scale: with thousands of tenants and Zipf-skewed traffic, a bounded "
+        "migration investment removes most of the communication cost that a "
+        "static embedding keeps paying.",
+        tables=[table],
+        findings=findings,
+        notes=[
+            "Traffic is generated lazily by the repro.workloads streams "
+            "(datacenter-tenants / datacenter-pipelines scenarios): peak "
+            "memory is bounded by the batch size — the request list is never "
+            "materialized — and the embedding's O(n) slot maps are rebuilt "
+            "once per batch instead of once per reveal.",
+            "The offline oracle is omitted at this scale: its single-jump "
+            "target needs an offline-optimum computation over the full "
+            "pattern, which is the one step that does not stream.",
+        ],
+    )

@@ -5,6 +5,9 @@ archived next to its results.  This module serializes the library's core
 objects to plain JSON-compatible dictionaries (and back):
 
 * reveal sequences (node universe, kind, steps),
+* scenario workloads (registry name + seed + the generated sequences; the
+  loader re-generates from the recipe and verifies bit-identity, so registry
+  drift fails loudly),
 * full instances (sequence + initial permutation),
 * simulation results (algorithm name, per-step cost records with their
   moving/rearranging phase attribution, the streamed cost trace when one
@@ -25,7 +28,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Union
 
 from repro.core.cost import CostLedger, SimulationResult, UpdateRecord
 from repro.core.instance import OnlineMinLAInstance
@@ -66,6 +69,74 @@ def sequence_from_dict(data: Dict[str, Any]) -> RevealSequence:
     if kind is GraphKind.CLIQUES:
         return CliqueRevealSequence(nodes, steps)
     return LineRevealSequence(nodes, steps)
+
+
+# ----------------------------------------------------------------------
+# Scenario workloads
+# ----------------------------------------------------------------------
+def workload_to_dict(
+    scenario_name: str, num_nodes: int, seed: Any
+) -> Dict[str, Any]:
+    """Archive a registry scenario's reveal view next to experiment results.
+
+    The payload stores the generation *recipe* (scenario name, node budget,
+    seed) **and** the generated sequences, so a results directory remains
+    self-describing even if the registry evolves — and the loader can verify
+    the recipe still reproduces the archived workload bit-for-bit.
+    """
+    from repro.workloads.registry import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    sequences = scenario.reveal_sequences(num_nodes, seed)
+    return {
+        "scenario": scenario.name,
+        "num_nodes": num_nodes,
+        "seed": seed,
+        "sequences": [sequence_to_dict(sequence) for sequence in sequences],
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> "List[RevealSequence]":
+    """Rebuild (and re-verify) an archived scenario workload.
+
+    Three layers of validation: the payload's sequences must re-validate
+    against the reveal model, the scenario must still be registered, and
+    regenerating it from the stored ``(num_nodes, seed)`` must reproduce the
+    archived steps exactly — a registry drift that silently changed a
+    scenario's output fails loudly here instead of skewing a comparison.
+    """
+    from repro.workloads.registry import get_scenario
+
+    try:
+        scenario = get_scenario(data["scenario"])
+        num_nodes = data["num_nodes"]
+        seed = data["seed"]
+        sequences = [sequence_from_dict(entry) for entry in data["sequences"]]
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed workload payload: {exc}") from exc
+    regenerated = scenario.reveal_sequences(num_nodes, seed)
+    if len(regenerated) != len(sequences) or any(
+        fresh.kind is not stored.kind
+        or fresh.nodes != stored.nodes
+        or fresh.steps != stored.steps
+        for fresh, stored in zip(regenerated, sequences)
+    ):
+        raise ReproError(
+            f"workload payload is inconsistent: scenario "
+            f"{scenario.name!r} no longer reproduces the archived sequences "
+            f"for num_nodes={num_nodes}, seed={seed!r}"
+        )
+    return sequences
+
+
+def save_workload(scenario_name: str, num_nodes: int, seed: Any, path: PathLike) -> Path:
+    """Serialize a scenario workload (recipe + sequences) to a JSON file."""
+    return save_json(workload_to_dict(scenario_name, num_nodes, seed), path)
+
+
+def load_workload(path: PathLike) -> "List[RevealSequence]":
+    """Load and re-verify a workload previously saved with :func:`save_workload`."""
+    return workload_from_dict(load_json(path))
 
 
 # ----------------------------------------------------------------------

@@ -21,15 +21,18 @@ from repro.telemetry.backends import (
     available_backends,
     count_cross_inversions,
     count_inversions,
+    count_inversions_batch,
     get_backend,
     numpy_available,
     set_backend,
 )
 from repro.telemetry.trace import (
     CostTrace,
+    PhaseRegression,
     TraceEvent,
     TraceRecorder,
     downsample_events,
+    regress_phases_against_harmonic,
 )
 
 __all__ = [
@@ -38,13 +41,16 @@ __all__ = [
     "InversionBackend",
     "MergeSortBackend",
     "NumpyBackend",
+    "PhaseRegression",
     "TraceEvent",
     "TraceRecorder",
     "available_backends",
     "count_cross_inversions",
     "count_inversions",
+    "count_inversions_batch",
     "downsample_events",
     "get_backend",
     "numpy_available",
+    "regress_phases_against_harmonic",
     "set_backend",
 ]

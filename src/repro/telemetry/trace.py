@@ -171,6 +171,95 @@ class TraceRecorder:
         )
 
 
+# ----------------------------------------------------------------------
+# Trace analytics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseRegression:
+    """Least-squares fit of cumulative per-phase cost against the harmonic budget.
+
+    The paper's upper bounds charge each phase of an update against a
+    harmonic budget (Lemmas 5 and 13: the total is ``O(H_n)`` per
+    displaced-pair unit).  This regression makes that budget visible on a
+    concrete run: for every recorded event the cumulative moving and
+    rearranging costs are regressed against ``H_{step+1}``, the harmonic
+    number of the step count.  A roughly linear fit (``r_squared`` near 1)
+    means the run spends its budget at the harmonic rate the analysis
+    predicts; the slope is the run's empirical "cost per harmonic unit".
+    """
+
+    moving_slope: float
+    rearranging_slope: float
+    moving_r_squared: float
+    rearranging_r_squared: float
+    num_events: int
+
+    def summary(self) -> str:
+        """A compact one-line rendering for chart captions."""
+        return (
+            f"phase-vs-H_k regression over {self.num_events} events: "
+            f"moving slope {self.moving_slope:.1f} (R²={self.moving_r_squared:.2f}), "
+            f"rearranging slope {self.rearranging_slope:.1f} "
+            f"(R²={self.rearranging_r_squared:.2f})"
+        )
+
+
+def _harmonic(n: int) -> float:
+    return sum(1.0 / k for k in range(1, n + 1))
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> "Tuple[float, float]":
+    """Slope and R² of the ordinary least-squares line through ``(xs, ys)``."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return 0.0, 1.0
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = covariance / var_x
+    intercept = mean_y - slope * mean_x
+    total = sum((y - mean_y) ** 2 for y in ys)
+    if total == 0:
+        return slope, 1.0
+    residual = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    return slope, 1.0 - residual / total
+
+
+def regress_phases_against_harmonic(trace: CostTrace) -> PhaseRegression:
+    """Regress the cumulative per-phase cost of a trace against ``H_{step+1}``.
+
+    The per-phase cumulative series is rebuilt from the *recorded* events,
+    so the fit is exact for stride-1 traces (``every=1``, what E2/E3
+    record) and an event-sample approximation for downsampled ones.  Needs
+    at least two recorded events.
+    """
+    if len(trace.events) < 2:
+        raise ReproError(
+            "the phase regression needs a trace with at least two recorded events"
+        )
+    xs: List[float] = []
+    moving: List[float] = []
+    rearranging: List[float] = []
+    moving_total = 0
+    rearranging_total = 0
+    for event in trace.events:
+        moving_total += event.moving_cost
+        rearranging_total += event.rearranging_cost
+        xs.append(_harmonic(event.step_index + 1))
+        moving.append(float(moving_total))
+        rearranging.append(float(rearranging_total))
+    moving_slope, moving_r2 = _least_squares(xs, moving)
+    rearranging_slope, rearranging_r2 = _least_squares(xs, rearranging)
+    return PhaseRegression(
+        moving_slope=moving_slope,
+        rearranging_slope=rearranging_slope,
+        moving_r_squared=moving_r2,
+        rearranging_r_squared=rearranging_r2,
+        num_events=len(trace.events),
+    )
+
+
 def downsample_events(
     events: Sequence[TraceEvent],
     max_events: int,

@@ -20,13 +20,27 @@ through the same ledger machinery as the core experiments: the demand-aware
 controller records every learner update (with its moving/rearranging phase
 attribution) in a :class:`~repro.core.cost.CostLedger`, so E10 reports
 phase-split migration costs identically to E2/E3.
+
+Datacenter scale (experiment E12) goes through :meth:`run_stream` instead of
+:meth:`run`: the traffic arrives as a lazy
+:class:`~repro.workloads.base.RequestStream` consumed in batches, and the
+embedding is refreshed **once per batch** rather than once per reveal.
+Rebuilding the embedding's slot maps costs ``O(n)``, so per-reveal refreshes
+cost ``O(n · reveals)`` — prohibitive at thousands of tenants — while the
+batched path pays ``O(n · batches)`` and keeps peak memory bounded by the
+batch size (the request list is never materialized).  Requests inside a
+batch are served on the embedding as of the batch start; the learner's swap
+accounting is unchanged.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.base import RequestStream
 
 from repro.core.algorithm import OnlineMinLAAlgorithm
 from repro.core.cost import CostLedger
@@ -57,6 +71,10 @@ class ControllerReport:
     """
     migration_cost_per_swap: float = 1.0
     """The datacenter's price per adjacent swap (scales the ledger totals)."""
+    num_reveals: int = 0
+    """Requests that revealed a new piece of the hidden pattern."""
+    num_batches: int = 0
+    """Batches consumed by a streamed run (0 for materialized runs)."""
 
     @property
     def total_cost(self) -> float:
@@ -104,6 +122,36 @@ class StaticController:
             communication_cost=communication,
             migration_ledger=CostLedger(),
             migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
+        )
+
+    def run_stream(
+        self,
+        stream: "RequestStream",
+        initial_embedding: Optional[Embedding] = None,
+        rng: Optional[random.Random] = None,
+        batch_size: int = 1024,
+    ) -> ControllerReport:
+        """Replay a lazy request stream without ever moving a virtual node.
+
+        Peak memory is bounded by ``batch_size``: the stream is consumed in
+        batches and only the running communication total is kept.
+        """
+        embedding = _default_embedding(self._datacenter, stream, initial_embedding)
+        communication = 0.0
+        num_requests = 0
+        num_batches = 0
+        for batch in stream.batches(batch_size):
+            communication += embedding.communication_cost(batch)
+            num_requests += len(batch)
+            num_batches += 1
+        return ControllerReport(
+            controller_name=self.name,
+            num_requests=num_requests,
+            migration_cost=0.0,
+            communication_cost=communication,
+            migration_ledger=CostLedger(),
+            migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
+            num_batches=num_batches,
         )
 
 
@@ -185,24 +233,93 @@ class DemandAwareController:
             communication_cost=communication,
             migration_ledger=ledger,
             migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
+            num_reveals=len(ledger),
+        )
+
+    def run_stream(
+        self,
+        stream: "RequestStream",
+        initial_embedding: Optional[Embedding] = None,
+        rng: Optional[random.Random] = None,
+        batch_size: int = 1024,
+    ) -> ControllerReport:
+        """Replay a lazy request stream with **batched** embedding updates.
+
+        Requests are consumed in batches of ``batch_size``; reveals detected
+        inside a batch are fed to the learner immediately (its swap
+        accounting is identical to :meth:`run`), but the embedding's slot
+        maps — ``O(n)`` to rebuild — are refreshed only once per batch, so
+        requests are served on the embedding as of the batch start.  Peak
+        memory is bounded by the batch size plus the ``O(n)`` pattern state;
+        the request list is never materialized.
+        """
+        if stream.kind is None:
+            raise EmbeddingError(
+                "the demand-aware controller needs a kind-pure stream "
+                "(all tenant cliques or all pipelines)"
+            )
+        embedding = _default_embedding(self._datacenter, stream, initial_embedding)
+        learner = self._learner_factory()
+        learner.reset(
+            nodes=list(stream.virtual_nodes),
+            kind=stream.kind,
+            initial_arrangement=embedding.arrangement,
+            rng=rng if rng is not None else random.Random(0),
+        )
+        components = DisjointSetForest(stream.virtual_nodes)
+        line_view = (
+            LineForest(stream.virtual_nodes) if stream.kind is GraphKind.LINES else None
+        )
+        ledger = CostLedger()
+        communication = 0.0
+        num_requests = 0
+        num_batches = 0
+        for batch in stream.batches(batch_size):
+            communication += embedding.communication_cost(batch)
+            num_requests += len(batch)
+            num_batches += 1
+            revealed_in_batch = False
+            for u, v in batch:
+                if not components.connected(u, v):
+                    if line_view is not None:
+                        line_view.add_edge(u, v)
+                    ledger.add(learner.process(RevealStep(u, v)))
+                    components.union(u, v)
+                    revealed_in_batch = True
+            if revealed_in_batch:
+                embedding = embedding.with_arrangement(learner.current_arrangement)
+        return ControllerReport(
+            controller_name=self.name,
+            num_requests=num_requests,
+            migration_cost=self._datacenter.migration_cost(ledger.total_cost),
+            communication_cost=communication,
+            migration_ledger=ledger,
+            migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
+            num_reveals=len(ledger),
+            num_batches=num_batches,
         )
 
 
 def _default_embedding(
     datacenter: LinearDatacenter,
-    trace: TrafficTrace,
+    workload,
     initial_embedding: Optional[Embedding],
 ) -> Embedding:
-    """Validate a provided embedding or build the canonical initial one."""
+    """Validate a provided embedding or build the canonical initial one.
+
+    ``workload`` is anything carrying ``virtual_nodes`` / ``num_nodes`` — a
+    materialized :class:`~repro.vnet.traffic.TrafficTrace` or a lazy
+    :class:`~repro.workloads.base.RequestStream`.
+    """
     if initial_embedding is not None:
         if initial_embedding.datacenter != datacenter:
             raise EmbeddingError("the provided embedding uses a different datacenter")
-        if initial_embedding.arrangement.nodes != frozenset(trace.virtual_nodes):
+        if initial_embedding.arrangement.nodes != frozenset(workload.virtual_nodes):
             raise EmbeddingError("the provided embedding does not cover the trace's nodes")
         return initial_embedding
-    if datacenter.num_slots != trace.num_nodes:
+    if datacenter.num_slots != workload.num_nodes:
         raise EmbeddingError(
             f"the datacenter has {datacenter.num_slots} slots but the trace uses "
-            f"{trace.num_nodes} virtual nodes"
+            f"{workload.num_nodes} virtual nodes"
         )
-    return Embedding.initial(datacenter, trace.virtual_nodes)
+    return Embedding.initial(datacenter, workload.virtual_nodes)

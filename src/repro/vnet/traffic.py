@@ -13,6 +13,14 @@ A :class:`TrafficTrace` carries both views of the same workload: the raw
 request stream (used to charge communication cost) and the induced reveal
 sequence (the first time two components of the hidden pattern communicate,
 the learning algorithm treats it as a reveal and may migrate).
+
+Since the workloads subsystem landed, this module is a thin adapter: the
+request draws come from the lazy generators of
+:mod:`repro.workloads.streaming` (bit-identical :class:`random.Random`
+call order, guarded by golden fingerprint tests), and this module only
+materializes them into the historical :class:`TrafficTrace` shape.
+Datacenter-scale consumers (experiment E12) skip the materialization and
+iterate :class:`~repro.workloads.base.RequestStream` batches instead.
 """
 
 from __future__ import annotations
@@ -30,6 +38,13 @@ from repro.graphs.reveal import (
     LineRevealSequence,
     RevealSequence,
     RevealStep,
+)
+from repro.workloads.streaming import (
+    iter_pipeline_requests,
+    iter_tenant_requests,
+    pair_count_weights,
+    pipeline_edges,
+    split_groups,
 )
 
 VirtualNode = Hashable
@@ -72,20 +87,14 @@ def tenant_traffic(
         raise ReproError("num_requests must be positive")
     if not group_sizes or any(size < 2 for size in group_sizes):
         raise ReproError("every tenant group needs at least two virtual nodes")
+    groups = split_groups(group_sizes)
     nodes: List[VirtualNode] = list(range(sum(group_sizes)))
-    groups: List[List[VirtualNode]] = []
-    offset = 0
-    for size in group_sizes:
-        groups.append(nodes[offset : offset + size])
-        offset += size
-    weights = [len(group) * (len(group) - 1) // 2 for group in groups]
+    weights = pair_count_weights(groups)
 
     requests: List[Request] = []
     reveal_steps: List[RevealStep] = []
     components = DisjointSetForest(nodes)
-    for _ in range(num_requests):
-        group = rng.choices(groups, weights=weights)[0]
-        u, v = rng.sample(group, 2)
+    for u, v in iter_tenant_requests(groups, weights, num_requests, rng):
         requests.append((u, v))
         if not components.connected(u, v):
             components.union(u, v)
@@ -112,19 +121,14 @@ def pipeline_traffic(
         raise ReproError("num_requests must be positive")
     if not pipeline_sizes or any(size < 2 for size in pipeline_sizes):
         raise ReproError("every pipeline needs at least two virtual nodes")
+    groups = split_groups(pipeline_sizes)
     nodes: List[VirtualNode] = list(range(sum(pipeline_sizes)))
-    edges: List[Request] = []
-    offset = 0
-    for size in pipeline_sizes:
-        members = nodes[offset : offset + size]
-        offset += size
-        edges.extend(zip(members, members[1:]))
+    edges = pipeline_edges(groups)
 
     requests: List[Request] = []
     reveal_steps: List[RevealStep] = []
     revealed = LineForest(nodes)
-    for _ in range(num_requests):
-        u, v = rng.choice(edges)
+    for u, v in iter_pipeline_requests(edges, num_requests, rng):
         requests.append((u, v))
         if not revealed.same_component(u, v):
             revealed.add_edge(u, v)

@@ -1,0 +1,160 @@
+"""The :class:`Scenario` protocol and lazily generated request streams.
+
+A *scenario* is a named, reproducible description of a workload.  Every
+scenario offers the same two views:
+
+* :meth:`Scenario.reveal_sequences` — the online learning MinLA view: one or
+  more validated reveal sequences (a mixed fleet yields one sequence per
+  graph kind, since the paper's model requires each chain of graphs to be
+  all-cliques or all-lines).
+* :meth:`Scenario.request_stream` — the virtual-network view: a lazy stream
+  of point-to-point communication requests whose hidden pattern is the same
+  fleet of cliques and lines.
+
+Both views are pure functions of ``(parameters, seed)``: generating a
+scenario twice with the same seed yields bit-identical sequences and
+streams, whatever the worker count or batching.  Streams are *re-iterable* —
+every iteration restarts the deterministic generator from the seed — and
+never materialize the request list, so datacenter-scale traffic (thousands
+of tenants, millions of requests) runs in memory bounded by the consumer's
+batch size.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.graphs.reveal import GraphKind, RevealSequence
+
+Node = Hashable
+Request = Tuple[Node, Node]
+
+#: The three workload scales understood by scenarios (mirrors
+#: ``repro.experiments.runner.ExperimentScale`` without importing it, so the
+#: workloads package stays dependency-free of the experiment harness).
+SCALE_NAMES = ("smoke", "bench", "full")
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Per-scale generation parameters of one scenario."""
+
+    num_nodes: int
+    num_requests: int
+
+
+def check_scale(scale: str) -> str:
+    """Validate a scale name (``smoke`` / ``bench`` / ``full``)."""
+    if scale not in SCALE_NAMES:
+        raise ReproError(
+            f"unknown workload scale {scale!r}; choose one of {list(SCALE_NAMES)}"
+        )
+    return scale
+
+
+@dataclass(frozen=True)
+class RequestStream:
+    """A lazy, re-iterable, deterministic stream of communication requests.
+
+    The stream never stores its requests: ``factory`` builds a fresh
+    generator (seeded identically) on every iteration, so two passes over
+    the same stream — or a batched and an unbatched pass — see bit-identical
+    requests while peak memory stays bounded by the consumer's batch size.
+
+    ``kind`` names the hidden pattern when it is kind-pure (all tenant
+    cliques or all pipelines); mixed fleets carry ``kind=None`` and cannot
+    be materialized into a single :class:`~repro.vnet.traffic.TrafficTrace`.
+    """
+
+    virtual_nodes: Tuple[Node, ...]
+    num_requests: int
+    kind: Optional[GraphKind]
+    factory: Callable[[], Iterator[Request]] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ReproError("a request stream needs at least one request")
+        if len(set(self.virtual_nodes)) != len(self.virtual_nodes):
+            raise ReproError("request stream node universe contains duplicates")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of virtual nodes of the hidden pattern."""
+        return len(self.virtual_nodes)
+
+    def __iter__(self) -> Iterator[Request]:
+        return itertools.islice(self.factory(), self.num_requests)
+
+    def batches(self, batch_size: int) -> Iterator[List[Request]]:
+        """Yield the stream in lists of at most ``batch_size`` requests.
+
+        The underlying generator is consumed incrementally: at no point are
+        more than ``batch_size`` requests buffered.
+        """
+        if batch_size < 1:
+            raise ReproError(f"batch size must be a positive integer, got {batch_size}")
+        iterator = iter(self)
+        while True:
+            batch = list(itertools.islice(iterator, batch_size))
+            if not batch:
+                return
+            yield batch
+
+    def materialize_trace(self):
+        """Materialize the stream into a :class:`~repro.vnet.traffic.TrafficTrace`.
+
+        Only valid for kind-pure streams (a mixed fleet's hidden pattern is
+        not a single collection of cliques or lines).  Intended for small
+        workloads and equivalence tests — datacenter-scale consumers should
+        iterate :meth:`batches` instead.
+        """
+        from repro.workloads.streaming import materialize_trace
+
+        return materialize_trace(self)
+
+
+class Scenario(abc.ABC):
+    """A named, seedable workload: reveal sequences plus a request stream.
+
+    Subclasses must set :attr:`name`, :attr:`description` and
+    :attr:`kind_label` (``"cliques"``, ``"lines"`` or ``"mixed"``) and
+    implement the two generation methods.  Every method must be a pure
+    function of its arguments — scenario objects hold configuration only,
+    never random state.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    kind_label: str = "mixed"
+
+    #: Per-scale default sizes for ``python -m repro scenarios run``.
+    scale_params = {
+        "smoke": ScenarioParams(num_nodes=24, num_requests=400),
+        "bench": ScenarioParams(num_nodes=64, num_requests=2_000),
+        "full": ScenarioParams(num_nodes=128, num_requests=10_000),
+    }
+
+    def default_params(self, scale: str) -> ScenarioParams:
+        """The scenario's default ``(num_nodes, num_requests)`` at a scale."""
+        return self.scale_params[check_scale(scale)]
+
+    @abc.abstractmethod
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        """Deterministic reveal sequences over ``num_nodes`` nodes.
+
+        Kind-pure scenarios return one sequence; mixed fleets return one
+        sequence per graph kind over disjoint node universes.
+        """
+
+    @abc.abstractmethod
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        """A deterministic lazy request stream over the same hidden fleet."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Scenario {self.name!r} ({self.kind_label})>"

@@ -1,0 +1,128 @@
+"""Merge-order policies: how a fleet's reveal steps interleave over time.
+
+Each component of a fleet (a tenant's clique merges, a pipeline's edge
+reveals) produces its own ordered step list; a :class:`MergeOrderPolicy`
+decides the global order in which the steps of different components arrive.
+The policies model the traffic shapes that motivate the paper's
+applications:
+
+* :class:`UniformInterleave` — every pending step equally likely next (the
+  baseline used by ``tenant_clique_sequence`` / ``pipeline_line_sequence``),
+* :class:`ZipfInterleave` — skewed component popularity: low-indexed
+  components reveal (and, in the traffic view, talk) far more often,
+* :class:`BurstyInterleave` — temporal locality: one component emits a burst
+  of consecutive steps before the spotlight moves on (pipelines deploying
+  stage by stage),
+* :class:`SequentialOrder` — components reveal strictly one after another.
+
+Policies are stateless; all randomness comes from the caller's
+:class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.graphs.reveal import RevealStep
+
+
+class MergeOrderPolicy(abc.ABC):
+    """How the per-component step lists of a fleet interleave."""
+
+    @abc.abstractmethod
+    def interleave(
+        self, groups: Sequence[Sequence[RevealStep]], rng: random.Random
+    ) -> List[RevealStep]:
+        """One global step order preserving each component's internal order."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for catalogs."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class UniformInterleave(MergeOrderPolicy):
+    """Every pending step is equally likely to arrive next."""
+
+    def interleave(
+        self, groups: Sequence[Sequence[RevealStep]], rng: random.Random
+    ) -> List[RevealStep]:
+        from repro.workloads.generation import random_interleave
+
+        return random_interleave(groups, rng)
+
+    def describe(self) -> str:
+        return "uniform interleave"
+
+
+@dataclass(frozen=True)
+class ZipfInterleave(MergeOrderPolicy):
+    """Zipf-skewed component popularity (component ``i`` has weight ``(i+1)^-s``).
+
+    The popularity weights come from the same
+    :func:`repro.workloads.streaming.zipf_weights` formula the traffic view
+    uses, so the reveal order and the request stream skew identically.
+    """
+
+    exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ReproError("the Zipf exponent must be positive")
+
+    def interleave(
+        self, groups: Sequence[Sequence[RevealStep]], rng: random.Random
+    ) -> List[RevealStep]:
+        from repro.workloads.generation import weighted_interleave
+        from repro.workloads.streaming import zipf_weights
+
+        popularity = zipf_weights(len(groups), self.exponent)
+        return weighted_interleave(
+            groups, rng, lambda index, remaining: popularity[index]
+        )
+
+    def describe(self) -> str:
+        return f"Zipf-skewed interleave (s={self.exponent})"
+
+
+@dataclass(frozen=True)
+class BurstyInterleave(MergeOrderPolicy):
+    """Temporal locality: bursts of consecutive steps from one component."""
+
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.burst_length < 1:
+            raise ReproError("the burst length must be a positive integer")
+
+    def interleave(
+        self, groups: Sequence[Sequence[RevealStep]], rng: random.Random
+    ) -> List[RevealStep]:
+        from repro.workloads.generation import weighted_interleave
+
+        return weighted_interleave(
+            groups,
+            rng,
+            lambda index, remaining: remaining,
+            burst_length=self.burst_length,
+        )
+
+    def describe(self) -> str:
+        return f"bursty interleave (bursts of {self.burst_length})"
+
+
+@dataclass(frozen=True)
+class SequentialOrder(MergeOrderPolicy):
+    """Components reveal one after another, in fleet order."""
+
+    def interleave(
+        self, groups: Sequence[Sequence[RevealStep]], rng: random.Random
+    ) -> List[RevealStep]:
+        return [step for group in groups for step in group]
+
+    def describe(self) -> str:
+        return "sequential (component after component)"

@@ -1,0 +1,441 @@
+"""The named scenario registry and the built-in scenario catalog.
+
+Scenarios register under unique names and are looked up by the CLI
+(``python -m repro scenarios list/run``), the E11 scenario sweep and the
+E12 datacenter case study.  The ``REPRO_SCENARIO`` environment variable
+selects a default scenario for ``scenarios run``; like every ``REPRO_*``
+override it is validated through :mod:`repro.envconfig` — an unknown name
+raises a :class:`~repro.errors.ReproError` listing the registered ones
+instead of silently falling back.
+
+The built-in catalog composes the pieces of :mod:`repro.workloads.sizes`
+(fixed / heavy-tailed / single-component size distributions),
+:mod:`repro.workloads.orders` (uniform / Zipf / bursty / sequential merge
+orders) and :mod:`repro.workloads.streaming` (lazy request generation), plus
+two replay scenarios built on :mod:`repro.adversary`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.envconfig import read_env_choice
+from repro.errors import ReproError
+from repro.graphs.reveal import GraphKind, RevealSequence
+from repro.workloads.base import RequestStream, Scenario, ScenarioParams
+from repro.workloads.generation import (
+    balanced_clique_merge_sequence,
+    composed_sequences,
+    growing_clique_sequence,
+)
+from repro.workloads.orders import (
+    BurstyInterleave,
+    MergeOrderPolicy,
+    UniformInterleave,
+    ZipfInterleave,
+)
+from repro.workloads.sizes import (
+    HeavyTailedSizes,
+    SingleComponent,
+    SizeDistribution,
+)
+from repro.workloads.streaming import (
+    mixed_request_stream,
+    pipeline_request_stream,
+    tenant_request_stream,
+)
+
+#: Environment variable naming the default scenario for ``scenarios run``.
+SCENARIO_ENV_VAR = "REPRO_SCENARIO"
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names must be unique)."""
+    if not scenario.name or scenario.name == "abstract":
+        raise ReproError("scenarios must carry a concrete name")
+    if scenario.name in _REGISTRY:
+        raise ReproError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    """The registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every registered scenario, in name order."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name (unknown names raise a clear error)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; choose one of {scenario_names()}"
+        ) from None
+
+
+def default_scenario_name(default: Optional[str] = None) -> Optional[str]:
+    """The ``REPRO_SCENARIO`` override, validated against the registry."""
+    return read_env_choice(SCENARIO_ENV_VAR, scenario_names(), default=default)
+
+
+# ----------------------------------------------------------------------
+# Composed scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ComposedScenario(Scenario):
+    """A scenario assembled from size / pattern / order / weighting pieces.
+
+    ``clique_fraction`` controls the pattern mix: 1.0 is a clique-only
+    fleet, 0.0 line-only, anything in between assigns each component's kind
+    by a seeded coin with that bias.
+    """
+
+    name: str = "composed"
+    description: str = ""
+    clique_fraction: float = 1.0
+    sizes: SizeDistribution = field(default_factory=SingleComponent)
+    order: MergeOrderPolicy = field(default_factory=UniformInterleave)
+    traffic_weighting: str = "pairs"
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.clique_fraction <= 1.0:
+            raise ReproError("clique_fraction must lie in [0, 1]")
+
+    @property
+    def kind_label(self) -> str:  # type: ignore[override]
+        if self.clique_fraction == 1.0:
+            return "cliques"
+        if self.clique_fraction == 0.0:
+            return "lines"
+        return "mixed"
+
+    def fleet(self, num_nodes: int, seed: object) -> List[Tuple[GraphKind, int]]:
+        """The hidden component fleet: ``(kind, size)`` per component.
+
+        Derived from its own salted stream, so the reveal view and the
+        traffic view of one ``(num_nodes, seed)`` pair share the same fleet.
+        """
+        rng = random.Random(f"{seed}|{self.name}|fleet")
+        component_sizes = self.sizes.sample(num_nodes, rng)
+        fleet: List[Tuple[GraphKind, int]] = []
+        for size in component_sizes:
+            if self.clique_fraction >= 1.0:
+                kind = GraphKind.CLIQUES
+            elif self.clique_fraction <= 0.0:
+                kind = GraphKind.LINES
+            else:
+                kind = (
+                    GraphKind.CLIQUES
+                    if rng.random() < self.clique_fraction
+                    else GraphKind.LINES
+                )
+            fleet.append((kind, size))
+        return fleet
+
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        fleet = self.fleet(num_nodes, seed)
+        rng = random.Random(f"{seed}|{self.name}|reveal")
+        return composed_sequences(fleet, self.order, rng)
+
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        fleet = self.fleet(num_nodes, seed)
+        # Traffic components need at least two nodes; singletons are silent
+        # (they never communicate), so fold each into the previous component.
+        clique_sizes = [size for kind, size in fleet if kind is GraphKind.CLIQUES]
+        line_sizes = [size for kind, size in fleet if kind is GraphKind.LINES]
+        clique_sizes = _fold_singletons(clique_sizes)
+        line_sizes = _fold_singletons(line_sizes)
+        salt = f"{seed}|{self.name}"
+        if clique_sizes and not line_sizes:
+            return tenant_request_stream(
+                clique_sizes,
+                num_requests,
+                salt,
+                weighting=self.traffic_weighting,
+                zipf_exponent=self.zipf_exponent,
+            )
+        if line_sizes and not clique_sizes:
+            return pipeline_request_stream(
+                line_sizes,
+                num_requests,
+                salt,
+                weighting=self.traffic_weighting,
+                zipf_exponent=self.zipf_exponent,
+            )
+        return mixed_request_stream(
+            clique_sizes,
+            line_sizes,
+            num_requests,
+            salt,
+            weighting=self.traffic_weighting,
+            zipf_exponent=self.zipf_exponent,
+        )
+
+
+def _fold_singletons(sizes: List[int]) -> List[int]:
+    """Merge size-1 components into a neighbour (traffic needs pairs)."""
+    folded: List[int] = []
+    carry = 0
+    for size in sizes:
+        if size < 2:
+            carry += size
+            continue
+        folded.append(size + carry)
+        carry = 0
+    if carry:
+        if folded:
+            folded[-1] += carry
+        elif carry >= 2:
+            folded.append(carry)
+    return folded
+
+
+# ----------------------------------------------------------------------
+# Special (non-composed) scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GrowingHotspotScenario(Scenario):
+    """One clique absorbs every other node — the Lemma 5 tight workload."""
+
+    name: str = "growing-hotspot"
+    description: str = (
+        "a single hotspot clique absorbs all nodes one by one (harmonic "
+        "budget is tight); traffic is uniform pairs inside the hotspot"
+    )
+    kind_label: str = "cliques"
+
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        return [growing_clique_sequence(num_nodes)]
+
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        return tenant_request_stream([num_nodes], num_requests, f"{seed}|{self.name}")
+
+
+@dataclass(frozen=True)
+class TournamentScenario(Scenario):
+    """Balanced tournament merges (pairs, pairs of pairs, …)."""
+
+    name: str = "tournament-merge"
+    description: str = (
+        "tournament-style clique merges with shuffled per-round pairing "
+        "(the most balanced merge tree)"
+    )
+    kind_label: str = "cliques"
+
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        rng = random.Random(f"{seed}|{self.name}|reveal")
+        return [balanced_clique_merge_sequence(num_nodes, rng)]
+
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        return tenant_request_stream([num_nodes], num_requests, f"{seed}|{self.name}")
+
+
+@dataclass(frozen=True)
+class AdversaryTreeScenario(Scenario):
+    """Replay of the Theorem 15 binary-tree adversary via ``repro.adversary``."""
+
+    name: str = "adversary-tree"
+    description: str = (
+        "the Theorem 15 randomized lower-bound distribution replayed through "
+        "repro.adversary (line edges in binary-tournament order)"
+    )
+    kind_label: str = "lines"
+
+    @staticmethod
+    def _fleet_size(num_nodes: int) -> int:
+        """Theorem 15's construction is defined on powers of two; both views
+        round the budget down to the largest one that fits, so they always
+        describe the same hidden fleet."""
+        if num_nodes < 2:
+            raise ReproError("the tree adversary needs at least two nodes")
+        return 1 << (num_nodes.bit_length() - 1)
+
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        # Imported lazily: repro.adversary pulls in the core simulator, which
+        # would otherwise form an import cycle with the generator adapters.
+        from repro.adversary.tree_adversary import tree_adversary_sequence
+
+        rng = random.Random(f"{seed}|{self.name}|reveal")
+        sequence, _ = tree_adversary_sequence(self._fleet_size(num_nodes), rng)
+        return [sequence]
+
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        return pipeline_request_stream(
+            [self._fleet_size(num_nodes)], num_requests, f"{seed}|{self.name}"
+        )
+
+
+@dataclass(frozen=True)
+class AdversaryLineScenario(Scenario):
+    """Worst-case line growth: a single path revealed in random order."""
+
+    name: str = "adversary-line"
+    description: str = (
+        "a single hidden path revealed in adversarially shuffled edge order "
+        "(the workload family of the Theorem 16 adversary)"
+    )
+    kind_label: str = "lines"
+
+    def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:
+        from repro.workloads.generation import random_line_sequence
+
+        rng = random.Random(f"{seed}|{self.name}|reveal")
+        return [random_line_sequence(num_nodes, rng)]
+
+    def request_stream(
+        self, num_nodes: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        return pipeline_request_stream(
+            [num_nodes], num_requests, f"{seed}|{self.name}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in catalog
+# ----------------------------------------------------------------------
+_DATACENTER_SCALE = {
+    "smoke": ScenarioParams(num_nodes=120, num_requests=1_200),
+    "bench": ScenarioParams(num_nodes=1_000, num_requests=10_000),
+    "full": ScenarioParams(num_nodes=5_000, num_requests=60_000),
+}
+
+
+@dataclass(frozen=True)
+class DatacenterScenario(ComposedScenario):
+    """A composed scenario sized for datacenter-scale streaming (E12)."""
+
+    scale_params = _DATACENTER_SCALE
+
+    def tenant_stream(
+        self, num_tenants: int, num_requests: int, seed: object
+    ) -> RequestStream:
+        """A stream over exactly ``num_tenants`` components (E12's knob)."""
+        rng = random.Random(f"{seed}|{self.name}|tenants")
+        component_sizes = self.sizes.sample_count(num_tenants, rng)
+        salt = f"{seed}|{self.name}"
+        if self.clique_fraction >= 1.0:
+            return tenant_request_stream(
+                component_sizes,
+                num_requests,
+                salt,
+                weighting=self.traffic_weighting,
+                zipf_exponent=self.zipf_exponent,
+            )
+        if self.clique_fraction <= 0.0:
+            return pipeline_request_stream(
+                component_sizes,
+                num_requests,
+                salt,
+                weighting=self.traffic_weighting,
+                zipf_exponent=self.zipf_exponent,
+            )
+        half = len(component_sizes) // 2
+        return mixed_request_stream(
+            component_sizes[:half],
+            component_sizes[half:],
+            num_requests,
+            salt,
+            weighting=self.traffic_weighting,
+            zipf_exponent=self.zipf_exponent,
+        )
+
+
+register(
+    ComposedScenario(
+        name="uniform-cliques",
+        description="one clique grown by uniform random merges (the E2 workload)",
+        clique_fraction=1.0,
+        sizes=SingleComponent(),
+        order=UniformInterleave(),
+    )
+)
+register(
+    ComposedScenario(
+        name="uniform-lines",
+        description="one hidden path, edges revealed in uniform random order "
+        "(the E3 workload)",
+        clique_fraction=0.0,
+        sizes=SingleComponent(),
+        order=UniformInterleave(),
+    )
+)
+register(
+    ComposedScenario(
+        name="zipf-tenants",
+        description="heavy-tailed tenant cliques with Zipf-skewed popularity "
+        "(a few hot tenants dominate reveals and traffic)",
+        clique_fraction=1.0,
+        sizes=HeavyTailedSizes(alpha=1.4, min_size=2, max_size=16),
+        order=ZipfInterleave(exponent=1.2),
+        traffic_weighting="zipf",
+        zipf_exponent=1.2,
+    )
+)
+register(
+    ComposedScenario(
+        name="bursty-pipelines",
+        description="heavy-tailed pipelines deployed in temporal bursts "
+        "(stage-by-stage rollouts)",
+        clique_fraction=0.0,
+        sizes=HeavyTailedSizes(alpha=1.6, min_size=2, max_size=12),
+        order=BurstyInterleave(burst_length=6),
+    )
+)
+register(
+    ComposedScenario(
+        name="mixed-fleet",
+        description="a fleet mixing tenant cliques and pipelines "
+        "(per-kind reveal sequences, one shared traffic stream)",
+        clique_fraction=0.5,
+        sizes=HeavyTailedSizes(alpha=1.6, min_size=2, max_size=12),
+        order=UniformInterleave(),
+    )
+)
+register(GrowingHotspotScenario())
+register(TournamentScenario())
+register(AdversaryTreeScenario())
+register(AdversaryLineScenario())
+register(
+    DatacenterScenario(
+        name="datacenter-tenants",
+        description="datacenter-scale tenant cliques: thousands of "
+        "heavy-tailed tenants, Zipf-skewed traffic, streamed generation "
+        "(the E12 workload)",
+        clique_fraction=1.0,
+        sizes=HeavyTailedSizes(alpha=1.5, min_size=2, max_size=8),
+        order=ZipfInterleave(exponent=1.1),
+        traffic_weighting="zipf",
+        zipf_exponent=1.1,
+    )
+)
+register(
+    DatacenterScenario(
+        name="datacenter-pipelines",
+        description="datacenter-scale pipelines: thousands of heavy-tailed "
+        "pipelines, Zipf-skewed traffic, streamed generation (E12's line row)",
+        clique_fraction=0.0,
+        sizes=HeavyTailedSizes(alpha=1.5, min_size=2, max_size=8),
+        order=BurstyInterleave(burst_length=6),
+        traffic_weighting="zipf",
+        zipf_exponent=1.1,
+    )
+)

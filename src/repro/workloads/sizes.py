@@ -1,0 +1,137 @@
+"""Component-size distributions for composing scenario fleets.
+
+A scenario's fleet is described by the sizes of its final components
+(tenant groups, pipelines).  A :class:`SizeDistribution` turns either a
+*node budget* (:meth:`~SizeDistribution.sample`: split ``total_nodes``
+nodes into components) or a *component budget*
+(:meth:`~SizeDistribution.sample_count`: draw exactly ``num_components``
+sizes) into a concrete size list, deterministically from the provided
+:class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+class SizeDistribution(abc.ABC):
+    """How large the final components of a fleet are."""
+
+    @abc.abstractmethod
+    def sample(self, total_nodes: int, rng: random.Random) -> List[int]:
+        """Component sizes that sum exactly to ``total_nodes``."""
+
+    @abc.abstractmethod
+    def sample_count(self, num_components: int, rng: random.Random) -> List[int]:
+        """Exactly ``num_components`` component sizes (sum unconstrained)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for catalogs."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedSizes(SizeDistribution):
+    """Every component has the same size (a remainder joins the last one)."""
+
+    component_size: int
+
+    def __post_init__(self) -> None:
+        if self.component_size < 1:
+            raise ReproError("component size must be a positive integer")
+
+    def sample(self, total_nodes: int, rng: random.Random) -> List[int]:
+        if total_nodes < 1:
+            raise ReproError("size distributions need a positive node budget")
+        count, remainder = divmod(total_nodes, self.component_size)
+        if count == 0:
+            return [total_nodes]
+        sizes = [self.component_size] * count
+        sizes[-1] += remainder
+        return sizes
+
+    def sample_count(self, num_components: int, rng: random.Random) -> List[int]:
+        if num_components < 1:
+            raise ReproError("size distributions need a positive component budget")
+        return [self.component_size] * num_components
+
+    def describe(self) -> str:
+        return f"fixed size {self.component_size}"
+
+
+@dataclass(frozen=True)
+class HeavyTailedSizes(SizeDistribution):
+    """Pareto-tailed component sizes (a few large tenants, many small ones).
+
+    Sizes are ``min_size - 1 + ceil(Pareto(alpha))`` draws, optionally capped
+    at ``max_size``; smaller ``alpha`` means a heavier tail.  Sampling under
+    a node budget clips the last component so sizes always sum exactly to
+    the budget (and merges a sub-``min_size`` remainder into the last
+    component).
+    """
+
+    alpha: float = 1.6
+    min_size: int = 2
+    max_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ReproError("the Pareto tail exponent must be positive")
+        if self.min_size < 1:
+            raise ReproError("the minimum component size must be positive")
+        if self.max_size is not None and self.max_size < self.min_size:
+            raise ReproError("max_size must be at least min_size")
+
+    def _draw(self, rng: random.Random) -> int:
+        size = self.min_size - 1 + int(rng.paretovariate(self.alpha))
+        size = max(size, self.min_size)
+        if self.max_size is not None:
+            size = min(size, self.max_size)
+        return size
+
+    def sample(self, total_nodes: int, rng: random.Random) -> List[int]:
+        if total_nodes < 1:
+            raise ReproError("size distributions need a positive node budget")
+        sizes: List[int] = []
+        remaining = total_nodes
+        while remaining > 0:
+            size = min(self._draw(rng), remaining)
+            if remaining - size < self.min_size and remaining - size > 0:
+                # A leftover smaller than min_size would be an invalid
+                # component; fold it into this one instead.
+                size = remaining
+            sizes.append(size)
+            remaining -= size
+        return sizes
+
+    def sample_count(self, num_components: int, rng: random.Random) -> List[int]:
+        if num_components < 1:
+            raise ReproError("size distributions need a positive component budget")
+        return [self._draw(rng) for _ in range(num_components)]
+
+    def describe(self) -> str:
+        cap = f", cap {self.max_size}" if self.max_size is not None else ""
+        return f"heavy-tailed (alpha={self.alpha}, min {self.min_size}{cap})"
+
+
+@dataclass(frozen=True)
+class SingleComponent(SizeDistribution):
+    """The whole node budget forms one component."""
+
+    def sample(self, total_nodes: int, rng: random.Random) -> List[int]:
+        if total_nodes < 1:
+            raise ReproError("size distributions need a positive node budget")
+        return [total_nodes]
+
+    def sample_count(self, num_components: int, rng: random.Random) -> List[int]:
+        raise ReproError(
+            "SingleComponent has no per-component size; sample by node budget"
+        )
+
+    def describe(self) -> str:
+        return "single component"

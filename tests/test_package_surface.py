@@ -84,8 +84,13 @@ class TestPublicExports:
             "repro.vnet",
             "repro.experiments",
             "repro.experiments.charts",
+            "repro.experiments.suite_workloads",
             "repro.io",
             "repro.cli",
+            "repro.envconfig",
+            "repro.workloads",
+            "repro.workloads.registry",
+            "repro.workloads.streaming",
         ],
     )
     def test_submodules_import_cleanly(self, module_name):
@@ -101,6 +106,7 @@ class TestPublicExports:
             "repro.dynamic_minla",
             "repro.vnet",
             "repro.experiments",
+            "repro.workloads",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

@@ -446,3 +446,98 @@ class TestSharedLedgerAcrossLayers:
         assert report.migration_cost == pytest.approx(
             report.migration_ledger.total_cost * 2.0
         )
+
+
+class TestBatchCounting:
+    def test_matches_one_at_a_time_counting(self):
+        from repro.telemetry import count_inversions, count_inversions_batch
+
+        rng = random.Random(0)
+        batch = [
+            [rng.randrange(100) for _ in range(rng.randrange(0, 40))]
+            for _ in range(50)
+        ]
+        batch += [[], [3], list(range(20)), list(range(20))[::-1]]
+        assert count_inversions_batch(batch) == [
+            count_inversions(values) for values in batch
+        ]
+
+    def test_backends_agree_on_batches(self):
+        from repro.telemetry import MergeSortBackend, numpy_available
+
+        rng = random.Random(1)
+        batch = [[rng.randrange(1000) for _ in range(48)] for _ in range(64)]
+        python_counts = MergeSortBackend().count_inversions_batch(batch)
+        if numpy_available():
+            from repro.telemetry import NumpyBackend
+
+            assert NumpyBackend().count_inversions_batch(batch) == python_counts
+        assert python_counts == [
+            MergeSortBackend().count_inversions(values) for values in batch
+        ]
+
+    def test_empty_batch(self):
+        from repro.telemetry import count_inversions_batch
+
+        assert count_inversions_batch([]) == []
+
+    def test_kendall_tau_batch_matches_pairwise(self):
+        from repro.core.permutation import Arrangement, kendall_tau_batch
+
+        reference = Arrangement(range(30))
+        others = []
+        for seed in range(10):
+            order = list(range(30))
+            random.Random(seed).shuffle(order)
+            others.append(Arrangement(order))
+        assert kendall_tau_batch(reference, others) == [
+            reference.kendall_tau(other) for other in others
+        ]
+
+    def test_kendall_tau_batch_rejects_mismatched_nodes(self):
+        from repro.core.permutation import Arrangement, kendall_tau_batch
+        from repro.errors import ArrangementError
+
+        with pytest.raises(ArrangementError):
+            kendall_tau_batch(Arrangement(range(3)), [Arrangement(range(4))])
+
+
+class TestPhaseRegression:
+    def test_regression_on_a_real_run(self):
+        from repro.telemetry import regress_phases_against_harmonic
+
+        sequence = random_clique_merge_sequence(48, random.Random(0))
+        instance = OnlineMinLAInstance.with_random_start(sequence, random.Random(0))
+        result = run_online(
+            RandomizedCliqueLearner(),
+            instance,
+            rng=random.Random(1),
+            trace_every=1,
+        )
+        regression = regress_phases_against_harmonic(result.trace)
+        assert regression.num_events == len(result.trace.events)
+        # Cumulative cost grows with the harmonic budget: positive slope,
+        # decent fit on the moving phase (cliques never rearrange).
+        assert regression.moving_slope > 0
+        assert 0.0 <= regression.moving_r_squared <= 1.0
+        assert regression.rearranging_slope == 0.0
+        summary = regression.summary()
+        assert "moving slope" in summary and "R²" in summary
+
+    def test_needs_two_events(self):
+        from repro.telemetry import TraceRecorder, regress_phases_against_harmonic
+
+        recorder = TraceRecorder()
+        recorder.record(0, 1, 0, 1)
+        with pytest.raises(ReproError):
+            regress_phases_against_harmonic(recorder.as_trace())
+
+    def test_constant_series_fits_perfectly(self):
+        from repro.telemetry import TraceRecorder, regress_phases_against_harmonic
+
+        recorder = TraceRecorder()
+        for step in range(5):
+            recorder.record(step, 0, 0, 0)
+        regression = regress_phases_against_harmonic(recorder.as_trace())
+        assert regression.moving_slope == 0.0
+        assert regression.moving_r_squared == 1.0

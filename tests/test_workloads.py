@@ -1,0 +1,371 @@
+"""Tests for the ``repro.workloads`` scenario-generation subsystem."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.suite import run_all
+from repro.graphs.reveal import GraphKind, RevealStep
+from repro.io import load_workload, save_workload, workload_from_dict, workload_to_dict
+from repro.vnet.controller import DemandAwareController, StaticController
+from repro.vnet.embedding import Embedding
+from repro.vnet.topology import LinearDatacenter
+from repro.core.permutation import random_arrangement
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.workloads import (
+    BurstyInterleave,
+    FixedSizes,
+    HeavyTailedSizes,
+    RequestStream,
+    SequentialOrder,
+    SingleComponent,
+    UniformInterleave,
+    ZipfInterleave,
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+    tenant_request_stream,
+)
+from repro.workloads.registry import SCENARIO_ENV_VAR, DatacenterScenario
+
+
+def _sequence_fingerprint(sequence):
+    return (
+        sequence.kind,
+        sequence.nodes,
+        tuple(step.as_tuple() for step in sequence.steps),
+    )
+
+
+class TestRegistry:
+    def test_catalog_has_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_every_scenario_has_name_kind_and_description(self):
+        for scenario in all_scenarios():
+            assert scenario.name
+            assert scenario.kind_label in ("cliques", "lines", "mixed")
+            assert scenario.description
+
+    def test_unknown_scenario_raises_with_catalog(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_env_override_is_validated(self, monkeypatch):
+        from repro.workloads import default_scenario_name
+
+        monkeypatch.setenv(SCENARIO_ENV_VAR, "zipf-tenants")
+        assert default_scenario_name() == "zipf-tenants"
+        monkeypatch.setenv(SCENARIO_ENV_VAR, "not-a-scenario")
+        with pytest.raises(ReproError, match=SCENARIO_ENV_VAR):
+            default_scenario_name()
+
+    def test_duplicate_registration_rejected(self):
+        from repro.workloads import register
+
+        with pytest.raises(ReproError, match="already registered"):
+            register(get_scenario("uniform-cliques"))
+
+
+class TestScenarioDeterminism:
+    @pytest.mark.parametrize("name", ["zipf-tenants", "bursty-pipelines", "mixed-fleet"])
+    def test_same_seed_means_bit_identical_sequences(self, name):
+        scenario = get_scenario(name)
+        first = scenario.reveal_sequences(30, 7)
+        second = scenario.reveal_sequences(30, 7)
+        assert [_sequence_fingerprint(s) for s in first] == [
+            _sequence_fingerprint(s) for s in second
+        ]
+        different = scenario.reveal_sequences(30, 8)
+        assert [_sequence_fingerprint(s) for s in first] != [
+            _sequence_fingerprint(s) for s in different
+        ]
+
+    @pytest.mark.parametrize("name", ["zipf-tenants", "datacenter-pipelines"])
+    def test_streams_are_reiterable_and_deterministic(self, name):
+        scenario = get_scenario(name)
+        stream = scenario.request_stream(40, 300, 3)
+        assert list(stream) == list(stream)
+        assert list(stream) == list(scenario.request_stream(40, 300, 3))
+
+    def test_streaming_equals_materialized_generation(self):
+        stream = tenant_request_stream([4, 6, 5], 250, "seed")
+        batched = [
+            request for batch in stream.batches(32) for request in batch
+        ]
+        assert batched == list(stream)
+        trace = stream.materialize_trace()
+        assert list(trace.requests) == batched
+        # The induced reveal sequence replays the same hidden pattern.
+        assert trace.kind is GraphKind.CLIQUES
+        assert len(trace.sequence.final_components()) == 3
+
+    def test_e11_e12_identical_across_worker_counts(self):
+        sequential = run_all(
+            scale=ExperimentScale.SMOKE, seed=0, only=["E11", "E12"], jobs=1
+        )
+        parallel = run_all(
+            scale=ExperimentScale.SMOKE, seed=0, only=["E11", "E12"], jobs=4
+        )
+        for left, right in zip(sequential, parallel):
+            assert left.findings == right.findings
+            for table_left, table_right in zip(left.tables, right.tables):
+                assert table_left.rows == table_right.rows
+
+
+class TestStreamingLaziness:
+    def test_streams_are_lazy(self):
+        # A billion-request stream must construct instantly and serve a
+        # prefix without generating the rest.
+        stream = tenant_request_stream([2] * 100, 10**9, 0)
+        head = list(itertools.islice(iter(stream), 5))
+        assert len(head) == 5
+
+    def test_batches_consume_incrementally(self):
+        produced = []
+
+        def factory():
+            for index in range(1000):
+                produced.append(index)
+                yield (0, 1)
+
+        stream = RequestStream(
+            virtual_nodes=(0, 1),
+            num_requests=1000,
+            kind=GraphKind.CLIQUES,
+            factory=factory,
+        )
+        batches = stream.batches(100)
+        next(batches)
+        # After one batch, at most one batch of requests has been generated
+        # (plus the single look-ahead element islice may pull).
+        assert len(produced) <= 101
+
+    def test_batched_controller_is_memory_bounded(self):
+        high_water = {"active": 0, "peak": 0}
+
+        def factory():
+            rng = random.Random(0)
+            for _ in range(5_000):
+                high_water["active"] += 1
+                high_water["peak"] = max(high_water["peak"], high_water["active"])
+                yield tuple(sorted(rng.sample(range(20), 2)))
+
+        stream = RequestStream(
+            virtual_nodes=tuple(range(20)),
+            num_requests=5_000,
+            kind=GraphKind.CLIQUES,
+            factory=factory,
+        )
+        datacenter = LinearDatacenter(20)
+
+        class DrainingStatic(StaticController):
+            pass
+
+        # Wrap batches() so each consumed batch "releases" its requests.
+        original_batches = stream.batches
+
+        def draining_batches(batch_size):
+            for batch in original_batches(batch_size):
+                yield batch
+                high_water["active"] -= len(batch)
+
+        object.__setattr__(stream, "batches", draining_batches)
+        report = DrainingStatic(datacenter).run_stream(stream, batch_size=128)
+        assert report.num_requests == 5_000
+        assert report.num_batches == 40
+        # Peak outstanding requests never exceeded one batch (+ look-ahead).
+        assert high_water["peak"] <= 129
+
+
+class TestSizesAndOrders:
+    def test_fixed_sizes_sum_to_budget(self):
+        sizes = FixedSizes(4).sample(30, random.Random(0))
+        assert sum(sizes) == 30
+        assert sizes[:-1] == [4] * (len(sizes) - 1)
+
+    def test_heavy_tailed_sizes_respect_bounds_and_budget(self):
+        distribution = HeavyTailedSizes(alpha=1.5, min_size=2, max_size=9)
+        for seed in range(5):
+            sizes = distribution.sample(100, random.Random(seed))
+            assert sum(sizes) == 100
+            assert all(size >= 2 for size in sizes)
+        counted = distribution.sample_count(50, random.Random(0))
+        assert len(counted) == 50
+        assert all(2 <= size <= 9 for size in counted)
+
+    def test_single_component_takes_whole_budget(self):
+        assert SingleComponent().sample(17, random.Random(0)) == [17]
+
+    @pytest.mark.parametrize(
+        "policy",
+        [UniformInterleave(), ZipfInterleave(1.2), BurstyInterleave(3), SequentialOrder()],
+    )
+    def test_policies_preserve_per_component_order(self, policy):
+        groups = [
+            [RevealStep((g, i), (g, i + 1)) for i in range(5)] for g in range(4)
+        ]
+        steps = policy.interleave(groups, random.Random(0))
+        assert len(steps) == 20
+        for g in range(4):
+            mine = [step for step in steps if step.u[0] == g]
+            assert mine == groups[g]
+
+    def test_bursty_interleave_emits_bursts(self):
+        groups = [[RevealStep((g, i), (g, i + 1)) for i in range(6)] for g in range(3)]
+        steps = BurstyInterleave(burst_length=6).interleave(groups, random.Random(1))
+        # With bursts as long as the components, each component is contiguous.
+        owners = [step.u[0] for step in steps]
+        assert len(set(owners)) == 3
+        changes = sum(1 for a, b in zip(owners, owners[1:]) if a != b)
+        assert changes == 2
+
+
+class TestWorkloadIO:
+    def test_round_trip(self, tmp_path):
+        payload = workload_to_dict("zipf-tenants", 24, 5)
+        sequences = workload_from_dict(payload)
+        scenario = get_scenario("zipf-tenants")
+        assert [_sequence_fingerprint(s) for s in sequences] == [
+            _sequence_fingerprint(s) for s in scenario.reveal_sequences(24, 5)
+        ]
+        path = tmp_path / "workload.json"
+        save_workload("mixed-fleet", 20, 1, path)
+        loaded = load_workload(path)
+        assert [_sequence_fingerprint(s) for s in loaded] == [
+            _sequence_fingerprint(s)
+            for s in get_scenario("mixed-fleet").reveal_sequences(20, 1)
+        ]
+
+    def test_tampered_payload_fails_loudly(self):
+        payload = workload_to_dict("uniform-cliques", 12, 0)
+        payload["seed"] = 999  # recipe no longer matches the sequences
+        with pytest.raises(ReproError, match="no longer reproduces"):
+            workload_from_dict(payload)
+
+    def test_unknown_scenario_fails_loudly(self):
+        payload = workload_to_dict("uniform-cliques", 12, 0)
+        payload["scenario"] = "gone"
+        with pytest.raises(ReproError, match="unknown scenario"):
+            workload_from_dict(payload)
+
+
+class TestStreamedControllers:
+    def test_batched_demand_aware_collocates_tenants(self):
+        scenario = get_scenario("datacenter-tenants")
+        assert isinstance(scenario, DatacenterScenario)
+        stream = scenario.tenant_stream(40, 2_000, 0)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        initial = Embedding(
+            datacenter, random_arrangement(stream.virtual_nodes, random.Random(1))
+        )
+        static = StaticController(datacenter).run_stream(
+            stream, initial_embedding=initial, batch_size=256
+        )
+        demand = DemandAwareController(
+            datacenter, RandomizedCliqueLearner, name="da"
+        ).run_stream(
+            stream,
+            initial_embedding=initial,
+            rng=random.Random(2),
+            batch_size=256,
+        )
+        assert static.migration_cost == 0
+        assert demand.total_cost < static.total_cost
+        assert demand.num_reveals == len(demand.migration_ledger)
+        assert demand.num_batches == static.num_batches
+
+    def test_batched_run_is_deterministic(self):
+        scenario = get_scenario("datacenter-pipelines")
+        stream = scenario.tenant_stream(20, 800, 3)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        initial = Embedding(
+            datacenter, random_arrangement(stream.virtual_nodes, random.Random(0))
+        )
+        from repro.core.rand_lines import RandomizedLineLearner
+
+        def run():
+            return DemandAwareController(
+                datacenter, RandomizedLineLearner, name="da"
+            ).run_stream(
+                stream,
+                initial_embedding=initial,
+                rng=random.Random(5),
+                batch_size=128,
+            )
+
+        first, second = run(), run()
+        assert first.total_cost == second.total_cost
+        assert first.migration_cost == second.migration_cost
+
+    def test_mixed_stream_rejected_by_demand_aware(self):
+        from repro.errors import EmbeddingError
+        from repro.workloads import mixed_request_stream
+
+        stream = mixed_request_stream([3, 3], [4], 100, 0)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        with pytest.raises(EmbeddingError, match="kind-pure"):
+            DemandAwareController(
+                datacenter, RandomizedCliqueLearner, name="da"
+            ).run_stream(stream)
+
+
+class TestScenariosCLI:
+    def test_list_shows_catalog(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+
+    def test_run_single_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["scenarios", "run", "--scenario", "zipf-tenants", "--scale", "smoke"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "zipf-tenants" in output
+        assert "reveal view" in output
+        assert "traffic view" in output
+
+    def test_run_respects_env_default(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv(SCENARIO_ENV_VAR, "growing-hotspot")
+        assert main(["scenarios", "run", "--scale", "smoke"]) == 0
+        assert "growing-hotspot" in capsys.readouterr().out
+
+    def test_run_invalid_env_fails_loudly(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv(SCENARIO_ENV_VAR, "bogus")
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--scale", "smoke"])
+
+    def test_run_without_selection_fails(self, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv(SCENARIO_ENV_VAR, raising=False)
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run"])
+
+
+class TestSuiteIntegration:
+    def test_e11_covers_every_scenario(self):
+        result = run_all(scale=ExperimentScale.SMOKE, seed=0, only=["E11"])[0]
+        table = result.tables[0]
+        swept = {row[table.columns.index("scenario")] for row in table.rows}
+        assert swept == set(scenario_names())
+        assert all(value <= 1.05 for value in result.findings.values())
+
+    def test_e12_beats_static_and_reports_batches(self):
+        result = run_all(scale=ExperimentScale.SMOKE, seed=0, only=["E12"])[0]
+        assert all(value < 1.0 for value in result.findings.values())
+        table = result.tables[0]
+        for row in table.rows:
+            assert row[table.columns.index("batch")] >= 1
