@@ -13,6 +13,15 @@ bound.  Two environment variables tune the harness:
   trial batches (forwarded to the ``REPRO_JOBS`` mechanism of
   :mod:`repro.experiments.parallel`); results are bit-identical for every
   value.
+
+Every benchmarked experiment is archived in the persistent run store
+(:mod:`repro.runstore`, location from ``REPRO_RUNSTORE``, default
+``.repro-runs``) together with its measured wall-clock time.  Because the
+store is content-addressed, re-benchmarking an unchanged experiment does
+not mint new entries — it *appends a timing sample* to the existing one, so
+repeated benchmark invocations accumulate a real performance trajectory
+(inspect it with ``python -m repro runs list``, gate on it with
+``python -m repro runs compare``).
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import pytest
 
 from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.experiments.runner import ExperimentResult, ExperimentScale
+from repro.runstore.store import RunStore, run_record_from_result
 
 
 def _selected_scale() -> ExperimentScale:
@@ -63,17 +73,50 @@ def bench_jobs() -> int:
     return _selected_jobs()
 
 
+@pytest.fixture(scope="session")
+def bench_store() -> RunStore:
+    """The run archive benchmark timings accumulate in."""
+    return RunStore()
+
+
+def _measured_seconds(benchmark) -> "float | None":
+    """The benchmark's mean wall time, if the plugin exposed its stats."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
 @pytest.fixture
-def run_experiment(benchmark, bench_scale, bench_jobs, monkeypatch):
-    """Run an experiment function once under benchmark timing and print its tables."""
+def run_experiment(benchmark, bench_scale, bench_jobs, bench_store, monkeypatch):
+    """Run an experiment function once under benchmark timing and print its tables.
+
+    The result (and its timing) is archived in the run store, so successive
+    benchmark invocations build the longitudinal perf trajectory the
+    ``runs compare`` regression gate reads.
+    """
 
     def runner(experiment_function, seed: int = 0) -> ExperimentResult:
+        from repro.workloads.discovery import autodiscover_scenarios
+
+        # Same catalog as the suite path: user recipes join the sweep here
+        # too, so bench timings land on the same content-addressed runs.
+        autodiscover_scenarios()
         monkeypatch.setenv(JOBS_ENV_VAR, str(bench_jobs))
         result = benchmark.pedantic(
             experiment_function, args=(bench_scale, seed), rounds=1, iterations=1
         )
         print()
         print(result.to_ascii())
+        bench_store.append(
+            run_record_from_result(
+                result,
+                scale=bench_scale.value,
+                seed=seed,
+                jobs=bench_jobs,
+                wall_time_seconds=_measured_seconds(benchmark),
+            )
+        )
         return result
 
     return runner

@@ -92,6 +92,7 @@ from repro.minla import (
     is_minla_of_lines,
     linear_arrangement_cost,
 )
+from repro.runstore import RunRecord, RunStore
 from repro.telemetry import CostTrace, TraceEvent, TraceRecorder
 from repro.workloads import (
     RequestStream,
@@ -133,6 +134,8 @@ __all__ = [
     "RevealError",
     "RevealSequence",
     "RevealStep",
+    "RunRecord",
+    "RunStore",
     "Scenario",
     "SimulationResult",
     "SolverError",

@@ -29,6 +29,20 @@ The CLI makes the common workflows available without writing Python:
     and consumes the request stream in batches.  The ``REPRO_SCENARIO``
     environment variable pre-selects a scenario (validated against the
     registry).
+
+``python -m repro runs``
+    Work with the persistent run archive (:mod:`repro.runstore`):
+    ``runs list`` and ``runs show`` inspect stored runs, ``runs report``
+    renders cross-run variance bands on costs and harmonic slopes,
+    ``runs compare`` diffs two store snapshots and flags cost/wall-time
+    regressions beyond a tolerance (non-zero exit code on regressions, so
+    CI can gate on it), and ``runs gc`` prunes the archive.  The archive
+    location defaults to ``.repro-runs`` and is overridden by
+    ``REPRO_RUNSTORE`` or ``--store``.
+
+Scenario recipes in a ``.repro-scenarios.toml`` file in the working
+directory are discovered at startup and registered next to the built-ins,
+so they appear in ``scenarios list`` and are swept by E11.
 """
 
 from __future__ import annotations
@@ -297,7 +311,79 @@ def command_experiments(arguments: argparse.Namespace) -> int:
         forwarded += ["--only", *arguments.only]
     if arguments.output:
         forwarded += ["--output", arguments.output]
+    if arguments.csv_dir:
+        forwarded += ["--csv-dir", arguments.csv_dir]
+    if arguments.store:
+        forwarded += ["--store", arguments.store]
+    if arguments.no_store:
+        forwarded += ["--no-store"]
     return experiments_suite.main(forwarded)
+
+
+def command_runs(arguments: argparse.Namespace) -> int:
+    """The ``runs`` sub-command (persistent run archive)."""
+    from repro.experiments.charts import cost_trajectory_chart
+    from repro.runstore import RunStore, compare_stores, store_report
+    from repro.runstore.report import describe_run
+
+    store = RunStore(arguments.store)
+
+    if arguments.action == "list":
+        # Manifest-level summaries: listing cost stays proportional to the
+        # run count, not to the archived trace bytes.
+        runs = store.summaries(arguments.experiment)
+        print(f"run store at {store.root}: {len(runs)} stored run(s)")
+        for run in runs:
+            print(f"  {describe_run(run)}")
+        return 0
+
+    if arguments.action == "show":
+        if not arguments.run_id:
+            raise ReproError("runs show needs a RUN_ID (see runs list)")
+        run = store.get(arguments.run_id)
+        print(describe_run(run))
+        if run.findings:
+            print("findings:")
+            for key, value in run.findings.items():
+                print(f"  {key}: {value:.3f}")
+        for table in run.tables:
+            print()
+            print(table.to_ascii())
+        if run.trace_samples:
+            print()
+            print("trace samples:")
+            for sample in run.trace_samples:
+                print(
+                    f"  {sample.group} seed={sample.seed}: "
+                    f"{cost_trajectory_chart(sample.trace)}"
+                )
+        return 0
+
+    if arguments.action == "report":
+        print(
+            store_report(
+                store,
+                experiment_id=arguments.experiment,
+                min_seeds=arguments.min_seeds,
+            )
+        )
+        return 0
+
+    if arguments.action == "compare":
+        if not arguments.baseline:
+            raise ReproError("runs compare needs --baseline PATH")
+        baseline = RunStore(arguments.baseline)
+        report = compare_stores(baseline, store, tolerance=arguments.tolerance)
+        print(report.to_text())
+        return 1 if report.has_regressions else 0
+
+    # runs gc
+    removed = store.gc(keep=arguments.keep)
+    print(
+        f"gc of {store.root}: removed {removed['staging']} staging "
+        f"leftover(s), pruned {removed['runs']} run(s)"
+    )
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -392,16 +478,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--only", nargs="*", default=None)
     experiments.add_argument("--output", default=None)
+    experiments.add_argument("--csv-dir", default=None,
+                             help="directory for the per-table CSV files")
+    experiments.add_argument(
+        "--store",
+        default=None,
+        help="run-archive directory (default: REPRO_RUNSTORE, else .repro-runs)",
+    )
+    experiments.add_argument(
+        "--no-store", action="store_true", help="do not archive this invocation's runs"
+    )
     experiments.set_defaults(handler=command_experiments)
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="inspect and compare the persistent run archive",
+    )
+    runs.add_argument(
+        "action",
+        choices=["list", "show", "compare", "report", "gc"],
+        help="list runs, show one run, compare two stores, render variance "
+        "bands, or prune the archive",
+    )
+    runs.add_argument("run_id", nargs="?", default=None,
+                      help="run id for 'show' (see runs list)")
+    runs.add_argument(
+        "--store",
+        default=None,
+        help="archive directory (default: REPRO_RUNSTORE, else .repro-runs); "
+        "for 'compare' this is the candidate store",
+    )
+    runs.add_argument(
+        "--experiment",
+        default=None,
+        help="restrict 'list'/'report' to one experiment id (e.g. E2)",
+    )
+    runs.add_argument(
+        "--min-seeds",
+        type=int,
+        default=3,
+        help="seeds a trace population needs before 'report' draws its bands",
+    )
+    runs.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline store directory for 'compare'",
+    )
+    runs.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="relative cost/wall-time change 'compare' tolerates before "
+        "flagging a regression",
+    )
+    runs.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        help="for 'gc': keep only the newest N runs per configuration",
+    )
+    runs.set_defaults(handler=command_runs)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.workloads.discovery import autodiscover_scenarios
+
     parser = build_parser()
     arguments = parser.parse_args(argv)
     try:
+        # User scenario recipes (.repro-scenarios.toml in the working
+        # directory) join the registry before any command runs, so they are
+        # listable, runnable and swept by E11 like built-ins.
+        autodiscover_scenarios()
         return arguments.handler(arguments)
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")

@@ -2,8 +2,9 @@
 
 The library honours a small family of environment variables —
 ``REPRO_METRIC_BACKEND`` (telemetry backend selection), ``REPRO_JOBS``
-(worker-process fan-out) and ``REPRO_SCENARIO`` (default workload scenario)
-— and every one of them changes *which code measured an experiment*.  A
+(worker-process fan-out), ``REPRO_SCENARIO`` (default workload scenario)
+and ``REPRO_RUNSTORE`` (run-archive location) — and every one of them
+changes *which code measured an experiment* or *where its record lands*.  A
 mis-spelt override must therefore never fall back silently: this module is
 the single place where those variables are read, so each consumer gets the
 same behaviour (unset → caller's default, invalid → a clear
@@ -68,3 +69,26 @@ def read_env_positive_int(
             f"invalid {variable}={raw!r}: expected a positive integer"
         )
     return value
+
+
+def read_env_path(
+    variable: str,
+    default: Optional[str] = None,
+    error: Type[ReproError] = ReproError,
+) -> Optional[str]:
+    """Read a filesystem-path environment override.
+
+    Returns ``default`` when the variable is unset.  Any non-empty string is
+    a valid path; an empty (or whitespace-only) value raises ``error`` —
+    ``REPRO_RUNSTORE=""`` silently archiving runs into the current directory
+    would be exactly the kind of quiet fallback this module exists to
+    prevent.
+    """
+    raw = os.environ.get(variable)
+    if raw is None:
+        return default
+    if not raw.strip():
+        raise error(
+            f"invalid {variable}={raw!r}: expected a non-empty directory path"
+        )
+    return raw

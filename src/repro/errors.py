@@ -50,6 +50,15 @@ class ExperimentError(ReproError):
     """An experiment or benchmark harness was configured inconsistently."""
 
 
+class RunStoreError(ReproError):
+    """A run-archive operation failed or the archive is inconsistent.
+
+    Raised by :mod:`repro.runstore` when a stored run's content does not
+    match its recorded digest, when a payload is malformed, or when a
+    comparison is asked of stores that share no configurations.
+    """
+
+
 class EmbeddingError(ReproError):
     """A virtual network embedding operation is invalid.
 

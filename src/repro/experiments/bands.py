@@ -1,0 +1,60 @@
+"""Traced multi-seed populations and their variance-band captions.
+
+E2, E3 and E11 all record the same kind of evidence for the run store: a
+small population of streamed stride-1 traces of one algorithm on one fixed
+instance, differing only in the random stream — and render the same caption
+from it (the shaded min/mean/max cost band plus the harmonic-slope bands
+with bootstrap CIs).  This module is the single implementation both use, so
+the caption format and the seeding discipline cannot drift apart between
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Union
+
+from repro.core.simulator import run_online
+from repro.experiments.charts import variance_band_chart
+from repro.experiments.runner import seeded_rng
+from repro.runstore.stats import cost_bands, harmonic_slope_bands
+from repro.telemetry.trace import TraceSample
+
+
+def traced_population(
+    factory: Callable,
+    instance,
+    group: str,
+    num_seeds: int,
+    seed: int,
+    *salt: object,
+) -> List[TraceSample]:
+    """Streamed stride-1 traces of ``factory()`` on ``instance``, one per seed.
+
+    Trace seed ``t`` runs with ``seeded_rng(seed, *salt, t)``, so the
+    population is a pure function of ``(seed, salt, num_seeds)`` — identical
+    for every worker count, and reproducibly extendable by raising
+    ``num_seeds``.
+    """
+    return [
+        TraceSample(
+            group=group,
+            seed=trace_seed,
+            trace=run_online(
+                factory(),
+                instance,
+                rng=seeded_rng(seed, *salt, trace_seed),
+                trace_every=1,
+            ).trace,
+        )
+        for trace_seed in range(num_seeds)
+    ]
+
+
+def band_caption(
+    samples: Sequence[TraceSample], band_seed: Union[int, str]
+) -> str:
+    """The shaded cost band + harmonic-slope bands line for one population."""
+    traces = [sample.trace for sample in samples]
+    band = cost_bands(traces)["total"]
+    slopes = harmonic_slope_bands(traces, seed=band_seed)
+    return f"{variance_band_chart(band)} — {slopes.summary()}"

@@ -12,12 +12,16 @@ look reasonable in a terminal and in Markdown code blocks:
 * :func:`cost_trajectory_chart` — the cumulative-cost profile of a streamed
   :class:`~repro.telemetry.trace.CostTrace`, with its phase split; this is
   how E2/E3 show cost trajectories without recording any trajectory
-  snapshots.
+  snapshots,
+* :func:`variance_band_chart` — the shaded min/mean/max band of a
+  cross-seed trace population (three sparklines on one shared scale), which
+  is how E2/E3/E11 and ``python -m repro runs report`` draw variance bands
+  once at least three seeds are stored.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.metrics import trace_cumulative_costs, trace_phase_shares
@@ -26,23 +30,32 @@ from repro.telemetry.trace import CostTrace, downsample_events
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
 
-def sparkline(values: Sequence[float]) -> str:
+def sparkline(
+    values: Sequence[float],
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
     """A one-line block-character rendering of a numeric series.
 
-    Values are scaled to the series' own min/max; a constant series renders
-    as a flat line of middle blocks.
+    Values are scaled to the series' own min/max by default; passing
+    explicit ``low``/``high`` bounds puts several sparklines on one shared
+    scale (what the variance-band chart needs to make its min/mean/max
+    lines comparable).  A zero-span scale renders as a flat line of middle
+    blocks.
     """
     if not values:
         raise ExperimentError("sparkline() needs at least one value")
-    low = min(values)
-    high = max(values)
+    low = min(values) if low is None else low
+    high = max(values) if high is None else high
+    if high < low:
+        raise ExperimentError(f"sparkline() scale is inverted: [{low}, {high}]")
     if high == low:
         return _BLOCKS[3] * len(values)
     span = high - low
     characters = []
     for value in values:
-        index = int((value - low) / span * (len(_BLOCKS) - 1))
-        characters.append(_BLOCKS[index])
+        position = min(max((value - low) / span, 0.0), 1.0)
+        characters.append(_BLOCKS[int(position * (len(_BLOCKS) - 1))])
     return "".join(characters)
 
 
@@ -110,4 +123,51 @@ def cost_trajectory_chart(
         f"{sparkline(cumulative)} total={trace.total_cost} "
         f"(moving {shares['moving']:.0%}, rearranging {shares['rearranging']:.0%}, "
         f"steps={trace.num_steps})"
+    )
+
+
+def _thin_indices(length: int, max_points: int) -> List[int]:
+    """Evenly spaced sample indices keeping the first and last position."""
+    if length <= max_points:
+        return list(range(length))
+    return sorted(
+        {round(index * (length - 1) / (max_points - 1)) for index in range(max_points)}
+    )
+
+
+def variance_band_chart(band, max_points: int = 48) -> str:
+    """One-line shaded band of a cross-seed cost population.
+
+    ``band`` is a per-step mean/min/max summary (a
+    :class:`repro.runstore.stats.Band` or anything exposing ``phase``,
+    ``mean``, ``minimum``, ``maximum`` and ``num_traces``).  The three
+    quantile lines render as sparklines on one *shared* scale — the min
+    line visibly hugging the bottom of the range and the max line the top
+    is the terminal equivalent of a shaded band — followed by the exact
+    final mean and spread.  Thinning to ``max_points`` is deterministic
+    (evenly spaced samples, first and last kept), so the same population
+    always draws the same band.
+    """
+    if max_points < 2:
+        raise ExperimentError(
+            f"variance_band_chart() needs max_points >= 2, got {max_points}"
+        )
+    if not band.mean:
+        raise ExperimentError("variance_band_chart() needs a non-empty band")
+    keep = _thin_indices(len(band.mean), max_points)
+    low = min(band.minimum)
+    high = max(band.maximum)
+    lines = {
+        label: sparkline([series[index] for index in keep], low=low, high=high)
+        for label, series in (
+            ("min", band.minimum),
+            ("mean", band.mean),
+            ("max", band.maximum),
+        )
+    }
+    final_low, final_high = band.minimum[-1], band.maximum[-1]
+    return (
+        f"{band.phase} band over {band.num_traces} seeds: "
+        f"min {lines['min']} / mean {lines['mean']} / max {lines['max']} "
+        f"final mean={band.mean[-1]:.1f} range=[{final_low:.0f}, {final_high:.0f}]"
     )

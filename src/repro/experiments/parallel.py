@@ -193,12 +193,66 @@ def run_trials_parallel(
 
 def _experiment_worker(
     experiment_id: str, scale: "ExperimentScale", seed: int
-) -> "ExperimentResult":
-    """Run one registered experiment (executed in a worker process)."""
-    from repro.experiments.suite import ALL_EXPERIMENTS
+) -> "Tuple[ExperimentResult, float]":
+    """Run one registered experiment (executed in a worker process).
+
+    Returns the result together with its wall-clock time, so the run store
+    can archive a real per-experiment timing sample even when experiments
+    fan out across processes.  User scenarios are re-discovered inside the
+    worker: registries are per-process state, and E11 must sweep the same
+    catalog whatever the worker count.
+    """
+    from repro.workloads.discovery import autodiscover_scenarios
 
     _disable_nested_fan_out()
-    return ALL_EXPERIMENTS[experiment_id](scale, seed)
+    autodiscover_scenarios()
+    return _timed_experiment(experiment_id, scale, seed)
+
+
+def _timed_experiment(
+    experiment_id: str, scale: "ExperimentScale", seed: int
+) -> "Tuple[ExperimentResult, float]":
+    """Run one registered experiment under a wall-clock measurement."""
+    import time
+
+    from repro.experiments.suite import ALL_EXPERIMENTS
+
+    start = time.perf_counter()
+    result = ALL_EXPERIMENTS[experiment_id](scale, seed)
+    return result, time.perf_counter() - start
+
+
+def run_experiments_timed(
+    experiment_ids: Sequence[str],
+    scale: "ExperimentScale",
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> "List[Tuple[ExperimentResult, float]]":
+    """Run the selected experiments and return ``(result, seconds)`` pairs.
+
+    The results are bit-identical to a sequential run for every worker
+    count; the timings are the per-experiment wall-clock measurements (taken
+    inside the worker when running parallel) and naturally vary between
+    invocations — they are metadata, never part of any result.  User
+    scenarios from ``.repro-scenarios.toml`` are discovered on both paths
+    (here for the sequential loop, inside :func:`_experiment_worker` for
+    pool workers), so the E11 sweep sees the same catalog either way.
+    """
+    from repro.experiments.suite import ALL_EXPERIMENTS
+    from repro.workloads.discovery import autodiscover_scenarios
+
+    unknown = [name for name in experiment_ids if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(f"unknown experiment ids: {unknown}")
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(experiment_ids) <= 1:
+        autodiscover_scenarios()
+        return [_timed_experiment(name, scale, seed) for name in experiment_ids]
+    return _run_in_pool(
+        jobs,
+        _experiment_worker,
+        [(name, scale, seed) for name in experiment_ids],
+    )
 
 
 def run_experiments_parallel(
@@ -212,16 +266,9 @@ def run_experiments_parallel(
     Every experiment is a pure function of ``(scale, seed)``, so the returned
     list is identical to running them sequentially.
     """
-    from repro.experiments.suite import ALL_EXPERIMENTS
-
-    unknown = [name for name in experiment_ids if name not in ALL_EXPERIMENTS]
-    if unknown:
-        raise ExperimentError(f"unknown experiment ids: {unknown}")
-    jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(experiment_ids) <= 1:
-        return [ALL_EXPERIMENTS[name](scale, seed) for name in experiment_ids]
-    return _run_in_pool(
-        jobs,
-        _experiment_worker,
-        [(name, scale, seed) for name in experiment_ids],
-    )
+    return [
+        result
+        for result, _ in run_experiments_timed(
+            experiment_ids, scale, seed=seed, jobs=jobs
+        )
+    ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.experiments.tables import ResultTable
+from repro.telemetry.trace import TraceSample
 
 
 class ExperimentScale(str, enum.Enum):
@@ -49,6 +50,11 @@ class ExperimentResult:
     findings: Dict[str, float] = field(default_factory=dict)
     """Headline scalar findings (max ratio, deviation, slope, …)."""
     notes: Sequence[str] = field(default_factory=tuple)
+    traces: Sequence[TraceSample] = field(default_factory=tuple)
+    """Seeded streamed cost traces recorded by this run (one per traced
+    seed per workload group).  The run store archives them so cross-run
+    populations can compute variance bands; rendering (tables, markdown)
+    deliberately ignores them — a trace is data, not prose."""
 
     def to_markdown(self) -> str:
         """Render the whole experiment (claim, tables, findings) as Markdown."""

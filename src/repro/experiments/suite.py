@@ -13,6 +13,12 @@ Run from the command line with::
 Pass ``--jobs N`` to fan independent experiments out across ``N`` worker
 processes (see :mod:`repro.experiments.parallel`); results are bit-identical
 to a sequential run.
+
+Every invocation is archived in the persistent run store
+(:mod:`repro.runstore`, default ``.repro-runs``, ``REPRO_RUNSTORE`` /
+``--store`` override, ``--no-store`` to opt out) together with each
+experiment's wall-clock time, so ``python -m repro runs report`` can draw
+cross-run variance bands and ``runs compare`` can gate on regressions.
 """
 
 from __future__ import annotations
@@ -24,8 +30,9 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ExperimentError
-from repro.experiments.parallel import resolve_jobs, run_experiments_parallel
+from repro.experiments.parallel import resolve_jobs, run_experiments_timed
 from repro.experiments.runner import ExperimentResult, ExperimentScale
+from repro.runstore.store import RunStore, run_record_from_result
 from repro.experiments.suite_applications import (
     run_e9_dynamic_baselines,
     run_e10_vnet_case_study,
@@ -71,6 +78,7 @@ def run_all(
     seed: int = 0,
     only: Optional[Iterable[str]] = None,
     jobs: Optional[int] = None,
+    store: Optional[RunStore] = None,
 ) -> List[ExperimentResult]:
     """Run the selected experiments (all of them by default) and return the results.
 
@@ -78,12 +86,31 @@ def run_all(
     (``None`` reads the ``REPRO_JOBS`` environment variable, default 1);
     every experiment is a pure function of ``(scale, seed)``, so the results
     are identical for every worker count.
+
+    ``store`` (a :class:`~repro.runstore.store.RunStore`) archives every
+    result — tables, streamed trace samples, per-experiment wall time — so
+    cross-run variance bands and regression reports can be computed later
+    (``python -m repro runs report``).  Archiving never changes a result:
+    the store receives exactly what the caller receives.
     """
     selected = list(only) if only is not None else list(ALL_EXPERIMENTS)
     unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
     if unknown:
         raise ExperimentError(f"unknown experiment ids: {unknown}")
-    return run_experiments_parallel(selected, scale, seed=seed, jobs=resolve_jobs(jobs))
+    resolved_jobs = resolve_jobs(jobs)
+    timed = run_experiments_timed(selected, scale, seed=seed, jobs=resolved_jobs)
+    if store is not None:
+        for result, seconds in timed:
+            store.append(
+                run_record_from_result(
+                    result,
+                    scale=scale.value,
+                    seed=seed,
+                    jobs=resolved_jobs,
+                    wall_time_seconds=seconds,
+                )
+            )
+    return [result for result, _ in timed]
 
 
 def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
@@ -253,11 +280,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=Path("results"),
         help="directory for the per-table CSV files",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="run-archive directory (default: REPRO_RUNSTORE, else .repro-runs)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not archive this invocation's runs",
+    )
     arguments = parser.parse_args(argv)
     scale = ExperimentScale(arguments.scale)
+    store = None if arguments.no_store else RunStore(arguments.store)
     start = time.time()
     results = run_all(
-        scale=scale, seed=arguments.seed, only=arguments.only, jobs=arguments.jobs
+        scale=scale,
+        seed=arguments.seed,
+        only=arguments.only,
+        jobs=arguments.jobs,
+        store=store,
     )
     elapsed = time.time() - start
     write_experiments_markdown(
@@ -271,6 +314,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.to_ascii())
         print()
     print(f"wrote {arguments.output} in {elapsed:.1f} s")
+    if store is not None:
+        print(
+            f"archived {len(results)} run(s) in {store.root} "
+            "(inspect with python -m repro runs list)"
+        )
     return 0
 
 

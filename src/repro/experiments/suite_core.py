@@ -39,9 +39,10 @@ from repro.core.rand_lines import (
     UnbiasedCoinLineLearner,
 )
 from repro.core.simulator import run_online, run_trials
+from repro.experiments.bands import band_caption, traced_population
 from repro.experiments.charts import cost_trajectory_chart
 from repro.experiments.metrics import mean
-from repro.telemetry.trace import regress_phases_against_harmonic
+from repro.telemetry.trace import TraceSample, regress_phases_against_harmonic
 from repro.experiments.runner import (
     ExperimentResult,
     ExperimentScale,
@@ -57,6 +58,35 @@ def _safe_ratio(cost: float, denominator: float) -> float:
     if denominator <= 0:
         return 1.0 if cost == 0 else float("inf")
     return cost / denominator
+
+
+#: Traced runs per workload group: enough seeds for variance bands in one
+#: invocation (the run store needs >= 3 for a band, and a default bench run
+#: must archive >= 5 so `runs report` has a real population to summarize).
+TRACE_SEEDS_PER_GROUP = (3, 5, 6)
+
+
+def _traced_samples(
+    scale: ExperimentScale,
+    seed: int,
+    salt: str,
+    factory: Callable,
+    instance: "OnlineMinLAInstance",
+    size: int,
+) -> List[TraceSample]:
+    """Streamed stride-1 traces of ``factory`` on ``instance``, one per trace seed."""
+    num_seeds = scale_pick(scale, *TRACE_SEEDS_PER_GROUP)
+    return traced_population(
+        factory, instance, f"n={size}", num_seeds, seed, salt, size
+    )
+
+
+def _band_note(samples: List[TraceSample], size: int) -> str:
+    """The shaded variance band + harmonic-slope bands caption of one group."""
+    return (
+        f"Variance band, n={size} ({len(samples)} traced seeds): "
+        f"{band_caption(samples, f'band|n={size}')}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +218,7 @@ def run_e2_rand_cliques(
     )
     worst_paper_ratio = 0.0
     trajectory_notes: List[str] = []
+    trace_samples: List[TraceSample] = []
     for size in sizes:
         for instance_index in range(instances_per_size):
             rng = seeded_rng(seed, "e2", size, instance_index)
@@ -195,17 +226,17 @@ def run_e2_rand_cliques(
             instance = OnlineMinLAInstance.with_random_start(sequence, rng)
             opt = offline_optimum_bounds(instance)
             if instance_index == 0:
-                traced = run_online(
-                    RandomizedCliqueLearner(),
-                    instance,
-                    rng=seeded_rng(seed, "e2-trace", size),
-                    trace_every=1,
+                samples = _traced_samples(
+                    scale, seed, "e2-trace", RandomizedCliqueLearner, instance, size
                 )
+                trace_samples.extend(samples)
                 trajectory_notes.append(
                     f"Cost trajectory of rand (paper), n={size}, streamed trace "
-                    f"(no snapshots): {cost_trajectory_chart(traced.trace)} — "
-                    f"{regress_phases_against_harmonic(traced.trace).summary()}"
+                    f"(no snapshots): {cost_trajectory_chart(samples[0].trace)} — "
+                    f"{regress_phases_against_harmonic(samples[0].trace).summary()}"
                 )
+                if len(samples) >= 3:
+                    trajectory_notes.append(_band_note(samples, size))
             for label, factory in algorithms.items():
                 results = run_trials(
                     factory, instance, num_trials=trials, seed=seed + instance_index
@@ -237,6 +268,7 @@ def run_e2_rand_cliques(
             "coin of Figure 1; the paper's guarantee only applies to the first row.",
             *trajectory_notes,
         ],
+        traces=tuple(trace_samples),
     )
 
 
@@ -271,6 +303,7 @@ def run_e3_rand_lines(
     )
     worst_paper_ratio = 0.0
     trajectory_notes: List[str] = []
+    trace_samples: List[TraceSample] = []
     for size in sizes:
         for instance_index in range(instances_per_size):
             rng = seeded_rng(seed, "e3", size, instance_index)
@@ -278,17 +311,17 @@ def run_e3_rand_lines(
             instance = OnlineMinLAInstance.with_random_start(sequence, rng)
             opt = offline_optimum_bounds(instance)
             if instance_index == 0:
-                traced = run_online(
-                    RandomizedLineLearner(),
-                    instance,
-                    rng=seeded_rng(seed, "e3-trace", size),
-                    trace_every=1,
+                samples = _traced_samples(
+                    scale, seed, "e3-trace", RandomizedLineLearner, instance, size
                 )
+                trace_samples.extend(samples)
                 trajectory_notes.append(
                     f"Cost trajectory of rand (paper), n={size}, streamed trace "
-                    f"(no snapshots): {cost_trajectory_chart(traced.trace)} — "
-                    f"{regress_phases_against_harmonic(traced.trace).summary()}"
+                    f"(no snapshots): {cost_trajectory_chart(samples[0].trace)} — "
+                    f"{regress_phases_against_harmonic(samples[0].trace).summary()}"
                 )
+                if len(samples) >= 3:
+                    trajectory_notes.append(_band_note(samples, size))
             for label, factory in algorithms.items():
                 results = run_trials(
                     factory, instance, num_trials=trials, seed=seed + instance_index
@@ -326,6 +359,7 @@ def run_e3_rand_lines(
             "reported ratio is measured against the exact offline optimum.",
             *trajectory_notes,
         ],
+        traces=tuple(trace_samples),
     )
 
 

@@ -34,6 +34,7 @@ from repro.core.permutation import kendall_tau_batch, random_arrangement
 from repro.core.rand_cliques import MoveSmallerCliqueLearner, RandomizedCliqueLearner
 from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
 from repro.core.simulator import run_trials
+from repro.experiments.bands import band_caption, traced_population
 from repro.experiments.metrics import mean
 from repro.experiments.runner import (
     ExperimentResult,
@@ -41,6 +42,7 @@ from repro.experiments.runner import (
     scale_pick,
     seeded_rng,
 )
+from repro.telemetry.trace import TraceSample
 from repro.experiments.tables import ResultTable
 from repro.graphs.reveal import GraphKind, RevealSequence
 from repro.vnet.controller import DemandAwareController, StaticController
@@ -82,18 +84,31 @@ def _rand_bound(sequences: List[RevealSequence]) -> float:
 # ----------------------------------------------------------------------
 # E11 — scenario sweep over the workload registry
 # ----------------------------------------------------------------------
+#: Default node budgets the sweep measures every scenario at, per scale.
+#: Scenarios carrying their own ``node_budgets`` (built-ins or
+#: ``.repro-scenarios.toml`` recipes) override this list, so the sweep emits
+#: a growth curve per scenario shape instead of a single budget point.
+E11_DEFAULT_BUDGETS = ((12,), (16, 24), (24, 48))
+
+#: Traced rand (paper) runs per scenario at its largest budget — the
+#: population behind the per-scenario variance bands.
+E11_TRACE_SEEDS = (3, 3, 5)
+
+
 def run_e11_scenario_sweep(
     scale: ExperimentScale = ExperimentScale.BENCH, seed: int = 0
 ) -> ExperimentResult:
     """Competitive ratios of det / rand across every registered scenario."""
-    num_nodes: int = scale_pick(scale, 12, 24, 48)
+    default_budgets: Tuple[int, ...] = scale_pick(scale, *E11_DEFAULT_BUDGETS)
     trials: int = scale_pick(scale, 3, 8, 16)
+    trace_seeds: int = scale_pick(scale, *E11_TRACE_SEEDS)
 
     table = ResultTable(
         title="E11 — scenario sweep: empirical ratios across the workload registry",
         columns=[
             "scenario",
             "kind",
+            "node budget",
             "n (largest seq)",
             "steps",
             "algorithm",
@@ -105,57 +120,85 @@ def run_e11_scenario_sweep(
     )
     worst_det_margin = 0.0
     worst_rand_margin = 0.0
+    trace_samples: List[TraceSample] = []
+    band_notes: List[str] = []
     for scenario in all_scenarios():
-        sequences = scenario.reveal_sequences(num_nodes, seed)
-        instances: List[Tuple[RevealSequence, OnlineMinLAInstance, int]] = []
-        for index, sequence in enumerate(sequences):
-            rng = seeded_rng(seed, "e11", scenario.name, index)
-            instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-            instances.append((sequence, instance, offline_optimum_bounds(instance).upper))
-        total_steps = sum(len(sequence) for sequence in sequences)
-        largest_n = max(sequence.num_nodes for sequence in sequences)
-        for label in ("det", "rand (paper)", "move smaller"):
-            num_trials = 1 if label == "det" else trials
-            total_cost = 0.0
-            total_opt = 0
-            displacements: List[int] = []
-            for index, (sequence, instance, opt_upper) in enumerate(instances):
-                factory = _sweep_factory(label, sequence.kind)
-                results = run_trials(
+        budgets = scenario.sweep_node_budgets(default_budgets)
+        for num_nodes in budgets:
+            sequences = scenario.reveal_sequences(num_nodes, seed)
+            instances: List[Tuple[RevealSequence, OnlineMinLAInstance, int]] = []
+            for index, sequence in enumerate(sequences):
+                rng = seeded_rng(seed, "e11", scenario.name, num_nodes, index)
+                instance = OnlineMinLAInstance.with_random_start(sequence, rng)
+                instances.append(
+                    (sequence, instance, offline_optimum_bounds(instance).upper)
+                )
+            total_steps = sum(len(sequence) for sequence in sequences)
+            largest_n = max(sequence.num_nodes for sequence in sequences)
+            for label in ("det", "rand (paper)", "move smaller"):
+                num_trials = 1 if label == "det" else trials
+                total_cost = 0.0
+                total_opt = 0
+                displacements: List[int] = []
+                for index, (sequence, instance, opt_upper) in enumerate(instances):
+                    factory = _sweep_factory(label, sequence.kind)
+                    results = run_trials(
+                        factory,
+                        instance,
+                        num_trials=num_trials,
+                        seed=seed + index,
+                    )
+                    total_cost += mean([result.total_cost for result in results])
+                    total_opt += opt_upper
+                    # One batched inversion pass over all final arrangements of
+                    # the trial block (count_inversions_batch under the hood).
+                    displacements.extend(
+                        kendall_tau_batch(
+                            instance.initial_arrangement,
+                            [result.final_arrangement for result in results],
+                        )
+                    )
+                ratio = total_cost / max(total_opt, 1)
+                if label == "det":
+                    bound = det_competitive_bound(largest_n)
+                    worst_det_margin = max(worst_det_margin, ratio / bound)
+                else:
+                    bound = _rand_bound(sequences)
+                    if label == "rand (paper)":
+                        worst_rand_margin = max(worst_rand_margin, ratio / bound)
+                table.add_row(
+                    scenario.name,
+                    scenario.kind_label,
+                    num_nodes,
+                    largest_n,
+                    total_steps,
+                    label,
+                    total_cost,
+                    ratio,
+                    mean(displacements),
+                    bound,
+                )
+            if num_nodes == budgets[-1] and trace_seeds >= 1:
+                # Variance-band population: traced rand (paper) runs on the
+                # scenario's first sequence at its largest budget.
+                sequence, instance, _ = instances[0]
+                factory = _sweep_factory("rand (paper)", sequence.kind)
+                group = f"{scenario.name}/n={num_nodes}"
+                samples = traced_population(
                     factory,
                     instance,
-                    num_trials=num_trials,
-                    seed=seed + index,
+                    group,
+                    trace_seeds,
+                    seed,
+                    "e11-trace",
+                    scenario.name,
+                    num_nodes,
                 )
-                total_cost += mean([result.total_cost for result in results])
-                total_opt += opt_upper
-                # One batched inversion pass over all final arrangements of
-                # the trial block (count_inversions_batch under the hood).
-                displacements.extend(
-                    kendall_tau_batch(
-                        instance.initial_arrangement,
-                        [result.final_arrangement for result in results],
+                trace_samples.extend(samples)
+                if len(samples) >= 3:
+                    band_notes.append(
+                        f"{group}: {band_caption(samples, f'e11-band|{group}')}"
                     )
-                )
-            ratio = total_cost / max(total_opt, 1)
-            if label == "det":
-                bound = det_competitive_bound(largest_n)
-                worst_det_margin = max(worst_det_margin, ratio / bound)
-            else:
-                bound = _rand_bound(sequences)
-                if label == "rand (paper)":
-                    worst_rand_margin = max(worst_rand_margin, ratio / bound)
-            table.add_row(
-                scenario.name,
-                scenario.kind_label,
-                largest_n,
-                total_steps,
-                label,
-                total_cost,
-                ratio,
-                mean(displacements),
-                bound,
-            )
     return ExperimentResult(
         experiment_id="E11",
         title="Scenario sweep over the workload registry",
@@ -174,10 +217,15 @@ def run_e11_scenario_sweep(
             "instance per graph kind and ratios aggregate cost and OPT over "
             "both.  Ratios are measured against the certified OPT upper "
             "bound, so they over-estimate the true competitive ratio.",
+            "Scenarios are measured at several node budgets (their growth "
+            "curve); a scenario's recipe can pin its own budget list via "
+            "node_budgets, e.g. in .repro-scenarios.toml.",
             "The displacement column is the Kendall-tau distance between "
             "each trial's final arrangement and the initial one, counted for "
             "the whole trial block in a single count_inversions_batch pass.",
+            *band_notes,
         ],
+        traces=tuple(trace_samples),
     )
 
 

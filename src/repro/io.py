@@ -234,6 +234,36 @@ def trace_from_dict(data: Dict[str, Any]) -> CostTrace:
 
 
 # ----------------------------------------------------------------------
+# Result tables
+# ----------------------------------------------------------------------
+def table_to_dict(table) -> Dict[str, Any]:
+    """A JSON-compatible description of a result table (title, columns, rows)."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def table_from_dict(data: Dict[str, Any]):
+    """Rebuild (and re-validate) a result table from its dictionary form.
+
+    Row shape is validated by :meth:`~repro.experiments.tables.ResultTable.add_row`
+    itself, so a payload whose rows drifted from its column list fails loudly
+    instead of silently mis-aligning a comparison.
+    """
+    from repro.experiments.tables import ResultTable
+
+    try:
+        table = ResultTable(title=data["title"], columns=list(data["columns"]))
+        for row in data["rows"]:
+            table.add_row(*row)
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed table payload: {exc}") from exc
+    return table
+
+
+# ----------------------------------------------------------------------
 # Simulation results
 # ----------------------------------------------------------------------
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:

@@ -1,0 +1,66 @@
+"""Persistent run archive with cross-run statistics.
+
+Every experiment and benchmark invocation produces numbers worth keeping:
+the suite's result tables, the streamed cost traces of the traced runs, and
+the wall-clock time the run took.  :mod:`repro.runstore` persists them —
+
+* :mod:`repro.runstore.store` — a content-addressed on-disk archive of run
+  records (metadata + tables + traces, atomic writes, bit-identical
+  round-trips, idempotent re-appends that accumulate timing samples),
+* :mod:`repro.runstore.align` — alignment of cost traces from different
+  seeds onto a shared step axis,
+* :mod:`repro.runstore.stats` — variance bands (mean/min/max) and
+  deterministic bootstrap confidence intervals over aligned populations,
+  generalizing the single-trace harmonic-slope regression to many seeds,
+* :mod:`repro.runstore.report` — store summaries and baseline-vs-candidate
+  regression reports (``python -m repro runs list|show|compare|report|gc``).
+
+The archive location defaults to ``.repro-runs`` and is overridden by the
+``REPRO_RUNSTORE`` environment variable (validated through
+:mod:`repro.envconfig`).
+"""
+
+from repro.runstore.align import AlignedTraces, align_traces
+from repro.runstore.report import (
+    RegressionFinding,
+    RegressionReport,
+    compare_stores,
+    store_report,
+)
+from repro.runstore.stats import (
+    Band,
+    SlopeBands,
+    bootstrap_ci,
+    cost_bands,
+    harmonic_slope_bands,
+)
+from repro.runstore.store import (
+    RUNSTORE_ENV_VAR,
+    RunRecord,
+    RunStore,
+    RunSummary,
+    StoredRun,
+    resolve_store_root,
+    run_record_from_result,
+)
+
+__all__ = [
+    "AlignedTraces",
+    "align_traces",
+    "Band",
+    "SlopeBands",
+    "bootstrap_ci",
+    "cost_bands",
+    "harmonic_slope_bands",
+    "RegressionFinding",
+    "RegressionReport",
+    "compare_stores",
+    "store_report",
+    "RUNSTORE_ENV_VAR",
+    "RunRecord",
+    "RunStore",
+    "RunSummary",
+    "StoredRun",
+    "resolve_store_root",
+    "run_record_from_result",
+]

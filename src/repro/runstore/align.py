@@ -1,0 +1,99 @@
+"""Aligning cost traces from different seeds onto a shared step axis.
+
+Two traces of the same workload (same reveal sequence, different random
+choices) record events at the same step indices when both were streamed at
+stride 1 — but archived traces may have been downsampled, and populations
+can even mix runs whose step counts differ.  Alignment therefore treats a
+trace's cumulative cost as what it is mathematically: a right-continuous
+step function of the step index.  The shared axis is the sorted union of
+every trace's recorded step indices, and each trace is sampled onto it by
+forward-filling its cumulative totals (zero before the first event, the
+last recorded value after the final one).
+
+The result is a rectangular :class:`AlignedTraces` block — one row per
+trace, one column per shared step — on which :mod:`repro.runstore.stats`
+computes per-step variance bands.  Alignment is a pure function of the
+input traces: the same population aligns identically whatever the order or
+worker count that produced it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import RunStoreError
+from repro.telemetry.trace import CostTrace
+
+
+@dataclass(frozen=True)
+class AlignedTraces:
+    """A population of traces sampled onto one shared step axis."""
+
+    steps: Tuple[int, ...]
+    """The shared step axis (sorted union of the traces' recorded steps)."""
+    cumulative: Tuple[Tuple[int, ...], ...]
+    """Per trace: the running *total* cost at each shared step."""
+    moving: Tuple[Tuple[int, ...], ...]
+    """Per trace: the running moving-phase cost at each shared step."""
+    rearranging: Tuple[Tuple[int, ...], ...]
+    """Per trace: the running rearranging-phase cost at each shared step."""
+
+    @property
+    def num_traces(self) -> int:
+        return len(self.cumulative)
+
+    def series(self, phase: str) -> Tuple[Tuple[int, ...], ...]:
+        """The per-trace series of one phase (``total`` / ``moving`` / ``rearranging``)."""
+        if phase == "total":
+            return self.cumulative
+        if phase == "moving":
+            return self.moving
+        if phase == "rearranging":
+            return self.rearranging
+        raise RunStoreError(
+            f"unknown phase {phase!r}; choose total, moving or rearranging"
+        )
+
+
+def _forward_fill(
+    event_steps: Sequence[int], values: Sequence[int], axis: Sequence[int]
+) -> Tuple[int, ...]:
+    """Sample a cumulative step function onto ``axis`` (0 before the first event)."""
+    filled: List[int] = []
+    for step in axis:
+        index = bisect_right(event_steps, step)
+        filled.append(values[index - 1] if index else 0)
+    return tuple(filled)
+
+
+def align_traces(traces: Sequence[CostTrace]) -> AlignedTraces:
+    """Align a population of traces onto the union of their step axes.
+
+    Needs at least one trace with at least one recorded event.  The output
+    axis covers every step any member recorded, so no member's information
+    is discarded — members simply hold their last known cumulative value
+    across steps they did not record (exactly the semantics of a cumulative
+    cost between updates).
+    """
+    if not traces:
+        raise RunStoreError("align_traces() needs at least one trace")
+    if any(not trace.events for trace in traces):
+        raise RunStoreError("align_traces() needs traces with recorded events")
+    axis = sorted({event.step_index for trace in traces for event in trace.events})
+    cumulative: List[Tuple[int, ...]] = []
+    moving: List[Tuple[int, ...]] = []
+    rearranging: List[Tuple[int, ...]] = []
+    for trace in traces:
+        event_steps = trace.step_indices()
+        moving_series, rearranging_series = trace.cumulative_phase_costs()
+        cumulative.append(_forward_fill(event_steps, trace.cumulative_costs(), axis))
+        moving.append(_forward_fill(event_steps, moving_series, axis))
+        rearranging.append(_forward_fill(event_steps, rearranging_series, axis))
+    return AlignedTraces(
+        steps=tuple(axis),
+        cumulative=tuple(cumulative),
+        moving=tuple(moving),
+        rearranging=tuple(rearranging),
+    )

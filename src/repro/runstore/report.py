@@ -1,0 +1,282 @@
+"""Store summaries and baseline-vs-candidate regression reports.
+
+Two consumers:
+
+* ``python -m repro runs report`` — :func:`store_report` summarizes one
+  archive: every stored run, then per ``(experiment, group)`` population
+  with enough seeds the shaded cost band and the harmonic-slope variance
+  bands (mean/min/max + deterministic bootstrap CI).
+* ``python -m repro runs compare`` — :func:`compare_stores` matches runs of
+  two archives by configuration (experiment id, scenario, scale, seed,
+  backend, jobs) and flags cost and wall-clock regressions beyond a
+  configurable tolerance; the CLI turns flagged regressions into a non-zero
+  exit code so a CI job can gate on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import RunStoreError
+from repro.experiments.charts import variance_band_chart
+from repro.experiments.metrics import mean
+from repro.runstore.align import align_traces
+from repro.runstore.stats import cost_bands, harmonic_slope_bands
+from repro.runstore.store import RunStore, RunSummary, StoredRun
+
+#: Populations smaller than this get no variance bands (a band over one or
+#: two seeds would overstate how much the archive knows).
+DEFAULT_MIN_SEEDS = 3
+
+
+# ----------------------------------------------------------------------
+# Single-store report
+# ----------------------------------------------------------------------
+def describe_run(run: Union[StoredRun, RunSummary]) -> str:
+    """One listing line for a run (works on summaries and full loads alike)."""
+    timing = (
+        f"{run.mean_timing:.2f}s x{len(run.timings)}"
+        if run.mean_timing is not None
+        else "untimed"
+    )
+    scenario = f" scenario={run.scenario}" if run.scenario else ""
+    return (
+        f"{run.run_id}  {run.experiment_id:<4} scale={run.scale} "
+        f"seed={run.seed} backend={run.backend} jobs={run.jobs}{scenario} "
+        f"traces={run.num_trace_samples} wall={timing}"
+    )
+
+
+def store_report(
+    store: RunStore,
+    experiment_id: Optional[str] = None,
+    min_seeds: int = DEFAULT_MIN_SEEDS,
+    seed: int = 0,
+) -> str:
+    """A textual report of one archive: runs, cost bands, slope bands."""
+    if min_seeds < 1:
+        raise RunStoreError(f"min_seeds must be a positive integer, got {min_seeds}")
+    # The header only needs manifest-level facts; the full (digest-verified)
+    # payloads are loaded below, once, for the populations.
+    runs = store.summaries(experiment_id)
+    lines: List[str] = [
+        f"run store at {store.root}: {len(runs)} stored run(s)"
+        + (f" for {experiment_id}" if experiment_id else ""),
+    ]
+    for run in runs:
+        lines.append(f"  {describe_run(run)}")
+    populations = store.trace_populations(experiment_id)
+    banded = {
+        key: samples
+        for key, samples in sorted(populations.items())
+        if len(samples) >= min_seeds
+    }
+    if not banded:
+        lines.append(
+            f"no trace population reaches {min_seeds} seeds yet - archive more "
+            "runs (e.g. python -m repro experiments) to unlock variance bands"
+        )
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(
+        f"variance bands (populations with >= {min_seeds} seeds, "
+        "95% bootstrap CI on the mean slope):"
+    )
+    for (experiment, group), samples in banded.items():
+        traces = [sample.trace for sample in samples]
+        aligned = align_traces(traces)
+        band = cost_bands(aligned)["total"]
+        slopes = harmonic_slope_bands(traces, seed=f"{seed}|{experiment}|{group}")
+        lines.append(f"  {experiment} {group}:")
+        lines.append(f"    {variance_band_chart(band)}")
+        lines.append(f"    {slopes.summary()}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Baseline-vs-candidate comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One compared metric of one matched run configuration."""
+
+    config: str
+    """Human-readable configuration key (experiment, scale, seed, ...)."""
+    metric: str
+    """What was compared (``cost <group>`` or ``wall time``)."""
+    baseline: float
+    candidate: float
+    ratio: float
+    """``candidate / baseline`` (1.0 means unchanged)."""
+    status: str
+    """``regression`` / ``improvement`` / ``ok`` relative to the tolerance."""
+
+    def describe(self) -> str:
+        return (
+            f"[{self.status:<11}] {self.config} {self.metric}: "
+            f"{self.baseline:.2f} -> {self.candidate:.2f} (x{self.ratio:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """The outcome of comparing a candidate store against a baseline store."""
+
+    tolerance: float
+    findings: Tuple[RegressionFinding, ...]
+    unmatched_baseline: Tuple[str, ...]
+    unmatched_candidate: Tuple[str, ...]
+    ambiguous_configs: Tuple[str, ...] = ()
+    """Configurations holding more than one archived run in a store (a
+    content-addressed archive accumulates one entry per distinct result);
+    the comparison used each side's newest run, and says so here instead of
+    dropping the older entries silently."""
+
+    @property
+    def regressions(self) -> Tuple[RegressionFinding, ...]:
+        return tuple(f for f in self.findings if f.status == "regression")
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def to_text(self) -> str:
+        lines = [
+            f"compared {len(self.findings)} metric(s) at tolerance "
+            f"{self.tolerance:.0%}: {len(self.regressions)} regression(s)"
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.describe()}")
+        for note in self.ambiguous_configs:
+            lines.append(f"  note: {note}")
+        if self.unmatched_baseline:
+            lines.append(
+                "  only in baseline: " + ", ".join(self.unmatched_baseline)
+            )
+        if self.unmatched_candidate:
+            lines.append(
+                "  only in candidate: " + ", ".join(self.unmatched_candidate)
+            )
+        return "\n".join(lines)
+
+
+def _config_label(run: StoredRun) -> str:
+    scenario = f" scenario={run.scenario}" if run.scenario else ""
+    return (
+        f"{run.experiment_id} scale={run.scale} seed={run.seed} "
+        f"backend={run.backend} jobs={run.jobs}{scenario}"
+    )
+
+
+def _classify(ratio: float, tolerance: float) -> str:
+    if ratio > 1.0 + tolerance:
+        return "regression"
+    if ratio < 1.0 - tolerance:
+        return "improvement"
+    return "ok"
+
+
+def _group_costs(run: StoredRun) -> Dict[str, float]:
+    """Mean total trace cost per workload group of one stored run."""
+    by_group: Dict[str, List[float]] = {}
+    for sample in run.trace_samples:
+        by_group.setdefault(sample.group, []).append(float(sample.trace.total_cost))
+    return {group: mean(values) for group, values in sorted(by_group.items())}
+
+
+def compare_stores(
+    baseline: RunStore, candidate: RunStore, tolerance: float = 0.1
+) -> RegressionReport:
+    """Compare two archives run-by-run and flag changes beyond ``tolerance``.
+
+    Runs are matched on their deterministic configuration; for every match
+    the per-group mean trace costs and the mean wall-clock samples are
+    compared as ``candidate / baseline`` ratios.  A ratio above
+    ``1 + tolerance`` is a regression, below ``1 - tolerance`` an
+    improvement.  Stores sharing no configuration at all raise — that is a
+    mis-aimed comparison, not an empty result.  A long-lived store can hold
+    several runs of one configuration (one entry per distinct result); each
+    side contributes its *newest* such run and the report lists the
+    configuration under ``ambiguous_configs`` so nothing is dropped
+    silently (``runs gc --keep 1`` makes a store unambiguous).
+    """
+    if tolerance < 0:
+        raise RunStoreError(f"tolerance must be non-negative, got {tolerance}")
+    ambiguous: List[str] = []
+
+    def _newest_per_config(store: RunStore, side: str) -> Dict[Tuple, StoredRun]:
+        newest: Dict[Tuple, StoredRun] = {}
+        counts: Dict[Tuple, int] = {}
+        for run in store.list_runs():  # oldest first; later entries win
+            key = run.config_key()
+            newest[key] = run
+            counts[key] = counts.get(key, 0) + 1
+        for key in sorted(counts, key=lambda item: _config_label(newest[item])):
+            if counts[key] > 1:
+                ambiguous.append(
+                    f"{side} holds {counts[key]} runs for "
+                    f"{_config_label(newest[key])}; compared the newest"
+                )
+        return newest
+
+    baseline_runs = _newest_per_config(baseline, "baseline")
+    candidate_runs = _newest_per_config(candidate, "candidate")
+    shared = sorted(set(baseline_runs) & set(candidate_runs))
+    if not shared:
+        raise RunStoreError(
+            "the stores share no run configuration; nothing to compare "
+            f"({baseline.root} vs {candidate.root})"
+        )
+    findings: List[RegressionFinding] = []
+    for key in shared:
+        base = baseline_runs[key]
+        cand = candidate_runs[key]
+        label = _config_label(base)
+        base_costs = _group_costs(base)
+        cand_costs = _group_costs(cand)
+        for group in sorted(set(base_costs) & set(cand_costs)):
+            base_value = base_costs[group]
+            cand_value = cand_costs[group]
+            ratio = cand_value / base_value if base_value > 0 else (
+                1.0 if cand_value == 0 else float("inf")
+            )
+            findings.append(
+                RegressionFinding(
+                    config=label,
+                    metric=f"cost {group}",
+                    baseline=base_value,
+                    candidate=cand_value,
+                    ratio=ratio,
+                    status=_classify(ratio, tolerance),
+                )
+            )
+        if base.mean_timing is not None and cand.mean_timing is not None:
+            ratio = cand.mean_timing / base.mean_timing if base.mean_timing > 0 else (
+                1.0 if cand.mean_timing == 0 else float("inf")
+            )
+            findings.append(
+                RegressionFinding(
+                    config=label,
+                    metric="wall time",
+                    baseline=base.mean_timing,
+                    candidate=cand.mean_timing,
+                    ratio=ratio,
+                    status=_classify(ratio, tolerance),
+                )
+            )
+    unmatched_baseline = tuple(
+        _config_label(baseline_runs[key])
+        for key in sorted(set(baseline_runs) - set(candidate_runs))
+    )
+    unmatched_candidate = tuple(
+        _config_label(candidate_runs[key])
+        for key in sorted(set(candidate_runs) - set(baseline_runs))
+    )
+    return RegressionReport(
+        tolerance=tolerance,
+        findings=tuple(findings),
+        unmatched_baseline=unmatched_baseline,
+        unmatched_candidate=unmatched_candidate,
+        ambiguous_configs=tuple(ambiguous),
+    )

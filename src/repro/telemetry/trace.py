@@ -88,6 +88,43 @@ class CostTrace:
         """The step index of each recorded event, in step order."""
         return [event.step_index for event in self.events]
 
+    def cumulative_phase_costs(self) -> "Tuple[List[int], List[int]]":
+        """Running ``(moving, rearranging)`` cost series over the recorded events.
+
+        Rebuilt from the recorded events, so the series is exact for stride-1
+        traces and an event-sample approximation for downsampled ones — the
+        same contract as :func:`regress_phases_against_harmonic`, which
+        consumes it, and as the cross-run alignment layer of
+        :mod:`repro.runstore.align`.
+        """
+        moving: List[int] = []
+        rearranging: List[int] = []
+        moving_total = 0
+        rearranging_total = 0
+        for event in self.events:
+            moving_total += event.moving_cost
+            rearranging_total += event.rearranging_cost
+            moving.append(moving_total)
+            rearranging.append(rearranging_total)
+        return moving, rearranging
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One seeded cost trace of a population: ``(group, seed, trace)``.
+
+    Cross-run statistics (variance bands, harmonic-slope populations) need to
+    know which traces are comparable — same workload, different randomness.
+    ``group`` names the workload configuration (e.g. ``"n=32"`` or a scenario
+    name) and ``seed`` identifies the random stream that produced this
+    member, so populations can be assembled across experiment runs without
+    guessing from array lengths.
+    """
+
+    group: str
+    seed: int
+    trace: CostTrace
+
 
 class TraceRecorder:
     """Accumulate per-step cost records into a :class:`CostTrace`, streaming.
@@ -238,17 +275,10 @@ def regress_phases_against_harmonic(trace: CostTrace) -> PhaseRegression:
         raise ReproError(
             "the phase regression needs a trace with at least two recorded events"
         )
-    xs: List[float] = []
-    moving: List[float] = []
-    rearranging: List[float] = []
-    moving_total = 0
-    rearranging_total = 0
-    for event in trace.events:
-        moving_total += event.moving_cost
-        rearranging_total += event.rearranging_cost
-        xs.append(_harmonic(event.step_index + 1))
-        moving.append(float(moving_total))
-        rearranging.append(float(rearranging_total))
+    xs = [_harmonic(event.step_index + 1) for event in trace.events]
+    moving_series, rearranging_series = trace.cumulative_phase_costs()
+    moving = [float(value) for value in moving_series]
+    rearranging = [float(value) for value in rearranging_series]
     moving_slope, moving_r2 = _least_squares(xs, moving)
     rearranging_slope, rearranging_r2 = _least_squares(xs, rearranging)
     return PhaseRegression(

@@ -31,6 +31,12 @@ from repro.workloads.base import (
     ScenarioParams,
     check_scale,
 )
+from repro.workloads.discovery import (
+    SCENARIO_FILE_NAME,
+    autodiscover_scenarios,
+    load_scenario_file,
+    scenario_from_recipe,
+)
 from repro.workloads.orders import (
     BurstyInterleave,
     MergeOrderPolicy,
@@ -73,6 +79,7 @@ __all__ = [
     "RequestStream",
     "SCALE_NAMES",
     "SCENARIO_ENV_VAR",
+    "SCENARIO_FILE_NAME",
     "Scenario",
     "ScenarioParams",
     "SequentialOrder",
@@ -81,14 +88,17 @@ __all__ = [
     "UniformInterleave",
     "ZipfInterleave",
     "all_scenarios",
+    "autodiscover_scenarios",
     "check_scale",
     "default_scenario_name",
     "get_scenario",
     "iter_induced_reveals",
+    "load_scenario_file",
     "materialize_trace",
     "mixed_request_stream",
     "pipeline_request_stream",
     "register",
+    "scenario_from_recipe",
     "scenario_names",
     "stream_statistics",
     "tenant_request_stream",

@@ -131,6 +131,11 @@ class Scenario(abc.ABC):
     description: str = ""
     kind_label: str = "mixed"
 
+    #: Optional per-scenario node-budget list for the E11 sweep.  ``None``
+    #: means "use the sweep's per-scale defaults"; a tuple makes the sweep
+    #: measure this scenario at exactly these budgets (its growth curve).
+    node_budgets: Optional[Tuple[int, ...]] = None
+
     #: Per-scale default sizes for ``python -m repro scenarios run``.
     scale_params = {
         "smoke": ScenarioParams(num_nodes=24, num_requests=400),
@@ -141,6 +146,25 @@ class Scenario(abc.ABC):
     def default_params(self, scale: str) -> ScenarioParams:
         """The scenario's default ``(num_nodes, num_requests)`` at a scale."""
         return self.scale_params[check_scale(scale)]
+
+    def sweep_node_budgets(self, default_budgets: Sequence[int]) -> Tuple[int, ...]:
+        """The node budgets the E11 sweep measures this scenario at.
+
+        Scenarios carrying an explicit :attr:`node_budgets` list (built-ins
+        or ``.repro-scenarios.toml`` recipes) get their own growth curve;
+        everything else follows the sweep's per-scale defaults.  Budgets are
+        deduplicated and returned ascending, so the sweep's rows read as a
+        growth curve and "the last budget" is always the largest one (the
+        per-scenario variance-band population is traced there).
+        """
+        budgets = self.node_budgets if self.node_budgets else tuple(default_budgets)
+        if not budgets:
+            raise ReproError(f"scenario {self.name!r} has an empty node-budget list")
+        if any(budget < 2 for budget in budgets):
+            raise ReproError(
+                f"scenario {self.name!r} has node budgets below 2: {list(budgets)}"
+            )
+        return tuple(sorted(set(budgets)))
 
     @abc.abstractmethod
     def reveal_sequences(self, num_nodes: int, seed: object) -> List[RevealSequence]:

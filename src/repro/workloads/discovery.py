@@ -1,0 +1,343 @@
+"""``.repro-scenarios.toml`` discovery: user-defined scenario recipes.
+
+Third-party scenarios have always been able to call
+:func:`repro.workloads.register` from Python; this module adds the
+configuration-file route: a ``.repro-scenarios.toml`` in the working
+directory declares one table per scenario, each composing the same pieces
+the built-in catalog uses (size distribution, merge-order policy, traffic
+weighting, optional E11 node budgets)::
+
+    [steep-fanout]
+    description = "a few giant tenants, uniform reveal order"
+    clique_fraction = 1.0
+    sizes = "heavy-tailed"
+    alpha = 1.2
+    min_size = 2
+    max_size = 24
+    order = "zipf"
+    order_exponent = 1.3
+    traffic_weighting = "zipf"
+    zipf_exponent = 1.2
+    node_budgets = [16, 32, 64]
+
+The CLI (and the experiment runner, on every worker) calls
+:func:`autodiscover_scenarios` at startup, so discovered recipes appear in
+``python -m repro scenarios list`` and are swept by E11 exactly like
+built-ins.  Validation follows the ``repro.envconfig`` philosophy: an
+unknown key, a mis-typed value or a name clash raises a clear
+:class:`~repro.errors.ReproError` — a typo must never silently produce a
+different workload than the one the user described.
+
+Parsing uses :mod:`tomllib` where available (Python ≥ 3.11) and falls back
+to a small built-in parser covering exactly the subset the recipes need
+(tables, scalar keys, flat arrays) — the library adds no dependency either
+way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.workloads.orders import (
+    BurstyInterleave,
+    MergeOrderPolicy,
+    SequentialOrder,
+    UniformInterleave,
+    ZipfInterleave,
+)
+from repro.workloads.registry import ComposedScenario, _REGISTRY, register
+from repro.workloads.sizes import (
+    FixedSizes,
+    HeavyTailedSizes,
+    SingleComponent,
+    SizeDistribution,
+)
+
+#: File name looked up in the working directory at CLI/worker startup.
+SCENARIO_FILE_NAME = ".repro-scenarios.toml"
+
+#: Every key a recipe table may carry.  Anything else raises.
+ALLOWED_KEYS = (
+    "description",
+    "clique_fraction",
+    "sizes",
+    "component_size",
+    "alpha",
+    "min_size",
+    "max_size",
+    "order",
+    "order_exponent",
+    "burst_length",
+    "traffic_weighting",
+    "zipf_exponent",
+    "node_budgets",
+)
+
+SIZE_NAMES = ("single", "fixed", "heavy-tailed")
+ORDER_NAMES = ("uniform", "zipf", "bursty", "sequential")
+WEIGHTING_NAMES = ("pairs", "zipf")
+
+#: Recipes already loaded this process, keyed by scenario name.  Re-loading
+#: an identical recipe is a no-op (workers and repeated CLI entry points
+#: re-discover); a *changed* recipe under an existing name raises.
+_LOADED_RECIPES: Dict[str, Dict[str, Any]] = {}
+
+
+# ----------------------------------------------------------------------
+# TOML parsing (stdlib where available, minimal fallback below 3.11)
+# ----------------------------------------------------------------------
+def _parse_scalar(text: str, where: str) -> Any:
+    text = text.strip()
+    if not text:
+        raise ReproError(f"{where}: empty value")
+    if (text.startswith('"') and text.endswith('"') and len(text) >= 2) or (
+        text.startswith("'") and text.endswith("'") and len(text) >= 2
+    ):
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ReproError(f"{where}: cannot parse value {text!r}") from None
+
+
+def _strip_comment(line: str) -> str:
+    quote: Optional[str] = None
+    for index, character in enumerate(line):
+        if quote is None and character in "\"'":
+            quote = character
+        elif quote == character:
+            quote = None
+        elif quote is None and character == "#":
+            return line[:index]
+    return line
+
+
+def _parse_toml_fallback(text: str, source: str) -> Dict[str, Dict[str, Any]]:
+    """Parse the recipe subset of TOML: tables, scalars, flat arrays."""
+    tables: Dict[str, Dict[str, Any]] = {}
+    current: Optional[Dict[str, Any]] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        where = f"{source}:{line_number}"
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name or name.startswith("["):
+                raise ReproError(f"{where}: scenario tables must be [name]")
+            if name in tables:
+                raise ReproError(f"{where}: duplicate scenario table {name!r}")
+            current = tables[name] = {}
+            continue
+        if "=" not in line:
+            raise ReproError(f"{where}: expected key = value, got {line!r}")
+        if current is None:
+            raise ReproError(f"{where}: keys must appear inside a [scenario] table")
+        key, _, value_text = line.partition("=")
+        key = key.strip()
+        value_text = value_text.strip()
+        if key in current:
+            raise ReproError(f"{where}: duplicate key {key!r}")
+        if value_text.startswith("[") and value_text.endswith("]"):
+            inner = value_text[1:-1].strip()
+            current[key] = (
+                [
+                    _parse_scalar(element, where)
+                    for element in inner.split(",")
+                    if element.strip()
+                ]
+                if inner
+                else []
+            )
+        else:
+            current[key] = _parse_scalar(value_text, where)
+    return tables
+
+
+def _parse_toml(text: str, source: str) -> Dict[str, Dict[str, Any]]:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - exercised on Python < 3.11
+        return _parse_toml_fallback(text, source)
+    try:
+        parsed = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ReproError(f"{source} is not valid TOML: {exc}") from exc
+    for name, table in parsed.items():
+        if not isinstance(table, dict):
+            raise ReproError(
+                f"{source}: top-level entry {name!r} must be a [scenario] table"
+            )
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# Recipe validation and scenario construction
+# ----------------------------------------------------------------------
+def _require(
+    recipe: Dict[str, Any],
+    key: str,
+    types: tuple,
+    default: Any,
+    where: str,
+) -> Any:
+    if key not in recipe:
+        return default
+    value = recipe[key]
+    if isinstance(value, bool) or not isinstance(value, types):
+        expected = "/".join(t.__name__ for t in types)
+        raise ReproError(f"{where}: {key} must be {expected}, got {value!r}")
+    return value
+
+
+def _build_sizes(recipe: Dict[str, Any], where: str) -> SizeDistribution:
+    kind = _require(recipe, "sizes", (str,), "single", where)
+    if kind not in SIZE_NAMES:
+        raise ReproError(
+            f"{where}: unknown sizes {kind!r}; choose one of {list(SIZE_NAMES)}"
+        )
+    if kind == "single":
+        return SingleComponent()
+    if kind == "fixed":
+        return FixedSizes(
+            component_size=_require(recipe, "component_size", (int,), 4, where)
+        )
+    max_size = _require(recipe, "max_size", (int,), None, where)
+    return HeavyTailedSizes(
+        alpha=float(_require(recipe, "alpha", (int, float), 1.6, where)),
+        min_size=_require(recipe, "min_size", (int,), 2, where),
+        max_size=max_size,
+    )
+
+
+def _build_order(recipe: Dict[str, Any], where: str) -> MergeOrderPolicy:
+    kind = _require(recipe, "order", (str,), "uniform", where)
+    if kind not in ORDER_NAMES:
+        raise ReproError(
+            f"{where}: unknown order {kind!r}; choose one of {list(ORDER_NAMES)}"
+        )
+    if kind == "uniform":
+        return UniformInterleave()
+    if kind == "zipf":
+        return ZipfInterleave(
+            exponent=float(_require(recipe, "order_exponent", (int, float), 1.1, where))
+        )
+    if kind == "bursty":
+        return BurstyInterleave(
+            burst_length=_require(recipe, "burst_length", (int,), 8, where)
+        )
+    return SequentialOrder()
+
+
+def _build_node_budgets(
+    recipe: Dict[str, Any], where: str
+) -> Optional[Tuple[int, ...]]:
+    budgets = recipe.get("node_budgets")
+    if budgets is None:
+        return None
+    if not isinstance(budgets, list) or not budgets:
+        raise ReproError(f"{where}: node_budgets must be a non-empty array of integers")
+    for budget in budgets:
+        if isinstance(budget, bool) or not isinstance(budget, int) or budget < 2:
+            raise ReproError(
+                f"{where}: node_budgets entries must be integers >= 2, "
+                f"got {budget!r}"
+            )
+    return tuple(budgets)
+
+
+def scenario_from_recipe(name: str, recipe: Dict[str, Any], source: str) -> ComposedScenario:
+    """Build (and fully validate) one scenario from its recipe table."""
+    where = f"{source} [{name}]"
+    unknown = sorted(set(recipe) - set(ALLOWED_KEYS))
+    if unknown:
+        raise ReproError(
+            f"{where}: unknown recipe keys {unknown}; "
+            f"allowed keys are {sorted(ALLOWED_KEYS)}"
+        )
+    weighting = _require(recipe, "traffic_weighting", (str,), "pairs", where)
+    if weighting not in WEIGHTING_NAMES:
+        raise ReproError(
+            f"{where}: unknown traffic_weighting {weighting!r}; "
+            f"choose one of {list(WEIGHTING_NAMES)}"
+        )
+    return ComposedScenario(
+        name=name,
+        description=_require(
+            recipe, "description", (str,), f"user scenario from {source}", where
+        ),
+        clique_fraction=float(
+            _require(recipe, "clique_fraction", (int, float), 1.0, where)
+        ),
+        sizes=_build_sizes(recipe, where),
+        order=_build_order(recipe, where),
+        traffic_weighting=weighting,
+        zipf_exponent=float(
+            _require(recipe, "zipf_exponent", (int, float), 1.1, where)
+        ),
+        node_budgets=_build_node_budgets(recipe, where),
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading and registration
+# ----------------------------------------------------------------------
+def load_scenario_file(path: Union[str, Path]) -> List[ComposedScenario]:
+    """Load every recipe of one TOML file into the scenario registry.
+
+    Idempotent per recipe: re-loading an identical recipe (another CLI
+    entry point, a pool worker) is a no-op, but a *changed* recipe under an
+    already-loaded name — or a name clashing with a built-in scenario —
+    raises, because two scenarios answering to one name would make results
+    ambiguous.  Returns the scenarios the file defines.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such scenario file: {path}")
+    tables = _parse_toml(path.read_text(), str(path))
+    if not tables:
+        raise ReproError(f"{path} defines no scenario tables")
+    scenarios: List[ComposedScenario] = []
+    for name, recipe in tables.items():
+        if name in _LOADED_RECIPES:
+            if _LOADED_RECIPES[name] == recipe:
+                scenarios.append(_REGISTRY[name])  # type: ignore[arg-type]
+                continue
+            raise ReproError(
+                f"{path}: scenario {name!r} was already loaded with a "
+                "different recipe; rename one of the two"
+            )
+        scenario = scenario_from_recipe(name, recipe, str(path))
+        if name in _REGISTRY:
+            raise ReproError(
+                f"{path}: scenario {name!r} clashes with an already "
+                "registered scenario; choose a different name"
+            )
+        register(scenario)
+        _LOADED_RECIPES[name] = dict(recipe)
+        scenarios.append(scenario)
+    return scenarios
+
+
+def autodiscover_scenarios(directory: Union[str, Path, None] = None) -> List[ComposedScenario]:
+    """Load ``.repro-scenarios.toml`` from ``directory`` (default: cwd) if present.
+
+    The missing-file case is the common one and returns an empty list; an
+    *invalid* file always raises — a present-but-broken configuration must
+    never be silently skipped.
+    """
+    base = Path(directory) if directory is not None else Path.cwd()
+    path = base / SCENARIO_FILE_NAME
+    if not path.exists():
+        return []
+    return load_scenario_file(path)

@@ -107,10 +107,17 @@ class ComposedScenario(Scenario):
     order: MergeOrderPolicy = field(default_factory=UniformInterleave)
     traffic_weighting: str = "pairs"
     zipf_exponent: float = 1.1
+    node_budgets: Optional[Tuple[int, ...]] = None
+    """Optional per-scenario E11 node budgets (see :meth:`Scenario.sweep_node_budgets`)."""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.clique_fraction <= 1.0:
             raise ReproError("clique_fraction must lie in [0, 1]")
+        if self.node_budgets is not None and not isinstance(self.node_budgets, tuple):
+            raise ReproError(
+                f"node_budgets must be a tuple of integers, got "
+                f"{type(self.node_budgets).__name__}"
+            )
 
     @property
     def kind_label(self) -> str:  # type: ignore[override]

@@ -60,3 +60,59 @@ class TestScalingTable:
             scaling_table([1, 2], [1.0])
         with pytest.raises(ExperimentError):
             scaling_table([], [])
+
+
+class TestSparklineBounds:
+    def test_explicit_bounds_put_series_on_a_shared_scale(self):
+        narrow = sparkline([1.0, 2.0], low=0.0, high=8.0)
+        wide = sparkline([7.0, 8.0], low=0.0, high=8.0)
+        blocks = "▁▂▃▄▅▆▇█"
+        assert all(blocks.index(c) <= 2 for c in narrow)
+        assert all(blocks.index(c) >= 6 for c in wide)
+
+    def test_values_outside_the_bounds_are_clamped(self):
+        chart = sparkline([-5.0, 50.0], low=0.0, high=8.0)
+        assert chart == "▁█"
+
+    def test_inverted_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([1.0], low=5.0, high=1.0)
+
+
+class TestVarianceBandChart:
+    def _band(self, num_steps=100):
+        from repro.runstore.stats import cost_bands
+        from repro.telemetry.trace import TraceRecorder
+
+        traces = []
+        for scale in (1, 2, 3):
+            recorder = TraceRecorder()
+            for index in range(num_steps):
+                recorder.record(index, scale, 0, scale)
+            traces.append(recorder.as_trace())
+        return cost_bands(traces)["total"]
+
+    def test_renders_min_mean_max_on_one_shared_scale(self):
+        from repro.experiments.charts import variance_band_chart
+
+        chart = variance_band_chart(self._band())
+        assert "band over 3 seeds" in chart
+        assert "min" in chart and "mean" in chart and "max" in chart
+        assert "final mean=200.0" in chart
+        assert "range=[100, 300]" in chart
+
+    def test_thinning_is_deterministic_and_bounded(self):
+        from repro.experiments.charts import variance_band_chart
+
+        first = variance_band_chart(self._band(), max_points=16)
+        second = variance_band_chart(self._band(), max_points=16)
+        assert first == second
+        # Three sparklines of at most 16 points each.
+        blocks = sum(first.count(c) for c in "▁▂▃▄▅▆▇█")
+        assert blocks <= 48
+
+    def test_validation(self):
+        from repro.experiments.charts import variance_band_chart
+
+        with pytest.raises(ExperimentError):
+            variance_band_chart(self._band(), max_points=1)

@@ -121,3 +121,88 @@ class TestExperimentsCommand:
         assert exit_code == 0
         assert "E8" in output
         assert (tmp_path / "EXPERIMENTS.md").exists()
+        # Default archiving: the invocation landed in .repro-runs.
+        assert (tmp_path / ".repro-runs" / "runs").exists()
+        assert "archived 1 run(s)" in output
+
+    def test_no_store_disables_archiving(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(
+            [
+                "experiments",
+                "--scale",
+                "smoke",
+                "--only",
+                "E8",
+                "--no-store",
+                "--output",
+                str(tmp_path / "EXPERIMENTS.md"),
+            ]
+        )
+        assert exit_code == 0
+        assert not (tmp_path / ".repro-runs").exists()
+
+
+class TestRunsCommand:
+    def _populate(self, tmp_path, seeds=(0,)):
+        store = str(tmp_path / "store")
+        for seed in seeds:
+            assert (
+                main(
+                    [
+                        "experiments",
+                        "--scale",
+                        "smoke",
+                        "--only",
+                        "E2",
+                        "--seed",
+                        str(seed),
+                        "--store",
+                        store,
+                        "--output",
+                        str(tmp_path / "EXPERIMENTS.md"),
+                        "--csv-dir",
+                        str(tmp_path / "results"),
+                    ]
+                )
+                == 0
+            )
+        return store
+
+    def test_list_show_and_report(self, capsys, tmp_path):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "1 stored run(s)" in listing
+        assert "E2" in listing
+
+        run_id = listing.split()[listing.split().index("E2") - 1]
+        assert main(["runs", "show", run_id, "--store", store]) == 0
+        shown = capsys.readouterr().out
+        assert "findings" in shown
+        assert "trace samples" in shown
+
+        assert main(["runs", "report", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert "harmonic-slope bands" in report
+
+    def test_show_without_run_id_errors(self, tmp_path):
+        store = self._populate(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "--store", store])
+
+    def test_compare_detects_no_regression_against_itself(self, capsys, tmp_path):
+        store = self._populate(tmp_path)
+        exit_code = main(
+            ["runs", "compare", "--baseline", store, "--store", store]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 regression(s)" in output
+
+    def test_gc_runs(self, capsys, tmp_path):
+        store = self._populate(tmp_path)
+        assert main(["runs", "gc", "--store", store]) == 0
+        assert "gc of" in capsys.readouterr().out

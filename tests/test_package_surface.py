@@ -91,6 +91,12 @@ class TestPublicExports:
             "repro.workloads",
             "repro.workloads.registry",
             "repro.workloads.streaming",
+            "repro.workloads.discovery",
+            "repro.runstore",
+            "repro.runstore.store",
+            "repro.runstore.align",
+            "repro.runstore.stats",
+            "repro.runstore.report",
         ],
     )
     def test_submodules_import_cleanly(self, module_name):
@@ -107,6 +113,7 @@ class TestPublicExports:
             "repro.vnet",
             "repro.experiments",
             "repro.workloads",
+            "repro.runstore",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

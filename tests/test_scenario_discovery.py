@@ -1,0 +1,198 @@
+"""Tests for ``.repro-scenarios.toml`` discovery and scenario recipes."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.discovery import (
+    _LOADED_RECIPES,
+    _parse_toml_fallback,
+    autodiscover_scenarios,
+    load_scenario_file,
+    scenario_from_recipe,
+)
+from repro.workloads.orders import BurstyInterleave, ZipfInterleave
+from repro.workloads.registry import _REGISTRY, get_scenario, scenario_names
+from repro.workloads.sizes import FixedSizes, HeavyTailedSizes, SingleComponent
+
+RECIPE = textwrap.dedent(
+    """
+    # user scenarios for the test suite
+    [disc-fanout]
+    description = "a few giant tenants, zipf reveal order"
+    clique_fraction = 1.0
+    sizes = "heavy-tailed"
+    alpha = 1.2
+    min_size = 2
+    max_size = 24
+    order = "zipf"
+    order_exponent = 1.3
+    traffic_weighting = "zipf"
+    zipf_exponent = 1.2
+    node_budgets = [8, 16]
+
+    [disc-pipelines]
+    description = "fixed-size pipelines in bursts"
+    clique_fraction = 0.0
+    sizes = "fixed"
+    component_size = 4
+    order = "bursty"
+    burst_length = 3
+    """
+)
+
+
+@pytest.fixture
+def clean_registry():
+    """Unregister everything a test discovers, restoring the built-in catalog."""
+    before = set(_REGISTRY)
+    yield
+    for name in set(_REGISTRY) - before:
+        _REGISTRY.pop(name, None)
+        _LOADED_RECIPES.pop(name, None)
+
+
+class TestRecipeParsing:
+    def test_fallback_parser_handles_the_recipe_subset(self):
+        tables = _parse_toml_fallback(RECIPE, "test")
+        assert set(tables) == {"disc-fanout", "disc-pipelines"}
+        assert tables["disc-fanout"]["alpha"] == 1.2
+        assert tables["disc-fanout"]["node_budgets"] == [8, 16]
+        assert tables["disc-pipelines"]["component_size"] == 4
+        assert tables["disc-pipelines"]["description"].startswith("fixed-size")
+
+    def test_fallback_parser_rejects_keys_outside_tables(self):
+        with pytest.raises(ReproError, match="inside a"):
+            _parse_toml_fallback("stray = 1", "test")
+
+    def test_fallback_parser_rejects_duplicates(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            _parse_toml_fallback("[a]\nx = 1\nx = 2", "test")
+
+
+class TestRecipeValidation:
+    def test_unknown_keys_raise_with_the_allowed_list(self):
+        with pytest.raises(ReproError, match="unknown recipe keys.*typo_key"):
+            scenario_from_recipe("bad", {"typo_key": 1}, "test")
+
+    def test_unknown_enumerations_raise(self):
+        with pytest.raises(ReproError, match="unknown sizes"):
+            scenario_from_recipe("bad", {"sizes": "nope"}, "test")
+        with pytest.raises(ReproError, match="unknown order"):
+            scenario_from_recipe("bad", {"order": "nope"}, "test")
+        with pytest.raises(ReproError, match="unknown traffic_weighting"):
+            scenario_from_recipe("bad", {"traffic_weighting": "nope"}, "test")
+
+    def test_mistyped_values_raise(self):
+        with pytest.raises(ReproError, match="alpha must be"):
+            scenario_from_recipe("bad", {"sizes": "heavy-tailed", "alpha": "hot"}, "test")
+        with pytest.raises(ReproError, match="node_budgets"):
+            scenario_from_recipe("bad", {"node_budgets": [1]}, "test")
+        with pytest.raises(ReproError, match="node_budgets"):
+            scenario_from_recipe("bad", {"node_budgets": "all"}, "test")
+
+    def test_recipe_composes_the_registry_pieces(self):
+        scenario = scenario_from_recipe(
+            "composed-check",
+            {
+                "sizes": "heavy-tailed",
+                "alpha": 1.5,
+                "max_size": 12,
+                "order": "zipf",
+                "order_exponent": 1.4,
+                "node_budgets": [8, 16],
+            },
+            "test",
+        )
+        assert isinstance(scenario.sizes, HeavyTailedSizes)
+        assert scenario.sizes.max_size == 12
+        assert isinstance(scenario.order, ZipfInterleave)
+        assert scenario.order.exponent == 1.4
+        assert scenario.node_budgets == (8, 16)
+        assert scenario.sweep_node_budgets((99,)) == (8, 16)
+
+    def test_sweep_budgets_are_deduplicated_and_ascending(self):
+        scenario = scenario_from_recipe(
+            "budget-order-check", {"node_budgets": [48, 24, 48]}, "test"
+        )
+        # The sweep reads rows as a growth curve and traces its band
+        # population at "the last budget" — so budgets come back sorted
+        # unique whatever order the recipe wrote them in.
+        assert scenario.sweep_node_budgets((99,)) == (24, 48)
+
+    def test_defaults_mirror_the_builtin_composition(self):
+        scenario = scenario_from_recipe("defaults-check", {}, "test")
+        assert isinstance(scenario.sizes, SingleComponent)
+        assert scenario.node_budgets is None
+        assert scenario.sweep_node_budgets((24, 48)) == (24, 48)
+
+
+class TestDiscovery:
+    def test_discovered_scenarios_register_and_generate(self, tmp_path, clean_registry):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text(RECIPE)
+        scenarios = autodiscover_scenarios(tmp_path)
+        assert [s.name for s in scenarios] == ["disc-fanout", "disc-pipelines"]
+        assert "disc-fanout" in scenario_names()
+        fanout = get_scenario("disc-fanout")
+        sequences = fanout.reveal_sequences(16, seed=0)
+        assert sequences and all(seq.num_nodes <= 16 for seq in sequences)
+        pipelines = get_scenario("disc-pipelines")
+        assert isinstance(pipelines.sizes, FixedSizes)
+        assert isinstance(pipelines.order, BurstyInterleave)
+
+    def test_missing_file_is_a_quiet_no_op(self, tmp_path):
+        assert autodiscover_scenarios(tmp_path) == []
+
+    def test_reloading_an_identical_file_is_idempotent(self, tmp_path, clean_registry):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text(RECIPE)
+        first = load_scenario_file(path)
+        second = load_scenario_file(path)
+        assert [s.name for s in first] == [s.name for s in second]
+        assert scenario_names().count("disc-fanout") == 1
+
+    def test_changed_recipe_under_a_loaded_name_raises(self, tmp_path, clean_registry):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text("[disc-fanout]\nclique_fraction = 1.0\n")
+        load_scenario_file(path)
+        path.write_text("[disc-fanout]\nclique_fraction = 0.5\n")
+        with pytest.raises(ReproError, match="different recipe"):
+            load_scenario_file(path)
+
+    def test_builtin_name_clash_raises(self, tmp_path, clean_registry):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text("[uniform-cliques]\nclique_fraction = 1.0\n")
+        with pytest.raises(ReproError, match="clashes"):
+            load_scenario_file(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ReproError, match="defines no scenario tables"):
+            load_scenario_file(path)
+
+    def test_discovered_scenario_joins_the_e11_sweep(self, tmp_path, clean_registry, monkeypatch):
+        path = tmp_path / ".repro-scenarios.toml"
+        path.write_text(
+            "[disc-sweep]\n"
+            'description = "tiny sweep member"\n'
+            "node_budgets = [8]\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        from repro.experiments.runner import ExperimentScale
+        from repro.experiments.suite import run_all
+
+        result = run_all(ExperimentScale.SMOKE, seed=0, only=["E11"], jobs=1)[0]
+        table = result.tables[0]
+        scenarios_swept = set(table.column("scenario"))
+        assert "disc-sweep" in scenarios_swept
+        budget_rows = [
+            row
+            for row in table.rows
+            if row[table.columns.index("scenario")] == "disc-sweep"
+        ]
+        assert all(
+            row[table.columns.index("node budget")] == 8 for row in budget_rows
+        )

@@ -173,3 +173,52 @@ class TestControllers:
         wrong_embedding = Embedding.initial(other_datacenter, trace.virtual_nodes)
         with pytest.raises(EmbeddingError):
             StaticController(datacenter).run(trace, initial_embedding=wrong_embedding)
+
+
+class TestStaticStreamDistanceCache:
+    """The per-tenant-pair distance cache of StaticController.run_stream."""
+
+    def _stream(self, num_requests=3_000):
+        from repro.workloads.streaming import tenant_request_stream
+
+        return tenant_request_stream(
+            [4, 6, 5, 3], num_requests, "cache-seed", weighting="zipf"
+        )
+
+    def test_cached_costs_are_bit_identical_to_the_naive_loop(self):
+        # An irrational per-hop price makes every term a non-trivial float,
+        # so this really checks bit-identity of the accumulation, not just
+        # integer luck.
+        stream = self._stream()
+        datacenter = LinearDatacenter(
+            stream.num_nodes, communication_cost_per_hop=1.0 / 3.0
+        )
+        initial = Embedding(
+            datacenter, random_arrangement(stream.virtual_nodes, random.Random(11))
+        )
+        report = StaticController(datacenter).run_stream(
+            stream, initial_embedding=initial, batch_size=256
+        )
+        naive = 0.0
+        for u, v in stream:
+            naive += datacenter.communication_cost(
+                initial.slot_of(u), initial.slot_of(v)
+            )
+        assert report.communication_cost == naive
+        assert report.migration_cost == 0.0
+        assert report.num_requests == stream.num_requests
+
+    def test_cached_stream_matches_the_materialized_run(self):
+        stream = self._stream(num_requests=800)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        initial = Embedding(
+            datacenter, random_arrangement(stream.virtual_nodes, random.Random(3))
+        )
+        streamed = StaticController(datacenter).run_stream(
+            stream, initial_embedding=initial, batch_size=128
+        )
+        materialized = StaticController(datacenter).run(
+            stream.materialize_trace(), initial_embedding=initial
+        )
+        assert streamed.communication_cost == materialized.communication_cost
+        assert streamed.num_requests == materialized.num_requests
