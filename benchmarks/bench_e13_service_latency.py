@@ -1,0 +1,23 @@
+"""Benchmark E13 — serving throughput and latency vs shards and batch size.
+
+Boots the arrangement-serving subsystem in-process and replays four
+registered scenarios across the shard-count × micro-batch grid, measuring
+throughput and p50/p95/p99 latency.
+"""
+
+from repro.experiments.suite_service import run_e13_service_latency
+
+
+def test_e13_service_latency(run_experiment):
+    result = run_experiment(run_e13_service_latency)
+    table = result.tables[0]
+    # Every configuration served its full request load.
+    requests = table.column("requests")
+    assert all(value > 0 for value in requests)
+    # Latency percentiles are well-ordered in every row.
+    p50 = table.column("p50 ms")
+    p95 = table.column("p95 ms")
+    p99 = table.column("p99 ms")
+    for low, mid, high in zip(p50, p95, p99):
+        assert low <= mid <= high
+    assert result.findings["best throughput (req/s)"] > 0

@@ -1,0 +1,16 @@
+"""Benchmark E14 — serving correctness against the offline batch harness.
+
+Regenerates the E14 table: served cost totals of the 1-shard deployment
+versus ``run_online`` (reveal serving) and the streamed demand-aware
+controller (traffic serving) — bit-identical, not approximately equal.
+"""
+
+from repro.experiments.suite_service import run_e14_serving_equivalence
+
+
+def test_e14_serving_equivalence(run_experiment):
+    result = run_experiment(run_e14_serving_equivalence)
+    assert result.findings["max |served - offline| cost deviation"] == 0.0
+    table = result.tables[0]
+    identical = table.column("identical")
+    assert all(bool(value) for value in identical)

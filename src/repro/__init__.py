@@ -93,6 +93,13 @@ from repro.minla import (
     linear_arrangement_cost,
 )
 from repro.runstore import RunRecord, RunStore
+from repro.service import (
+    ArrangementService,
+    ServiceSummary,
+    build_reveal_service,
+    build_traffic_service,
+    run_scenario_loadgen,
+)
 from repro.telemetry import CostTrace, TraceEvent, TraceRecorder
 from repro.workloads import (
     RequestStream,
@@ -134,9 +141,14 @@ __all__ = [
     "RevealError",
     "RevealSequence",
     "RevealStep",
+    "ArrangementService",
     "RunRecord",
     "RunStore",
     "Scenario",
+    "ServiceSummary",
+    "build_reveal_service",
+    "build_traffic_service",
+    "run_scenario_loadgen",
     "SimulationResult",
     "SolverError",
     "TraceEvent",

@@ -19,7 +19,7 @@ The CLI makes the common workflows available without writing Python:
     the worst node, harmonic-budget utilization, component statistics.
 
 ``python -m repro experiments``
-    Run the E1–E12 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
+    Run the E1–E14 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
     around :mod:`repro.experiments.suite`).
 
 ``python -m repro scenarios``
@@ -30,15 +30,30 @@ The CLI makes the common workflows available without writing Python:
     environment variable pre-selects a scenario (validated against the
     registry).
 
+``python -m repro serve``
+    Boot the arrangement-serving subsystem (:mod:`repro.service`)
+    in-process for one registered scenario and replay its full request
+    stream through the sharded workers at maximum speed, printing the
+    throughput/latency/cost summary — the quickest way to see a deployment
+    configuration serve.
+
+``python -m repro loadgen``
+    Drive a freshly booted service with generated load: open-loop Poisson
+    arrivals (``--mode open --rate R``), a closed-loop concurrency window
+    (``--mode closed --concurrency C``) or a full-speed replay (the
+    default).  Reports throughput and p50/p95/p99 latency and archives the
+    summary in the run store (``--no-store`` to opt out).
+
 ``python -m repro runs``
     Work with the persistent run archive (:mod:`repro.runstore`):
     ``runs list`` and ``runs show`` inspect stored runs, ``runs report``
     renders cross-run variance bands on costs and harmonic slopes,
-    ``runs compare`` diffs two store snapshots and flags cost/wall-time
-    regressions beyond a tolerance (non-zero exit code on regressions, so
-    CI can gate on it), and ``runs gc`` prunes the archive.  The archive
-    location defaults to ``.repro-runs`` and is overridden by
-    ``REPRO_RUNSTORE`` or ``--store``.
+    ``runs export-bands`` writes the same per-phase bands as CSV files
+    under ``results/``, ``runs compare`` diffs two store snapshots and
+    flags cost/wall-time regressions beyond a tolerance (non-zero exit
+    code on regressions, so CI can gate on it), and ``runs gc`` prunes the
+    archive.  The archive location defaults to ``.repro-runs`` and is
+    overridden by ``REPRO_RUNSTORE`` or ``--store``.
 
 Scenario recipes in a ``.repro-scenarios.toml`` file in the working
 directory are discovered at startup and registered next to the built-ins,
@@ -302,6 +317,103 @@ def command_scenarios(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_serving_workload(arguments: argparse.Namespace):
+    """The (scenario, nodes, requests) triple of a serve/loadgen invocation."""
+    from repro.workloads import default_scenario_name, get_scenario
+
+    name = arguments.scenario or default_scenario_name()
+    if name is None:
+        raise ReproError(
+            f"{arguments.command} needs --scenario NAME or the REPRO_SCENARIO "
+            "environment variable"
+        )
+    scenario = get_scenario(name)
+    params = scenario.default_params(arguments.scale)
+    num_nodes = arguments.nodes if arguments.nodes is not None else params.num_nodes
+    num_requests = (
+        arguments.requests if arguments.requests is not None else params.num_requests
+    )
+    return scenario, num_nodes, num_requests
+
+
+def _drive_scenario(arguments: argparse.Namespace, mode: str):
+    """Boot a deployment for the CLI arguments and drive it in ``mode``."""
+    from repro.service import run_scenario_loadgen
+
+    scenario, num_nodes, num_requests = _resolve_serving_workload(arguments)
+    batch_timeout = (
+        arguments.batch_timeout_ms / 1_000.0
+        if arguments.batch_timeout_ms is not None
+        else None
+    )
+    report = run_scenario_loadgen(
+        scenario,
+        num_nodes=num_nodes,
+        num_requests=num_requests,
+        seed=arguments.seed,
+        num_shards=arguments.shards,
+        learner=arguments.algorithm,
+        batch_size=arguments.batch,
+        batch_timeout=batch_timeout,
+        queue_capacity=arguments.queue_capacity,
+        mode=mode,
+        rate=getattr(arguments, "rate", None),
+        concurrency=getattr(arguments, "concurrency", 32),
+    )
+    print(
+        f"{scenario.name} ({scenario.kind_label}): n={num_nodes}, "
+        f"requests={num_requests}, shards={arguments.shards} "
+        f"(effective {report.summary.num_shards}), batch={arguments.batch}, "
+        f"mode={mode}"
+    )
+    print(report.summary.to_text())
+    balance = ", ".join(
+        f"shard {shard}: {count}" for shard, count in report.shard_requests.items()
+    )
+    print(f"shard balance: {balance}")
+    return report
+
+
+def command_serve(arguments: argparse.Namespace) -> int:
+    """The ``serve`` sub-command: boot a deployment and replay its scenario."""
+    _drive_scenario(arguments, mode="replay")
+    return 0
+
+
+def command_loadgen(arguments: argparse.Namespace) -> int:
+    """The ``loadgen`` sub-command: paced load against a fresh deployment."""
+    from repro.runstore import RunRecord, RunStore
+    from repro.telemetry import get_backend
+
+    report = _drive_scenario(arguments, mode=arguments.mode)
+    if not arguments.no_store:
+        summary = report.summary
+        store = RunStore(arguments.store)
+        run_id = store.append(
+            RunRecord(
+                experiment_id="SERVE",
+                title=f"loadgen {report.scenario} ({report.mode})",
+                scenario=report.scenario,
+                scale=arguments.scale,
+                seed=arguments.seed,
+                backend=get_backend().name,
+                jobs=arguments.shards,
+                wall_time_seconds=summary.wall_seconds,
+                tables=(
+                    summary.to_table(
+                        f"loadgen {report.scenario}: mode={report.mode}"
+                    ),
+                ),
+                findings=summary.findings(),
+            )
+        )
+        print(
+            f"archived run {run_id} in {store.root} "
+            "(inspect with python -m repro runs list)"
+        )
+    return 0
+
+
 def command_experiments(arguments: argparse.Namespace) -> int:
     """The ``experiments`` sub-command (delegates to the experiment suite CLI)."""
     forwarded: List[str] = ["--scale", arguments.scale, "--seed", str(arguments.seed)]
@@ -322,8 +434,15 @@ def command_experiments(arguments: argparse.Namespace) -> int:
 
 def command_runs(arguments: argparse.Namespace) -> int:
     """The ``runs`` sub-command (persistent run archive)."""
+    from pathlib import Path
+
     from repro.experiments.charts import cost_trajectory_chart
-    from repro.runstore import RunStore, compare_stores, store_report
+    from repro.runstore import (
+        RunStore,
+        compare_stores,
+        export_band_csvs,
+        store_report,
+    )
     from repro.runstore.report import describe_run
 
     store = RunStore(arguments.store)
@@ -367,6 +486,24 @@ def command_runs(arguments: argparse.Namespace) -> int:
                 min_seeds=arguments.min_seeds,
             )
         )
+        return 0
+
+    if arguments.action == "export-bands":
+        written = export_band_csvs(
+            store,
+            directory=Path(arguments.out),
+            experiment_id=arguments.experiment,
+            min_seeds=arguments.min_seeds,
+        )
+        if not written:
+            print(
+                f"no trace population reaches {arguments.min_seeds} seeds yet - "
+                "archive more runs (e.g. python -m repro experiments) first"
+            )
+            return 0
+        print(f"wrote {len(written)} band CSV file(s):")
+        for path in written:
+            print(f"  {path.as_posix()}")
         return 0
 
     if arguments.action == "compare":
@@ -467,7 +604,81 @@ def build_parser() -> argparse.ArgumentParser:
                            help="stream batch size (bounds peak memory)")
     scenarios.set_defaults(handler=command_scenarios)
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E12 experiment suite")
+    def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+        """Options shared by the ``serve`` and ``loadgen`` deployments."""
+        parser.add_argument(
+            "--scenario",
+            default=None,
+            help="registered scenario to serve (default: REPRO_SCENARIO)",
+        )
+        parser.add_argument(
+            "--scale",
+            choices=["smoke", "bench", "full"],
+            default="smoke",
+            help="per-scenario default sizes (override with --nodes / --requests)",
+        )
+        parser.add_argument("--nodes", type=int, default=None,
+                            help="node budget (default: the scenario's scale default)")
+        parser.add_argument("--requests", type=int, default=None,
+                            help="request count (default: the scenario's scale default)")
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--shards", type=int, default=1,
+                            help="worker shards (tenants are partitioned "
+                            "deterministically across them)")
+        parser.add_argument("--batch", type=int, default=1,
+                            help="micro-batch size (requests coalesced into one "
+                            "rearrangement pass)")
+        parser.add_argument(
+            "--batch-timeout-ms",
+            type=float,
+            default=None,
+            help="cut a micro-batch early after this many milliseconds "
+            "(default: wait for a full batch — deterministic cost totals)",
+        )
+        parser.add_argument("--queue-capacity", type=int, default=1024,
+                            help="bounded per-shard queue size (backpressure limit)")
+        parser.add_argument(
+            "--algorithm",
+            choices=["rand", "move-smaller", "det"],
+            default="rand",
+            help="online algorithm each shard serves with",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="boot the sharded serving subsystem and replay a scenario through it",
+    )
+    add_service_arguments(serve)
+    serve.set_defaults(handler=command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="generate load against a freshly booted service and report latency",
+    )
+    add_service_arguments(loadgen)
+    loadgen.add_argument(
+        "--mode",
+        choices=["replay", "open", "closed"],
+        default="replay",
+        help="replay at full speed, open-loop Poisson arrivals, or a "
+        "closed concurrency window",
+    )
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="open-loop arrival rate in requests/second")
+    loadgen.add_argument("--concurrency", type=int, default=32,
+                         help="closed-loop outstanding-request window")
+    loadgen.add_argument(
+        "--store",
+        default=None,
+        help="run-archive directory (default: REPRO_RUNSTORE, else .repro-runs)",
+    )
+    loadgen.add_argument(
+        "--no-store", action="store_true",
+        help="do not archive this run's latency summary",
+    )
+    loadgen.set_defaults(handler=command_loadgen)
+
+    experiments = subparsers.add_parser("experiments", help="run the E1-E14 experiment suite")
     experiments.add_argument("--scale", choices=["smoke", "bench", "full"], default="bench")
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument(
@@ -496,9 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs.add_argument(
         "action",
-        choices=["list", "show", "compare", "report", "gc"],
+        choices=["list", "show", "compare", "report", "export-bands", "gc"],
         help="list runs, show one run, compare two stores, render variance "
-        "bands, or prune the archive",
+        "bands, export band CSVs, or prune the archive",
     )
     runs.add_argument("run_id", nargs="?", default=None,
                       help="run id for 'show' (see runs list)")
@@ -517,7 +728,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-seeds",
         type=int,
         default=3,
-        help="seeds a trace population needs before 'report' draws its bands",
+        help="seeds a trace population needs before 'report'/'export-bands' "
+        "draw its bands",
+    )
+    runs.add_argument(
+        "--out",
+        default="results",
+        help="directory 'export-bands' writes its per-phase band CSVs to",
     )
     runs.add_argument(
         "--baseline",

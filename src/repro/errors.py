@@ -66,3 +66,13 @@ class EmbeddingError(ReproError):
     request references an unknown virtual node, or when the physical topology
     cannot host the requested virtual network.
     """
+
+
+class ServiceError(ReproError):
+    """An online serving operation failed or was mis-configured.
+
+    Raised by :mod:`repro.service` when a request names nodes of two
+    different shards, when a bounded shard queue rejects a submission
+    (explicit backpressure), when a worker died mid-run, or when a load
+    generator is configured inconsistently.
+    """

@@ -1,4 +1,4 @@
-"""Experiment harness: metrics, tables, the E1–E12 suite and the parallel runner."""
+"""Experiment harness: metrics, tables, the E1–E14 suite and the parallel runner."""
 
 from repro.experiments.metrics import SampleSummary, geometric_mean, mean, sample_std, summarize
 from repro.experiments.parallel import (

@@ -7,7 +7,7 @@ Two fan-out levels:
   Each trial's randomness is derived solely from ``(seed, trial index)`` —
   never from worker identity or scheduling — so the assembled result list is
   bit-identical to the sequential path, whatever the worker count.
-* :func:`run_experiments_parallel` runs independent experiments of the E1–E12
+* :func:`run_experiments_parallel` runs independent experiments of the E1–E14
   suite in separate workers; each experiment is already a pure function of
   ``(scale, seed)``, so here too parallelism cannot change any number.
 

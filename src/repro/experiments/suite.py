@@ -1,6 +1,6 @@
 """The complete experiment suite and the ``EXPERIMENTS.md`` report generator.
 
-``ALL_EXPERIMENTS`` maps experiment ids (E1–E12, as indexed in ``DESIGN.md``)
+``ALL_EXPERIMENTS`` maps experiment ids (E1–E14, as indexed in ``DESIGN.md``)
 to the functions implementing them; :func:`run_all` executes any subset at a
 given scale, and :func:`write_experiments_markdown` regenerates the
 paper-versus-measured record in ``EXPERIMENTS.md`` together with per-table
@@ -49,6 +49,10 @@ from repro.experiments.suite_invariants import (
     run_e7_lemma10_probability,
     run_e8_action_probabilities,
 )
+from repro.experiments.suite_service import (
+    run_e13_service_latency,
+    run_e14_serving_equivalence,
+)
 from repro.experiments.suite_workloads import (
     run_e11_scenario_sweep,
     run_e12_datacenter_vnet,
@@ -70,6 +74,8 @@ ALL_EXPERIMENTS: Dict[str, ExperimentFunction] = {
     "E10": run_e10_vnet_case_study,
     "E11": run_e11_scenario_sweep,
     "E12": run_e12_datacenter_vnet,
+    "E13": run_e13_service_latency,
+    "E14": run_e14_serving_equivalence,
 }
 
 
@@ -186,6 +192,24 @@ def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
             return ok, (
                 "streamed demand-aware embedding beats the static embedding "
                 "at datacenter scale"
+            )
+        if result.experiment_id == "E13":
+            throughputs = table.column("throughput req/s")
+            p50 = table.column("p50 ms")
+            p99 = table.column("p99 ms")
+            ok = all(value > 0 for value in throughputs) and all(
+                high >= low for high, low in zip(p99, p50)
+            )
+            return ok, (
+                "the service served every configuration with well-ordered "
+                "latency percentiles (timings are machine-dependent; "
+                "correctness is gated by E14)"
+            )
+        if result.experiment_id == "E14":
+            ok = result.findings["max |served - offline| cost deviation"] == 0.0
+            return ok, (
+                "served cost totals are bit-identical to the offline batch "
+                "harness on every scenario, view and batch size"
             )
     except Exception:  # pragma: no cover - defensive: a malformed table is a failure
         return False, "verdict could not be computed"

@@ -257,6 +257,7 @@ def run_e12_datacenter_vnet(
         ],
     )
     findings: Dict[str, float] = {}
+    trace_samples: List[TraceSample] = []
     rows: List[Tuple[str, str, int]] = [
         ("tenant cliques", "datacenter-tenants", num_tenants),
         ("pipelines", "datacenter-pipelines", max(num_tenants // 4, 2)),
@@ -293,6 +294,11 @@ def run_e12_datacenter_vnet(
                 datacenter, mover, name="demand-aware-move-smaller"
             ),
         }
+        # Downsampled migration traces of the streamed demand-aware
+        # controllers: one event per `trace_every` reveals, exact totals.
+        # Archived with the run, they form cross-run populations (one member
+        # per master seed) that `runs report` can band.
+        trace_every = max(1, stream.num_nodes // 1024)
         reports = {}
         for label, controller in controllers.items():
             run_rng = seeded_rng(seed, "e12-run", traffic_name, label)
@@ -301,7 +307,21 @@ def run_e12_datacenter_vnet(
                 initial_embedding=initial,
                 rng=run_rng,
                 batch_size=batch_size,
+                **(
+                    {"trace_every": trace_every}
+                    if isinstance(controller, DemandAwareController)
+                    else {}
+                ),
             )
+            trace = reports[label].trace
+            if trace is not None and len(trace.events) >= 2:
+                trace_samples.append(
+                    TraceSample(
+                        group=f"{traffic_name}/{reports[label].controller_name}",
+                        seed=seed,
+                        trace=trace,
+                    )
+                )
         static_total = reports["static"].total_cost
         for label, report in reports.items():
             ratio = (
@@ -340,5 +360,12 @@ def run_e12_datacenter_vnet(
             "The offline oracle is omitted at this scale: its single-jump "
             "target needs an offline-optimum computation over the full "
             "pattern, which is the one step that does not stream.",
+            "The demand-aware controllers record a downsampled migration "
+            "trace (exact totals, one event per "
+            "max(1, nodes // 1024) reveals); archived across master seeds "
+            "these form the populations `python -m repro runs report` bands "
+            "for the migration side of the trade-off, next to the "
+            "communication totals in this table.",
         ],
+        traces=tuple(trace_samples),
     )

@@ -12,8 +12,9 @@ the wall-clock time the run took.  :mod:`repro.runstore` persists them —
 * :mod:`repro.runstore.stats` — variance bands (mean/min/max) and
   deterministic bootstrap confidence intervals over aligned populations,
   generalizing the single-trace harmonic-slope regression to many seeds,
-* :mod:`repro.runstore.report` — store summaries and baseline-vs-candidate
-  regression reports (``python -m repro runs list|show|compare|report|gc``).
+* :mod:`repro.runstore.report` — store summaries, machine-readable band
+  CSV export and baseline-vs-candidate regression reports
+  (``python -m repro runs list|show|compare|report|export-bands|gc``).
 
 The archive location defaults to ``.repro-runs`` and is overridden by the
 ``REPRO_RUNSTORE`` environment variable (validated through
@@ -25,6 +26,7 @@ from repro.runstore.report import (
     RegressionFinding,
     RegressionReport,
     compare_stores,
+    export_band_csvs,
     store_report,
 )
 from repro.runstore.stats import (
@@ -55,6 +57,7 @@ __all__ = [
     "RegressionFinding",
     "RegressionReport",
     "compare_stores",
+    "export_band_csvs",
     "store_report",
     "RUNSTORE_ENV_VAR",
     "RunRecord",

@@ -1,11 +1,15 @@
 """Store summaries and baseline-vs-candidate regression reports.
 
-Two consumers:
+Three consumers:
 
 * ``python -m repro runs report`` — :func:`store_report` summarizes one
   archive: every stored run, then per ``(experiment, group)`` population
   with enough seeds the shaded cost band and the harmonic-slope variance
   bands (mean/min/max + deterministic bootstrap CI).
+* ``python -m repro runs export-bands`` — :func:`export_band_csvs` writes
+  the same per-phase band data as machine-readable CSV files under
+  ``results/``, one file per banded population, so the variance bands are
+  plottable outside the terminal.
 * ``python -m repro runs compare`` — :func:`compare_stores` matches runs of
   two archives by configuration (experiment id, scenario, scale, seed,
   backend, jobs) and flags cost and wall-clock regressions beyond a
@@ -15,7 +19,10 @@ Two consumers:
 
 from __future__ import annotations
 
+import csv
+import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import RunStoreError
@@ -92,6 +99,77 @@ def store_report(
         lines.append(f"    {variance_band_chart(band)}")
         lines.append(f"    {slopes.summary()}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable band export
+# ----------------------------------------------------------------------
+def _slug(text: str) -> str:
+    """A filesystem-safe rendering of an experiment/group label."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+    return cleaned or "group"
+
+
+def export_band_csvs(
+    store: RunStore,
+    directory: Path,
+    experiment_id: Optional[str] = None,
+    min_seeds: int = DEFAULT_MIN_SEEDS,
+) -> List[Path]:
+    """Write per-phase band CSVs for every population with enough seeds.
+
+    One file per ``(experiment, group)`` population, named
+    ``band_<experiment>_<group>.csv``, holding one row per shared step with
+    the mean/min/max of the cumulative total, moving and rearranging cost
+    across the population's seeds — the same numbers ``runs report`` draws
+    as sparkline bands, in a form any plotting stack can consume.  Returns
+    the written paths (empty when no population reaches ``min_seeds``).
+    """
+    if min_seeds < 1:
+        raise RunStoreError(f"min_seeds must be a positive integer, got {min_seeds}")
+    populations = store.trace_populations(experiment_id)
+    written: List[Path] = []
+    used_names: Dict[str, int] = {}
+    for (experiment, group), samples in sorted(populations.items()):
+        if len(samples) < min_seeds:
+            continue
+        aligned = align_traces([sample.trace for sample in samples])
+        bands = cost_bands(aligned)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Distinct labels can slugify identically; suffix the repeats so no
+        # population's CSV silently overwrites another's.
+        stem = f"band_{_slug(experiment)}_{_slug(group)}"
+        occurrence = used_names.get(stem, 0)
+        used_names[stem] = occurrence + 1
+        if occurrence:
+            stem = f"{stem}-{occurrence + 1}"
+        path = directory / f"{stem}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["step"]
+                + [
+                    f"{phase}_{stat}"
+                    for phase in ("total", "moving", "rearranging")
+                    for stat in ("mean", "min", "max")
+                ]
+                + ["num_seeds"]
+            )
+            for index, step in enumerate(aligned.steps):
+                row: List[object] = [step]
+                for phase in ("total", "moving", "rearranging"):
+                    band = bands[phase]
+                    row.extend(
+                        [
+                            band.mean[index],
+                            band.minimum[index],
+                            band.maximum[index],
+                        ]
+                    )
+                row.append(len(samples))
+                writer.writerow(row)
+        written.append(path)
+    return written
 
 
 # ----------------------------------------------------------------------

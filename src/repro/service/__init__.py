@@ -1,0 +1,54 @@
+"""Online arrangement serving: sharded async workers over the online algorithms.
+
+The batch harness owns its whole loop; this subsystem turns the same online
+algorithms into *servers*: requests are submitted one at a time, routed to
+component-aligned shards, micro-batched into rearrangement passes, and
+answered with per-request latency and cost accounting.  See ``DESIGN.md``
+("Service subsystem") for the shard/batch/backpressure model and the
+determinism guarantees, and experiments E13/E14 for the measurements.
+"""
+
+from repro.service.broker import ArrangementService, ServeResult
+from repro.service.engine import ServeRecord, ShardEngine, ShardReport
+from repro.service.loadgen import (
+    LEARNERS,
+    MODES,
+    LoadReport,
+    build_reveal_service,
+    build_traffic_service,
+    drive_service,
+    learner_factory,
+    run_scenario_loadgen,
+    shard_rng,
+)
+from repro.service.metrics import ServiceSummary, percentile, summarize_results
+from repro.service.partition import (
+    ShardPartition,
+    discover_stream_partition,
+    partition_components,
+    reveal_partition,
+)
+
+__all__ = [
+    "ArrangementService",
+    "LEARNERS",
+    "LoadReport",
+    "MODES",
+    "ServeRecord",
+    "ServeResult",
+    "ServiceSummary",
+    "ShardEngine",
+    "ShardPartition",
+    "ShardReport",
+    "build_reveal_service",
+    "build_traffic_service",
+    "discover_stream_partition",
+    "drive_service",
+    "learner_factory",
+    "partition_components",
+    "percentile",
+    "reveal_partition",
+    "run_scenario_loadgen",
+    "shard_rng",
+    "summarize_results",
+]

@@ -1,0 +1,329 @@
+"""The sharded broker: bounded queues, async workers, micro-batching.
+
+An :class:`ArrangementService` owns one :class:`~repro.service.engine.ShardEngine`
+per shard, one bounded FIFO queue per shard, and one worker thread per
+shard.  The dispatcher routes every submitted request to the shard hosting
+both endpoints (component-aligned, see :mod:`repro.service.partition`), so
+workers never coordinate and never contend on engine state.
+
+**Backpressure** is explicit: queues are bounded by ``queue_capacity``;
+:meth:`ArrangementService.submit` blocks until the shard has room (the
+closed-loop shape — latency absorbs overload) while
+:meth:`ArrangementService.try_submit` returns ``None`` immediately (the
+open-loop shape — the caller decides whether to shed or retry).
+
+**Micro-batching**: a worker opens a batch with the first queued request
+and keeps pulling until it holds ``batch_size`` requests, then serves all
+of them as one rearrangement pass (one embedding refresh, one slot-map
+rebuild — the amortization lever of E13).  With ``batch_timeout=None`` (the
+default) the worker waits for a full batch or the end-of-stream sentinel,
+so batch composition — and therefore every served cost total — is a
+deterministic function of the per-shard request order, independent of
+thread timing.  A finite ``batch_timeout`` makes the batcher *adaptive*:
+the batch is cut early once the timeout elapses after the batch opened,
+trading amortization for tail latency under slow arrivals (cost totals may
+then vary across runs; the determinism tests use the default).
+
+Timing: every request records queue time (enqueue to batch start), service
+time (its batch's rearrangement pass) and total latency.  Costs never
+depend on these measurements — they are observability, not semantics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.engine import ShardEngine, ShardReport
+from repro.service.partition import ShardPartition
+
+Node = Hashable
+Request = Tuple[Node, Node]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The served outcome of one request: cost deltas plus timing."""
+
+    request_index: int
+    pair: Request
+    shard: int
+    revealed: bool
+    migration_swaps: int
+    communication_cost: float
+    queue_seconds: float
+    """Enqueue to batch start: how long the request waited for its worker."""
+    service_seconds: float
+    """Duration of the rearrangement pass that served this request's batch."""
+    latency_seconds: float
+    """Enqueue to completion (queue plus service)."""
+    batch_size: int
+    """How many requests shared this rearrangement pass."""
+
+
+@dataclass
+class _QueueItem:
+    request_index: int
+    pair: Request
+    enqueued_at: float
+
+
+class _ShardWorker(threading.Thread):
+    """One shard's consumer: drain the queue in micro-batches, serve, record."""
+
+    def __init__(
+        self,
+        engine: ShardEngine,
+        requests: "queue.Queue",
+        batch_size: int,
+        batch_timeout: Optional[float],
+        on_result: Optional[Callable[[ServeResult], None]],
+    ) -> None:
+        super().__init__(
+            name=f"repro-serve-shard-{engine.shard_index}", daemon=True
+        )
+        self._engine = engine
+        self._queue = requests
+        self._batch_size = batch_size
+        self._batch_timeout = batch_timeout
+        self._on_result = on_result
+        self._sentinel_seen = False
+        self.results: List[ServeResult] = []
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self._serve_forever()
+        except BaseException as error:  # noqa: BLE001 - reported at drain()
+            self.error = error
+            # Keep consuming (and discarding) the queue until the sentinel:
+            # a dead worker must not leave its bounded queue full, or every
+            # later submit() would block forever instead of reaching the
+            # drain() that re-raises this error.  Skipped when the engine
+            # died serving the final batch — the sentinel is already gone.
+            while not self._sentinel_seen:
+                if self._queue.get() is _SENTINEL:
+                    break
+
+    def _collect_batch(self, first: _QueueItem) -> "Tuple[List[_QueueItem], bool]":
+        """Pull up to ``batch_size`` items; returns ``(batch, saw_sentinel)``."""
+        batch = [first]
+        deadline = (
+            None if self._batch_timeout is None else perf_counter() + self._batch_timeout
+        )
+        while len(batch) < self._batch_size:
+            if deadline is None:
+                item = self._queue.get()
+            else:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    return batch, False
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    return batch, False
+            if item is _SENTINEL:
+                self._sentinel_seen = True
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _serve_forever(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                self._sentinel_seen = True
+                return
+            batch, saw_sentinel = self._collect_batch(item)
+            started = perf_counter()
+            records = self._engine.serve_batch([entry.pair for entry in batch])
+            finished = perf_counter()
+            service_seconds = finished - started
+            for entry, record in zip(batch, records):
+                result = ServeResult(
+                    request_index=entry.request_index,
+                    pair=entry.pair,
+                    shard=self._engine.shard_index,
+                    revealed=record.revealed,
+                    migration_swaps=record.migration_swaps,
+                    communication_cost=record.communication_cost,
+                    queue_seconds=started - entry.enqueued_at,
+                    service_seconds=service_seconds,
+                    latency_seconds=finished - entry.enqueued_at,
+                    batch_size=len(batch),
+                )
+                self.results.append(result)
+                if self._on_result is not None:
+                    self._on_result(result)
+            if saw_sentinel:
+                return
+
+
+class ArrangementService:
+    """A running arrangement-serving deployment: shards, queues, workers.
+
+    Build one with the deployment helpers of :mod:`repro.service.loadgen`
+    (:func:`~repro.service.loadgen.build_traffic_service` /
+    :func:`~repro.service.loadgen.build_reveal_service`), or hand it
+    pre-built engines directly.  Lifecycle::
+
+        service.start()
+        service.submit((u, v))       # blocks when the shard queue is full
+        ...
+        results = service.drain()    # flush, stop workers, collect
+
+    ``on_result`` (when given) is invoked by the worker thread for every
+    completed request — the hook closed-loop load generators use to release
+    their concurrency tokens.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ShardEngine],
+        partition: ShardPartition,
+        batch_size: int = 1,
+        batch_timeout: Optional[float] = None,
+        queue_capacity: int = 1024,
+        on_result: Optional[Callable[[ServeResult], None]] = None,
+    ) -> None:
+        if not engines:
+            raise ServiceError("the service needs at least one shard engine")
+        if len(engines) != partition.num_shards:
+            raise ServiceError(
+                f"{len(engines)} engines for {partition.num_shards} shards; "
+                "one engine per shard"
+            )
+        if batch_size < 1:
+            raise ServiceError(f"batch size must be positive, got {batch_size}")
+        if batch_timeout is not None and batch_timeout <= 0:
+            raise ServiceError(
+                f"batch timeout must be positive (or None), got {batch_timeout}"
+            )
+        if queue_capacity < 1:
+            raise ServiceError(
+                f"queue capacity must be positive, got {queue_capacity}"
+            )
+        self._engines = list(engines)
+        self._partition = partition
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
+        self.queue_capacity = queue_capacity
+        self._queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=queue_capacity) for _ in engines
+        ]
+        self._workers = [
+            _ShardWorker(engine, shard_queue, batch_size, batch_timeout, on_result)
+            for engine, shard_queue in zip(self._engines, self._queues)
+        ]
+        self._submit_lock = threading.Lock()
+        self._next_index = 0
+        self._started = False
+        self._drained = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """How many shard workers this deployment runs."""
+        return len(self._engines)
+
+    @property
+    def partition(self) -> ShardPartition:
+        """The node-to-shard assignment requests are routed by."""
+        return self._partition
+
+    def start(self) -> "ArrangementService":
+        """Start the shard workers (idempotent)."""
+        if not self._started:
+            self._started = True
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def __enter__(self) -> "ArrangementService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._drained:
+            self.drain()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _item(self, pair: Request) -> "Tuple[int, _QueueItem]":
+        if not self._started or self._drained:
+            raise ServiceError(
+                "the service is not running (start() it, and submit before drain())"
+            )
+        shard = self._partition.shard_of_pair(*pair)
+        with self._submit_lock:
+            index = self._next_index
+            self._next_index += 1
+        return shard, _QueueItem(index, pair, perf_counter())
+
+    def submit(self, pair: Request, timeout: Optional[float] = None) -> int:
+        """Enqueue one request, blocking while the shard queue is full.
+
+        Returns the request's global submission index.  A ``timeout`` (in
+        seconds) turns starvation into an explicit :class:`ServiceError`
+        instead of waiting forever.
+        """
+        shard, item = self._item(pair)
+        try:
+            self._queues[shard].put(item, timeout=timeout)
+        except queue.Full:
+            raise ServiceError(
+                f"shard {shard} applied backpressure for more than {timeout}s "
+                f"(queue capacity {self.queue_capacity})"
+            ) from None
+        return item.request_index
+
+    def try_submit(self, pair: Request) -> Optional[int]:
+        """Enqueue one request or return ``None`` when the shard queue is full."""
+        shard, item = self._item(pair)
+        try:
+            self._queues[shard].put_nowait(item)
+        except queue.Full:
+            return None
+        return item.request_index
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def drain(self) -> List[ServeResult]:
+        """Flush every queue, stop the workers and return all served results.
+
+        Pending requests (including partial final micro-batches) are served
+        before the workers exit.  Results come back in submission order.  A
+        worker that died re-raises its failure here as a
+        :class:`ServiceError`.
+        """
+        if not self._started:
+            raise ServiceError("the service was never started")
+        if not self._drained:
+            self._drained = True
+            for shard_queue in self._queues:
+                shard_queue.put(_SENTINEL)
+            for worker in self._workers:
+                worker.join()
+        for worker in self._workers:
+            if worker.error is not None:
+                raise ServiceError(
+                    f"shard {worker.name} failed: {worker.error!r}"
+                ) from worker.error
+        results = [
+            result for worker in self._workers for result in worker.results
+        ]
+        results.sort(key=lambda result: result.request_index)
+        return results
+
+    def shard_reports(self) -> List[ShardReport]:
+        """Per-shard cost summaries (call after :meth:`drain` for final totals)."""
+        return [engine.report() for engine in self._engines]

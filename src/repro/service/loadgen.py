@@ -1,0 +1,336 @@
+"""Deployment helpers and the scenario load generator.
+
+Two builders turn a workload into a running deployment:
+
+* :func:`build_traffic_service` — serve a lazy
+  :class:`~repro.workloads.base.RequestStream` in traffic mode: one
+  per-shard :class:`~repro.vnet.topology.LinearDatacenter` sized to the
+  shard's nodes, requests charged slot distances, reveals migrating VMs.
+* :func:`build_reveal_service` — serve a validated
+  :class:`~repro.core.instance.OnlineMinLAInstance` in reveals mode: every
+  request is one reveal step, costs are pure learner swaps, and at one
+  shard the served totals are bit-identical to
+  :func:`repro.core.simulator.run_online` (the E14 anchor).
+
+The load generator replays any registered :mod:`repro.workloads` scenario
+against a deployment in one of three modes:
+
+* ``replay`` — submit as fast as the queues accept (backpressure-paced);
+  the mode E13, ``repro serve`` and the determinism tests use, because the
+  served cost totals are a pure function of
+  ``(scenario, seed, shards, batch)``,
+* ``open`` — open-loop Poisson arrivals at ``rate`` requests/second
+  (seeded, so the arrival schedule itself is reproducible),
+* ``closed`` — a fixed window of ``concurrency`` outstanding requests,
+  each completion admitting the next submission.
+
+Randomness discipline: shard ``i``'s learner draws from
+:func:`shard_rng` ``(seed, i)`` and nothing else, so served cost totals
+never depend on thread timing, arrival pacing or the worker count of any
+other shard.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from threading import BoundedSemaphore
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.det import DeterministicClosestLearner
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.permutation import Arrangement
+from repro.core.rand_cliques import MoveSmallerCliqueLearner, RandomizedCliqueLearner
+from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
+from repro.errors import ServiceError
+from repro.graphs.reveal import GraphKind
+from repro.service.broker import ArrangementService, ServeResult
+from repro.service.engine import ShardEngine
+from repro.service.metrics import ServiceSummary, summarize_results
+from repro.service.partition import (
+    ShardPartition,
+    discover_stream_partition,
+    reveal_partition,
+)
+from repro.vnet.topology import LinearDatacenter
+from repro.workloads.base import RequestStream
+
+#: Serving algorithm names accepted by the builders and the CLI.
+LEARNERS = ("rand", "move-smaller", "det")
+
+#: Modes the load generator understands.
+MODES = ("replay", "open", "closed")
+
+#: Default batch timeout (seconds) forced in closed-loop mode: a worker
+#: waiting to fill a batch while the window waits for completions would
+#: deadlock, so closed-loop batching must always be adaptive.
+CLOSED_LOOP_BATCH_TIMEOUT = 0.002
+
+
+def learner_factory(kind: GraphKind, name: str) -> Callable:
+    """Resolve a serving-algorithm name for one graph kind."""
+    if name == "det":
+        return DeterministicClosestLearner
+    if name == "rand":
+        return (
+            RandomizedCliqueLearner
+            if kind is GraphKind.CLIQUES
+            else RandomizedLineLearner
+        )
+    if name == "move-smaller":
+        return (
+            MoveSmallerCliqueLearner
+            if kind is GraphKind.CLIQUES
+            else MoveSmallerLineLearner
+        )
+    raise ServiceError(
+        f"unknown serving algorithm {name!r}; choose one of {list(LEARNERS)}"
+    )
+
+
+def shard_rng(seed: object, shard_index: int) -> random.Random:
+    """The deterministic random stream of one shard's learner."""
+    return random.Random(f"{seed}|service-shard-{shard_index}")
+
+
+def _restrict_arrangement(
+    arrangement: Optional[Arrangement], nodes: Sequence
+) -> Optional[Arrangement]:
+    """Restrict a global arrangement to one shard, preserving relative order."""
+    if arrangement is None:
+        return None
+    return Arrangement(sorted(nodes, key=arrangement.position))
+
+
+def build_traffic_service(
+    stream: RequestStream,
+    num_shards: int = 1,
+    learner: str = "rand",
+    seed: object = 0,
+    batch_size: int = 1,
+    batch_timeout: Optional[float] = None,
+    queue_capacity: int = 1024,
+    initial_arrangement: Optional[Arrangement] = None,
+    partition: Optional[ShardPartition] = None,
+    trace_every: Optional[int] = None,
+    on_result: Optional[Callable[[ServeResult], None]] = None,
+) -> ArrangementService:
+    """Deploy a stream-serving service (not yet started).
+
+    The stream must be kind-pure (mixed fleets would need one learner per
+    kind inside a shard).  ``partition`` defaults to a streamed calibration
+    pass (:func:`~repro.service.partition.discover_stream_partition`); pass
+    one explicitly to reuse it across deployments of the same workload.
+    """
+    if stream.kind is None:
+        raise ServiceError(
+            "the serving subsystem needs a kind-pure stream "
+            "(all tenant cliques or all pipelines)"
+        )
+    if partition is None:
+        partition = discover_stream_partition(stream, num_shards)
+    engines = [
+        ShardEngine(
+            shard_index=index,
+            nodes=nodes,
+            kind=stream.kind,
+            learner_factory=learner_factory(stream.kind, learner),
+            rng=shard_rng(seed, index),
+            datacenter=LinearDatacenter(len(nodes)),
+            initial_arrangement=_restrict_arrangement(initial_arrangement, nodes),
+            trace_every=trace_every,
+        )
+        for index, nodes in enumerate(partition.shard_nodes)
+    ]
+    return ArrangementService(
+        engines,
+        partition,
+        batch_size=batch_size,
+        batch_timeout=batch_timeout,
+        queue_capacity=queue_capacity,
+        on_result=on_result,
+    )
+
+
+def build_reveal_service(
+    instance: OnlineMinLAInstance,
+    num_shards: int = 1,
+    learner: str = "rand",
+    seed: object = 0,
+    batch_size: int = 1,
+    batch_timeout: Optional[float] = None,
+    queue_capacity: int = 1024,
+    on_result: Optional[Callable[[ServeResult], None]] = None,
+) -> ArrangementService:
+    """Deploy a reveal-serving service over one online MinLA instance.
+
+    At one shard the single engine sees exactly the instance's node
+    universe, initial arrangement and (via :func:`shard_rng` ``(seed, 0)``)
+    random stream, so feeding the instance's steps in order serves a run
+    bit-identical to :func:`repro.core.simulator.run_online`.
+    """
+    partition = reveal_partition(instance.sequence, num_shards)
+    engines = [
+        ShardEngine(
+            shard_index=index,
+            nodes=nodes,
+            kind=instance.kind,
+            learner_factory=learner_factory(instance.kind, learner),
+            rng=shard_rng(seed, index),
+            datacenter=None,
+            initial_arrangement=_restrict_arrangement(
+                instance.initial_arrangement, nodes
+            ),
+        )
+        for index, nodes in enumerate(partition.shard_nodes)
+    ]
+    return ArrangementService(
+        engines,
+        partition,
+        batch_size=batch_size,
+        batch_timeout=batch_timeout,
+        queue_capacity=queue_capacity,
+        on_result=on_result,
+    )
+
+
+# ----------------------------------------------------------------------
+# Driving a deployment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything one load-generation run produced."""
+
+    scenario: str
+    mode: str
+    seed: int
+    summary: ServiceSummary
+    results: Sequence[ServeResult] = field(repr=False)
+    shard_requests: Dict[int, int] = field(default_factory=dict)
+    """Requests served per shard (the partition balance actually achieved)."""
+
+
+def drive_service(
+    service: ArrangementService,
+    requests,
+    mode: str = "replay",
+    rate: Optional[float] = None,
+    concurrency: int = 32,
+    seed: object = 0,
+    window: Optional[BoundedSemaphore] = None,
+) -> "tuple[List[ServeResult], float]":
+    """Feed ``requests`` to a started service; returns ``(results, wall s)``.
+
+    ``replay`` submits back to back (queue backpressure is the only pacing),
+    ``open`` paces submissions on a seeded Poisson arrival schedule at
+    ``rate`` requests/second, ``closed`` keeps at most ``concurrency``
+    requests outstanding (the service must have been built with the
+    matching ``on_result`` hook releasing ``window``).
+    """
+    if mode not in MODES:
+        raise ServiceError(f"unknown loadgen mode {mode!r}; choose one of {list(MODES)}")
+    started = perf_counter()
+    if mode == "open":
+        if rate is None or rate <= 0:
+            raise ServiceError("open-loop load generation needs a positive --rate")
+        arrival_rng = random.Random(f"{seed}|loadgen-arrivals")
+        next_arrival = started
+        for pair in requests:
+            next_arrival += arrival_rng.expovariate(rate)
+            delay = next_arrival - perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            service.submit(pair)
+    elif mode == "closed":
+        if window is None:
+            raise ServiceError(
+                "closed-loop load generation needs the concurrency window the "
+                "service's on_result hook releases (use run_scenario_loadgen)"
+            )
+        for pair in requests:
+            window.acquire()
+            service.submit(pair)
+    else:
+        for pair in requests:
+            service.submit(pair)
+    results = service.drain()
+    return results, perf_counter() - started
+
+
+def run_scenario_loadgen(
+    scenario,
+    num_nodes: int,
+    num_requests: int,
+    seed: int = 0,
+    num_shards: int = 1,
+    learner: str = "rand",
+    batch_size: int = 1,
+    batch_timeout: Optional[float] = None,
+    queue_capacity: int = 1024,
+    mode: str = "replay",
+    rate: Optional[float] = None,
+    concurrency: int = 32,
+) -> LoadReport:
+    """Replay one registered scenario through a fresh deployment, end to end.
+
+    Builds the scenario's request stream, discovers the tenant partition,
+    boots the service in-process, drives it in the requested mode, drains
+    it and reduces the run to a :class:`~repro.service.metrics.ServiceSummary`.
+    """
+    if mode not in MODES:
+        raise ServiceError(f"unknown loadgen mode {mode!r}; choose one of {list(MODES)}")
+    if concurrency < 1:
+        raise ServiceError(f"concurrency must be positive, got {concurrency}")
+    if mode == "open" and (rate is None or rate <= 0):
+        # Validated before any deployment exists: a config error must not
+        # leak a started service (worker threads blocked on their queues).
+        raise ServiceError("open-loop load generation needs a positive --rate")
+    stream = scenario.request_stream(num_nodes, num_requests, seed)
+    window: Optional[BoundedSemaphore] = None
+    on_result = None
+    if mode == "closed":
+        if batch_timeout is None and batch_size > 1:
+            # A worker blocking to fill its batch while the window waits for
+            # completions would deadlock: closed-loop batching is adaptive.
+            batch_timeout = CLOSED_LOOP_BATCH_TIMEOUT
+        window = BoundedSemaphore(concurrency)
+
+        def on_result(_result: ServeResult) -> None:
+            window.release()
+
+    service = build_traffic_service(
+        stream,
+        num_shards=num_shards,
+        learner=learner,
+        seed=seed,
+        batch_size=batch_size,
+        batch_timeout=batch_timeout,
+        queue_capacity=queue_capacity,
+        on_result=on_result,
+    )
+    service.start()
+    results, wall_seconds = drive_service(
+        service,
+        stream,
+        mode=mode,
+        rate=rate,
+        concurrency=concurrency,
+        seed=seed,
+        window=window,
+    )
+    summary = summarize_results(
+        results, service.shard_reports(), wall_seconds, batch_size
+    )
+    shard_requests: Dict[int, int] = {}
+    for result in results:
+        shard_requests[result.shard] = shard_requests.get(result.shard, 0) + 1
+    return LoadReport(
+        scenario=scenario.name,
+        mode=mode,
+        seed=seed,
+        summary=summary,
+        results=tuple(results),
+        shard_requests=dict(sorted(shard_requests.items())),
+    )

@@ -1,0 +1,167 @@
+"""Latency/throughput summaries of a served run.
+
+The serving subsystem measures what the batch harness cannot: per-request
+latency under concurrency.  This module reduces a drained run's
+:class:`~repro.service.broker.ServeResult` list to the standard serving
+metrics — throughput plus p50/p95/p99 latency — next to the deterministic
+cost totals aggregated from the shard engines.
+
+Percentiles use the nearest-rank method on the sorted sample (the smallest
+value with cumulative frequency ≥ p), so a percentile is always an actually
+observed latency, never an interpolation artefact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ServiceError
+from repro.experiments.tables import ResultTable
+from repro.service.broker import ServeResult
+from repro.service.engine import ShardReport
+
+#: The latency quantiles every summary reports.
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in ``(0, 1]``)."""
+    if not values:
+        raise ServiceError("percentile() needs a non-empty sample")
+    if not 0.0 < q <= 1.0:
+        raise ServiceError(f"percentile q must lie in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(math.ceil(q * len(ordered)), 1)
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class ServiceSummary:
+    """One served run, reduced to throughput, latency and cost totals."""
+
+    num_requests: int
+    num_shards: int
+    batch_size: int
+    wall_seconds: float
+    throughput: float
+    """Served requests per second of wall-clock time."""
+    latency_ms: Dict[str, float]
+    """``p50`` / ``p95`` / ``p99`` / ``mean`` / ``max`` total latency."""
+    queue_ms: Dict[str, float]
+    """The same quantiles of the queue-wait component."""
+    num_reveals: int
+    num_batches: int
+    mean_batch: float
+    """Mean served micro-batch size (the amortization actually achieved)."""
+    migration_cost: float
+    communication_cost: float
+    total_cost: float
+    """Migration plus communication — deterministic, unlike the timings."""
+
+    def to_text(self) -> str:
+        """The multi-line human summary ``repro serve``/``loadgen`` print."""
+        latency = self.latency_ms
+        queue = self.queue_ms
+        return "\n".join(
+            [
+                f"served {self.num_requests} requests on {self.num_shards} "
+                f"shard(s) in {self.wall_seconds:.2f} s — throughput "
+                f"{self.throughput:,.1f} req/s",
+                f"latency ms : p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
+                f"p99={latency['p99']:.3f} mean={latency['mean']:.3f} "
+                f"max={latency['max']:.3f}",
+                f"queue ms   : p50={queue['p50']:.3f} p95={queue['p95']:.3f} "
+                f"p99={queue['p99']:.3f}",
+                f"batches    : {self.num_batches} served "
+                f"(configured size {self.batch_size}, mean {self.mean_batch:.2f})",
+                f"served cost: migration={self.migration_cost:.1f} "
+                f"communication={self.communication_cost:.1f} "
+                f"total={self.total_cost:.1f} (reveals={self.num_reveals})",
+            ]
+        )
+
+    def to_table(self, title: str) -> ResultTable:
+        """A one-row :class:`ResultTable` (what the run store archives)."""
+        table = ResultTable(
+            title=title,
+            columns=[
+                "requests",
+                "shards",
+                "batch",
+                "throughput req/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "migration cost",
+                "communication cost",
+                "total cost",
+                "reveals",
+            ],
+        )
+        table.add_row(
+            self.num_requests,
+            self.num_shards,
+            self.batch_size,
+            self.throughput,
+            self.latency_ms["p50"],
+            self.latency_ms["p95"],
+            self.latency_ms["p99"],
+            self.migration_cost,
+            self.communication_cost,
+            self.total_cost,
+            self.num_reveals,
+        )
+        return table
+
+    def findings(self) -> Dict[str, float]:
+        """Headline scalars (what loadgen archives as run-store findings)."""
+        return {
+            "throughput req/s": self.throughput,
+            "latency p50 ms": self.latency_ms["p50"],
+            "latency p95 ms": self.latency_ms["p95"],
+            "latency p99 ms": self.latency_ms["p99"],
+            "served total cost": self.total_cost,
+        }
+
+
+def _quantile_map(seconds: List[float]) -> Dict[str, float]:
+    milliseconds = [value * 1_000.0 for value in seconds]
+    summary = {
+        f"p{int(q * 100)}": percentile(milliseconds, q) for q in QUANTILES
+    }
+    summary["mean"] = sum(milliseconds) / len(milliseconds)
+    summary["max"] = max(milliseconds)
+    return summary
+
+
+def summarize_results(
+    results: Sequence[ServeResult],
+    shard_reports: Sequence[ShardReport],
+    wall_seconds: float,
+    batch_size: int,
+) -> ServiceSummary:
+    """Reduce a drained run to its :class:`ServiceSummary`."""
+    if not results:
+        raise ServiceError("summarize_results() needs at least one served request")
+    if wall_seconds <= 0:
+        raise ServiceError(f"wall_seconds must be positive, got {wall_seconds}")
+    num_batches = sum(report.num_batches for report in shard_reports)
+    return ServiceSummary(
+        num_requests=len(results),
+        num_shards=len(shard_reports),
+        batch_size=batch_size,
+        wall_seconds=wall_seconds,
+        throughput=len(results) / wall_seconds,
+        latency_ms=_quantile_map([result.latency_seconds for result in results]),
+        queue_ms=_quantile_map([result.queue_seconds for result in results]),
+        num_reveals=sum(report.num_reveals for report in shard_reports),
+        num_batches=num_batches,
+        mean_batch=len(results) / max(num_batches, 1),
+        migration_cost=sum(report.migration_cost for report in shard_reports),
+        communication_cost=sum(
+            report.communication_cost for report in shard_reports
+        ),
+        total_cost=sum(report.total_cost for report in shard_reports),
+    )

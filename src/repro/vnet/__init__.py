@@ -6,6 +6,7 @@ from repro.vnet.controller import (
     OracleController,
     StaticController,
 )
+from repro.vnet.distance_cache import SlotDistanceCache
 from repro.vnet.embedding import Embedding
 from repro.vnet.topology import LinearDatacenter
 from repro.vnet.traffic import TrafficTrace, pipeline_traffic, tenant_traffic
@@ -16,6 +17,7 @@ __all__ = [
     "Embedding",
     "LinearDatacenter",
     "OracleController",
+    "SlotDistanceCache",
     "StaticController",
     "TrafficTrace",
     "pipeline_traffic",

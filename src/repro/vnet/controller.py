@@ -31,6 +31,21 @@ batched path pays ``O(n · batches)`` and keeps peak memory bounded by the
 batch size (the request list is never materialized).  Requests inside a
 batch are served on the embedding as of the batch start; the learner's swap
 accounting is unchanged.
+
+Both streamed paths cache per-pair slot distances through a
+:class:`~repro.vnet.distance_cache.SlotDistanceCache`.  The static cache
+never invalidates; the demand-aware cache invalidates *incrementally* on
+every batched re-embedding — only pairs whose endpoints actually moved are
+evicted, so the hot-pair entries that dominate Zipf-skewed traffic survive
+most batches.  Totals stay bit-identical to the uncached loops (costs
+accumulate in stream order and each cached distance equals the recomputed
+one), asserted in ``tests/test_vnet.py``.
+
+``run_stream(trace_every=…)`` additionally records the learner's migration
+swaps as a downsampled :class:`~repro.telemetry.trace.CostTrace` (one event
+per ``trace_every`` reveals, exact totals), so datacenter-scale runs can be
+archived in the run store and banded by ``python -m repro runs report``
+like the core experiments.
 """
 
 from __future__ import annotations
@@ -50,6 +65,8 @@ from repro.errors import EmbeddingError
 from repro.graphs.components import DisjointSetForest
 from repro.graphs.line_forest import LineForest
 from repro.graphs.reveal import GraphKind, RevealStep
+from repro.telemetry.trace import CostTrace, TraceRecorder
+from repro.vnet.distance_cache import SlotDistanceCache
 from repro.vnet.embedding import Embedding
 from repro.vnet.topology import LinearDatacenter
 from repro.vnet.traffic import TrafficTrace
@@ -75,6 +92,10 @@ class ControllerReport:
     """Requests that revealed a new piece of the hidden pattern."""
     num_batches: int = 0
     """Batches consumed by a streamed run (0 for materialized runs)."""
+    trace: Optional[CostTrace] = None
+    """Downsampled migration-swap trace of a streamed run (``None`` unless
+    ``run_stream`` was called with ``trace_every``); its exact totals equal
+    the migration ledger's, so the run store can band datacenter runs."""
 
     @property
     def total_cost(self) -> float:
@@ -144,20 +165,13 @@ class StaticController:
         total is bit-identical to the uncached loop.
         """
         embedding = _default_embedding(self._datacenter, stream, initial_embedding)
-        datacenter = self._datacenter
-        slot_of = embedding.slot_of
-        pair_cost: dict = {}
+        cache = SlotDistanceCache(embedding)
         communication = 0.0
         num_requests = 0
         num_batches = 0
         for batch in stream.batches(batch_size):
-            for pair in batch:
-                cost = pair_cost.get(pair)
-                if cost is None:
-                    u, v = pair
-                    cost = datacenter.communication_cost(slot_of(u), slot_of(v))
-                    pair_cost[pair] = cost
-                communication += cost
+            for u, v in batch:
+                communication += cache.cost(u, v)
             num_requests += len(batch)
             num_batches += 1
         return ControllerReport(
@@ -258,6 +272,7 @@ class DemandAwareController:
         initial_embedding: Optional[Embedding] = None,
         rng: Optional[random.Random] = None,
         batch_size: int = 1024,
+        trace_every: Optional[int] = None,
     ) -> ControllerReport:
         """Replay a lazy request stream with **batched** embedding updates.
 
@@ -268,6 +283,18 @@ class DemandAwareController:
         requests are served on the embedding as of the batch start.  Peak
         memory is bounded by the batch size plus the ``O(n)`` pattern state;
         the request list is never materialized.
+
+        Per-pair slot distances are cached across batches and invalidated
+        *incrementally*: a batched re-embedding evicts only the entries
+        whose endpoints moved, so hot pairs keep their cached distance
+        across the many batches that migrate other tenants.  The cost
+        accumulation order matches the uncached loop exactly, so totals are
+        bit-identical.
+
+        ``trace_every`` (when set) records the learner's updates as a
+        downsampled :class:`~repro.telemetry.trace.CostTrace` on the report
+        (one event per ``trace_every`` reveals; totals stay exact and equal
+        the migration ledger's swap totals).
         """
         if stream.kind is None:
             raise EmbeddingError(
@@ -287,11 +314,19 @@ class DemandAwareController:
             LineForest(stream.virtual_nodes) if stream.kind is GraphKind.LINES else None
         )
         ledger = CostLedger()
+        recorder = TraceRecorder(every=trace_every) if trace_every is not None else None
+        cache = SlotDistanceCache(embedding)
         communication = 0.0
         num_requests = 0
         num_batches = 0
         for batch in stream.batches(batch_size):
-            communication += embedding.communication_cost(batch)
+            # Same accumulation order as the uncached
+            # ``embedding.communication_cost(batch)`` loop: a per-batch
+            # subtotal built left to right, added once per batch.
+            batch_cost = 0.0
+            for u, v in batch:
+                batch_cost += cache.cost(u, v)
+            communication += batch_cost
             num_requests += len(batch)
             num_batches += 1
             revealed_in_batch = False
@@ -299,11 +334,15 @@ class DemandAwareController:
                 if not components.connected(u, v):
                     if line_view is not None:
                         line_view.add_edge(u, v)
-                    ledger.add(learner.process(RevealStep(u, v)))
+                    record = learner.process(RevealStep(u, v))
+                    ledger.add(record)
+                    if recorder is not None:
+                        recorder.record_update(record)
                     components.union(u, v)
                     revealed_in_batch = True
             if revealed_in_batch:
                 embedding = embedding.with_arrangement(learner.current_arrangement)
+                cache.rebind(embedding)
         return ControllerReport(
             controller_name=self.name,
             num_requests=num_requests,
@@ -313,6 +352,7 @@ class DemandAwareController:
             migration_cost_per_swap=self._datacenter.migration_cost_per_swap,
             num_reveals=len(ledger),
             num_batches=num_batches,
+            trace=recorder.as_trace() if recorder is not None else None,
         )
 
 

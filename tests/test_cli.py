@@ -206,3 +206,153 @@ class TestRunsCommand:
         store = self._populate(tmp_path)
         assert main(["runs", "gc", "--store", store]) == 0
         assert "gc of" in capsys.readouterr().out
+
+
+class TestServeAndLoadgenCommands:
+    def test_serve_replays_a_scenario(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--scenario",
+                "zipf-tenants",
+                "--shards",
+                "2",
+                "--batch",
+                "4",
+                "--nodes",
+                "16",
+                "--requests",
+                "200",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "throughput" in output
+        assert "p99" in output
+        assert "served cost" in output
+        assert "shard balance" in output
+
+    def test_serve_without_scenario_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCENARIO", raising=False)
+        with pytest.raises(SystemExit):
+            main(["serve", "--nodes", "16", "--requests", "100"])
+
+    def test_loadgen_archives_a_run(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        exit_code = main(
+            [
+                "loadgen",
+                "--scenario",
+                "zipf-tenants",
+                "--shards",
+                "2",
+                "--nodes",
+                "16",
+                "--requests",
+                "200",
+                "--store",
+                store,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "p99" in output
+        assert "archived run" in output
+
+        assert main(["runs", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "SERVE" in listing
+        assert "scenario=zipf-tenants" in listing
+
+    def test_loadgen_no_store_skips_archiving(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        exit_code = main(
+            [
+                "loadgen",
+                "--scenario",
+                "zipf-tenants",
+                "--nodes",
+                "16",
+                "--requests",
+                "150",
+                "--no-store",
+                "--store",
+                str(store),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "archived run" not in output
+        assert not store.exists()
+
+    def test_loadgen_open_loop_mode(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "loadgen",
+                "--scenario",
+                "bursty-pipelines",
+                "--nodes",
+                "16",
+                "--requests",
+                "150",
+                "--mode",
+                "open",
+                "--rate",
+                "50000",
+                "--no-store",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mode=open" in output
+
+    def test_loadgen_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--scenario", "no-such-scenario", "--no-store"])
+
+
+class TestExportBandsCommand:
+    def test_export_bands_writes_csv_files(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--scale",
+                    "smoke",
+                    "--only",
+                    "E2",
+                    "--store",
+                    store,
+                    "--output",
+                    str(tmp_path / "EXPERIMENTS.md"),
+                    "--csv-dir",
+                    str(tmp_path / "results"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        out_dir = tmp_path / "bands"
+        exit_code = main(
+            ["runs", "export-bands", "--store", store, "--out", str(out_dir)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "band CSV file(s)" in output
+        written = sorted(out_dir.glob("band_E2_*.csv"))
+        assert written
+        header = written[0].read_text().splitlines()[0]
+        for column in ("step", "total_mean", "moving_min", "rearranging_max"):
+            assert column in header
+
+    def test_export_bands_on_an_empty_store_is_a_noop(self, capsys, tmp_path):
+        store = str(tmp_path / "empty-store")
+        out_dir = tmp_path / "bands"
+        exit_code = main(
+            ["runs", "export-bands", "--store", store, "--out", str(out_dir)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "no trace population" in output
+        assert not out_dir.exists()

@@ -97,6 +97,14 @@ class TestPublicExports:
             "repro.runstore.align",
             "repro.runstore.stats",
             "repro.runstore.report",
+            "repro.service",
+            "repro.service.engine",
+            "repro.service.partition",
+            "repro.service.broker",
+            "repro.service.metrics",
+            "repro.service.loadgen",
+            "repro.vnet.distance_cache",
+            "repro.experiments.suite_service",
         ],
     )
     def test_submodules_import_cleanly(self, module_name):
@@ -114,6 +122,7 @@ class TestPublicExports:
             "repro.experiments",
             "repro.workloads",
             "repro.runstore",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

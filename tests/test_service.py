@@ -1,0 +1,467 @@
+"""Tests of the arrangement-serving subsystem (:mod:`repro.service`).
+
+The load-bearing guarantees:
+
+* **Determinism** — same scenario + seed + shard count + batch size ⇒
+  identical served cost totals across runs (thread timing never leaks into
+  costs).
+* **Offline equivalence** — one-shard serving is bit-identical to the
+  batch harness: reveal serving to :func:`repro.core.simulator.run_online`
+  (any batch size), traffic serving to the streamed demand-aware
+  controller fed the same batch boundaries.
+* **Partitioning** — component-aligned, deterministic, total.
+* **Backpressure** — bounded queues reject/block explicitly.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.instance import OnlineMinLAInstance
+from repro.core.rand_cliques import RandomizedCliqueLearner
+from repro.core.simulator import run_online
+from repro.errors import ServiceError
+from repro.graphs.reveal import GraphKind
+from repro.service import (
+    ArrangementService,
+    ShardEngine,
+    build_reveal_service,
+    build_traffic_service,
+    discover_stream_partition,
+    partition_components,
+    percentile,
+    reveal_partition,
+    run_scenario_loadgen,
+    shard_rng,
+    summarize_results,
+)
+from repro.service.loadgen import learner_factory
+from repro.vnet.controller import DemandAwareController
+from repro.vnet.topology import LinearDatacenter
+from repro.workloads.registry import get_scenario
+
+
+def _serve_stream(scenario_name, nodes, requests, seed, shards, batch):
+    return run_scenario_loadgen(
+        get_scenario(scenario_name),
+        num_nodes=nodes,
+        num_requests=requests,
+        seed=seed,
+        num_shards=shards,
+        batch_size=batch,
+        queue_capacity=requests,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_components_are_never_split(self):
+        scenario = get_scenario("zipf-tenants")
+        stream = scenario.request_stream(32, 500, 0)
+        partition = discover_stream_partition(stream, 4)
+        for u, v in stream:
+            assert partition.shard_of(u) == partition.shard_of(v)
+
+    def test_partition_is_deterministic(self):
+        scenario = get_scenario("bursty-pipelines")
+        stream = scenario.request_stream(32, 500, 3)
+        first = discover_stream_partition(stream, 3)
+        second = discover_stream_partition(stream, 3)
+        assert first.shard_nodes == second.shard_nodes
+        assert first.node_to_shard == second.node_to_shard
+
+    def test_every_node_is_placed_exactly_once(self):
+        scenario = get_scenario("mixed-fleet")
+        stream = scenario.request_stream(32, 400, 1)
+        partition = discover_stream_partition(stream, 5)
+        placed = [node for nodes in partition.shard_nodes for node in nodes]
+        assert sorted(placed) == sorted(stream.virtual_nodes)
+
+    def test_reveal_partition_covers_final_components(self):
+        scenario = get_scenario("bursty-pipelines")
+        sequence = scenario.reveal_sequences(24, 0)[0]
+        partition = reveal_partition(sequence, 3)
+        for component in sequence.final_components():
+            shards = {partition.shard_of(node) for node in component}
+            assert len(shards) == 1
+
+    def test_single_component_collapses_to_one_shard(self):
+        scenario = get_scenario("growing-hotspot")
+        stream = scenario.request_stream(16, 200, 0)
+        partition = discover_stream_partition(stream, 4)
+        assert partition.num_shards == 1
+
+    def test_unknown_node_rejected(self):
+        scenario = get_scenario("zipf-tenants")
+        stream = scenario.request_stream(16, 200, 0)
+        partition = discover_stream_partition(stream, 2)
+        with pytest.raises(ServiceError):
+            partition.shard_of("not-a-node")
+
+    def test_cross_shard_pair_rejected(self):
+        partition = partition_components([[0, 1], [2, 3]], [0, 1, 2, 3], 2)
+        assert partition.num_shards == 2
+        with pytest.raises(ServiceError):
+            partition.shard_of_pair(0, 2)
+
+    def test_incomplete_components_rejected(self):
+        with pytest.raises(ServiceError):
+            partition_components([[0, 1]], [0, 1, 2], 2)
+
+    def test_nonpositive_shard_count_rejected(self):
+        with pytest.raises(ServiceError):
+            partition_components([[0, 1]], [0, 1], 0)
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestServingDeterminism:
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_same_config_same_totals_across_runs(self, shards):
+        first = _serve_stream("zipf-tenants", 24, 400, 5, shards, 8)
+        second = _serve_stream("zipf-tenants", 24, 400, 5, shards, 8)
+        assert first.summary.total_cost == second.summary.total_cost
+        assert first.summary.migration_cost == second.summary.migration_cost
+        assert (
+            first.summary.communication_cost == second.summary.communication_cost
+        )
+        assert first.summary.num_reveals == second.summary.num_reveals
+        assert first.shard_requests == second.shard_requests
+
+    def test_per_request_cost_outcomes_are_deterministic(self):
+        first = _serve_stream("bursty-pipelines", 24, 300, 2, 2, 4)
+        second = _serve_stream("bursty-pipelines", 24, 300, 2, 2, 4)
+        for a, b in zip(first.results, second.results):
+            assert a.request_index == b.request_index
+            assert a.pair == b.pair
+            assert a.shard == b.shard
+            assert a.revealed == b.revealed
+            assert a.migration_swaps == b.migration_swaps
+            assert a.communication_cost == b.communication_cost
+
+
+# ----------------------------------------------------------------------
+# Offline equivalence (the E14 anchors)
+# ----------------------------------------------------------------------
+class TestOfflineEquivalence:
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_reveal_serving_matches_run_online(self, batch):
+        # E2-sized instance: the uniform-cliques workload at n=32.
+        scenario = get_scenario("uniform-cliques")
+        sequence = scenario.reveal_sequences(32, 0)[0]
+        instance = OnlineMinLAInstance.with_random_start(
+            sequence, random.Random("e14-test")
+        )
+        offline = run_online(
+            RandomizedCliqueLearner(), instance, rng=shard_rng(0, 0)
+        )
+        service = build_reveal_service(
+            instance, num_shards=1, seed=0, batch_size=batch
+        ).start()
+        for step in instance.steps:
+            service.submit((step.u, step.v))
+        results = service.drain()
+        assert sum(r.migration_swaps for r in results) == offline.total_cost
+        report = service.shard_reports()[0]
+        assert report.migration_swaps == offline.total_cost
+        assert report.num_reveals == instance.num_steps
+        # The learner's phase split survives serving unchanged.
+        engine_ledger = service._engines[0].ledger
+        assert engine_ledger.total_moving_cost == offline.ledger.total_moving_cost
+        assert (
+            engine_ledger.total_rearranging_cost
+            == offline.ledger.total_rearranging_cost
+        )
+
+    @pytest.mark.parametrize("batch", [1, 16])
+    def test_traffic_serving_matches_run_stream(self, batch):
+        scenario = get_scenario("zipf-tenants")
+        stream = scenario.request_stream(24, 500, 9)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        controller = DemandAwareController(datacenter, RandomizedCliqueLearner)
+        offline = controller.run_stream(
+            stream, rng=shard_rng(9, 0), batch_size=batch
+        )
+        report = _serve_stream("zipf-tenants", 24, 500, 9, 1, batch)
+        assert report.summary.total_cost == offline.total_cost
+        assert report.summary.migration_cost == offline.migration_cost
+        assert report.summary.communication_cost == offline.communication_cost
+        assert report.summary.num_reveals == offline.num_reveals
+
+    def test_lines_traffic_serving_matches_run_stream(self):
+        scenario = get_scenario("bursty-pipelines")
+        stream = scenario.request_stream(24, 400, 4)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        controller = DemandAwareController(
+            datacenter, learner_factory(GraphKind.LINES, "rand")
+        )
+        offline = controller.run_stream(stream, rng=shard_rng(4, 0), batch_size=8)
+        report = _serve_stream("bursty-pipelines", 24, 400, 4, 1, 8)
+        assert report.summary.total_cost == offline.total_cost
+
+
+# ----------------------------------------------------------------------
+# Broker mechanics
+# ----------------------------------------------------------------------
+class TestBrokerMechanics:
+    def _engine(self, nodes=(0, 1, 2, 3)):
+        return ShardEngine(
+            shard_index=0,
+            nodes=nodes,
+            kind=GraphKind.CLIQUES,
+            learner_factory=RandomizedCliqueLearner,
+            rng=random.Random(0),
+            datacenter=LinearDatacenter(len(nodes)),
+        )
+
+    def _partition(self):
+        return partition_components([[0, 1, 2, 3]], [0, 1, 2, 3], 1)
+
+    def test_try_submit_reports_backpressure(self):
+        service = ArrangementService(
+            [self._engine()],
+            self._partition(),
+            queue_capacity=2,
+        )
+        # Workers not started: the bounded queue fills and stays full.
+        service._started = True  # submit() guards on lifecycle, not workers
+        assert service.try_submit((0, 1)) is not None
+        assert service.try_submit((0, 2)) is not None
+        assert service.try_submit((0, 3)) is None
+
+    def test_submit_timeout_raises_service_error(self):
+        service = ArrangementService(
+            [self._engine()], self._partition(), queue_capacity=1
+        )
+        service._started = True
+        service.submit((0, 1))
+        with pytest.raises(ServiceError, match="backpressure"):
+            service.submit((0, 2), timeout=0.01)
+
+    def test_submit_before_start_rejected(self):
+        service = ArrangementService([self._engine()], self._partition())
+        with pytest.raises(ServiceError):
+            service.submit((0, 1))
+
+    def test_results_come_back_in_submission_order(self):
+        report = _serve_stream("zipf-tenants", 24, 300, 0, 3, 4)
+        indices = [result.request_index for result in report.results]
+        assert indices == list(range(len(report.results)))
+
+    def test_worker_failure_surfaces_at_drain(self):
+        engine = self._engine()
+
+        def explode(pairs):
+            raise RuntimeError("shard died")
+
+        engine.serve_batch = explode
+        service = ArrangementService([engine], self._partition()).start()
+        service.submit((0, 1))
+        with pytest.raises(ServiceError, match="shard died"):
+            service.drain()
+
+    def test_dead_worker_does_not_deadlock_producers(self):
+        # A worker that died must keep draining its bounded queue, so
+        # blocking submits past the queue capacity still complete and the
+        # failure surfaces at drain() instead of hanging the producer.
+        engine = self._engine()
+
+        def explode(pairs):
+            raise RuntimeError("shard died early")
+
+        engine.serve_batch = explode
+        service = ArrangementService(
+            [engine], self._partition(), queue_capacity=2
+        ).start()
+        for _ in range(20):  # far beyond the queue capacity
+            service.submit((0, 1), timeout=5.0)
+        with pytest.raises(ServiceError, match="shard died early"):
+            service.drain()
+
+    def test_context_manager_drains(self):
+        stream = get_scenario("zipf-tenants").request_stream(16, 100, 0)
+        pair = next(iter(stream))
+        with build_traffic_service(stream, num_shards=2) as service:
+            service.submit(pair)
+        # Exiting the context drained the service; further submits fail.
+        with pytest.raises(ServiceError):
+            service.submit(pair)
+
+    def test_engine_count_must_match_partition(self):
+        with pytest.raises(ServiceError):
+            ArrangementService([self._engine()], partition_components(
+                [[0, 1], [2, 3]], [0, 1, 2, 3], 2
+            ))
+
+    def test_invalid_batch_and_queue_parameters_rejected(self):
+        engine = self._engine()
+        partition = self._partition()
+        with pytest.raises(ServiceError):
+            ArrangementService([engine], partition, batch_size=0)
+        with pytest.raises(ServiceError):
+            ArrangementService([engine], partition, batch_timeout=0.0)
+        with pytest.raises(ServiceError):
+            ArrangementService([engine], partition, queue_capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Load generator modes
+# ----------------------------------------------------------------------
+class TestLoadGenerator:
+    def test_open_loop_requires_a_rate(self):
+        with pytest.raises(ServiceError, match="rate"):
+            run_scenario_loadgen(
+                get_scenario("zipf-tenants"), 16, 100, mode="open"
+            )
+
+    def test_open_loop_serves_every_request(self):
+        report = run_scenario_loadgen(
+            get_scenario("zipf-tenants"),
+            16,
+            150,
+            seed=1,
+            num_shards=2,
+            mode="open",
+            rate=50_000.0,
+        )
+        assert report.summary.num_requests == 150
+        assert report.mode == "open"
+
+    def test_closed_loop_serves_every_request(self):
+        report = run_scenario_loadgen(
+            get_scenario("zipf-tenants"),
+            16,
+            150,
+            seed=1,
+            num_shards=2,
+            batch_size=8,
+            mode="closed",
+            concurrency=4,
+        )
+        assert report.summary.num_requests == 150
+        # Closed-loop batching is adaptive: a window of 4 can never fill an
+        # 8-wide batch, so the batcher must have cut batches early.
+        assert report.summary.mean_batch <= 4.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError, match="mode"):
+            run_scenario_loadgen(get_scenario("zipf-tenants"), 16, 100, mode="burst")
+
+    def test_mixed_streams_rejected(self):
+        stream = get_scenario("mixed-fleet").request_stream(24, 200, 0)
+        with pytest.raises(ServiceError, match="kind-pure"):
+            build_traffic_service(stream)
+
+    def test_loadgen_latency_summary_is_complete(self):
+        report = _serve_stream("zipf-tenants", 16, 200, 0, 2, 4)
+        summary = report.summary
+        for key in ("p50", "p95", "p99", "mean", "max"):
+            assert summary.latency_ms[key] >= 0.0
+        assert summary.latency_ms["p50"] <= summary.latency_ms["p95"]
+        assert summary.latency_ms["p95"] <= summary.latency_ms["p99"]
+        assert summary.throughput > 0
+        text = summary.to_text()
+        assert "p99" in text and "throughput" in text
+        table = summary.to_table("t")
+        assert table.rows and len(table.rows[0]) == len(table.columns)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ServiceError):
+            percentile([], 0.5)
+        with pytest.raises(ServiceError):
+            percentile([1.0], 0.0)
+
+    def test_summarize_rejects_empty_runs(self):
+        with pytest.raises(ServiceError):
+            summarize_results([], [], 1.0, 1)
+
+
+# ----------------------------------------------------------------------
+# Engine validation
+# ----------------------------------------------------------------------
+class TestShardEngine:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ServiceError):
+            ShardEngine(0, (), GraphKind.CLIQUES, RandomizedCliqueLearner)
+
+    def test_datacenter_size_must_match(self):
+        with pytest.raises(ServiceError):
+            ShardEngine(
+                0,
+                (0, 1, 2),
+                GraphKind.CLIQUES,
+                RandomizedCliqueLearner,
+                datacenter=LinearDatacenter(5),
+            )
+
+    def test_submit_is_a_singleton_batch(self):
+        engine = ShardEngine(
+            0,
+            (0, 1, 2, 3),
+            GraphKind.CLIQUES,
+            RandomizedCliqueLearner,
+            rng=random.Random(1),
+            datacenter=LinearDatacenter(4),
+        )
+        record = engine.submit((0, 3))
+        assert record.revealed
+        assert record.communication_cost == 3.0
+        report = engine.report()
+        assert report.num_requests == 1
+        assert report.num_batches == 1
+        assert report.num_reveals == 1
+
+    def test_concurrent_shards_do_not_share_state(self):
+        # Two engines served from two threads produce the same totals as
+        # the same engines served sequentially.
+        def build_engines():
+            return [
+                ShardEngine(
+                    index,
+                    tuple(range(index * 4, index * 4 + 4)),
+                    GraphKind.CLIQUES,
+                    RandomizedCliqueLearner,
+                    rng=shard_rng(0, index),
+                    datacenter=LinearDatacenter(4),
+                )
+                for index in range(2)
+            ]
+
+        pairs = [(0, 1), (4, 5), (0, 2), (6, 7), (1, 3), (4, 6)]
+        sequential = build_engines()
+        for u, v in pairs:
+            sequential[u // 4].submit((u, v))
+        concurrent = build_engines()
+        threads = [
+            threading.Thread(
+                target=lambda shard: [
+                    concurrent[shard].submit(pair)
+                    for pair in pairs
+                    if pair[0] // 4 == shard
+                ],
+                args=(shard,),
+            )
+            for shard in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for left, right in zip(sequential, concurrent):
+            assert left.report().total_cost == right.report().total_cost

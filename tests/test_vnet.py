@@ -222,3 +222,119 @@ class TestStaticStreamDistanceCache:
         )
         assert streamed.communication_cost == materialized.communication_cost
         assert streamed.num_requests == materialized.num_requests
+
+
+class TestDemandAwareIncrementalDistanceCache:
+    """Incremental invalidation of the demand-aware streamed distance cache."""
+
+    def _stream(self, num_requests=2_500):
+        from repro.workloads.streaming import tenant_request_stream
+
+        return tenant_request_stream(
+            [5, 4, 6, 3, 4], num_requests, "da-cache-seed", weighting="zipf"
+        )
+
+    def _uncached_run_stream(self, stream, datacenter, initial, rng, batch_size):
+        """The pre-cache reference loop: full recomputation every batch."""
+        from repro.graphs.components import DisjointSetForest
+        from repro.graphs.reveal import RevealStep
+
+        learner = RandomizedCliqueLearner()
+        learner.reset(
+            nodes=list(stream.virtual_nodes),
+            kind=stream.kind,
+            initial_arrangement=initial.arrangement,
+            rng=rng,
+        )
+        components = DisjointSetForest(stream.virtual_nodes)
+        embedding = initial
+        migration_swaps = 0
+        communication = 0.0
+        for batch in stream.batches(batch_size):
+            communication += embedding.communication_cost(batch)
+            revealed = False
+            for u, v in batch:
+                if not components.connected(u, v):
+                    migration_swaps += learner.process(RevealStep(u, v)).total_cost
+                    components.union(u, v)
+                    revealed = True
+            if revealed:
+                embedding = embedding.with_arrangement(learner.current_arrangement)
+        return migration_swaps, communication
+
+    def test_incremental_cache_is_bit_identical_to_the_uncached_path(self):
+        # An irrational per-hop price makes every term a non-trivial float:
+        # this checks bit-identity of values *and* accumulation order.
+        stream = self._stream()
+        datacenter = LinearDatacenter(
+            stream.num_nodes, communication_cost_per_hop=1.0 / 3.0
+        )
+        initial = Embedding(
+            datacenter, random_arrangement(stream.virtual_nodes, random.Random(21))
+        )
+        for batch_size in (1, 64, 512):
+            swaps, communication = self._uncached_run_stream(
+                stream, datacenter, initial, random.Random("da-ref"), batch_size
+            )
+            report = DemandAwareController(
+                datacenter, RandomizedCliqueLearner
+            ).run_stream(
+                stream,
+                initial_embedding=initial,
+                rng=random.Random("da-ref"),
+                batch_size=batch_size,
+            )
+            assert report.communication_cost == communication
+            assert report.migration_ledger.total_cost == swaps
+
+    def test_rebind_evicts_only_pairs_with_moved_endpoints(self):
+        from repro.core.permutation import Arrangement
+        from repro.vnet.distance_cache import SlotDistanceCache
+
+        datacenter = LinearDatacenter(5)
+        embedding = Embedding(datacenter, Arrangement([0, 1, 2, 3, 4]))
+        cache = SlotDistanceCache(embedding)
+        assert cache.cost(0, 1) == 1.0
+        assert cache.cost(3, 4) == 1.0
+        assert len(cache) == 2
+        # Swap nodes 3 and 4: only their pair may be evicted.
+        moved = Embedding(datacenter, Arrangement([0, 1, 2, 4, 3]))
+        assert cache.rebind(moved) == 1
+        assert len(cache) == 1
+        assert cache.cost(3, 4) == 1.0  # recomputed on the new embedding
+        # A no-op rebind evicts nothing.
+        assert cache.rebind(moved) == 0
+
+    def test_rebind_handles_pairs_whose_both_endpoints_moved(self):
+        from repro.core.permutation import Arrangement
+        from repro.vnet.distance_cache import SlotDistanceCache
+
+        datacenter = LinearDatacenter(4)
+        embedding = Embedding(datacenter, Arrangement([0, 1, 2, 3]))
+        cache = SlotDistanceCache(embedding)
+        cache.cost(0, 1)
+        cache.cost(2, 3)
+        rotated = Embedding(datacenter, Arrangement([1, 0, 3, 2]))
+        assert cache.rebind(rotated) == 2
+        assert len(cache) == 0
+        assert cache.cost(0, 1) == 1.0
+
+    def test_trace_every_records_a_downsampled_migration_trace(self):
+        stream = self._stream(num_requests=1_200)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        report = DemandAwareController(
+            datacenter, RandomizedCliqueLearner
+        ).run_stream(stream, rng=random.Random(5), batch_size=128, trace_every=4)
+        trace = report.trace
+        assert trace is not None
+        assert trace.every == 4
+        # Exact totals survive downsampling and equal the ledger's.
+        assert trace.total_cost == report.migration_ledger.total_cost
+        assert trace.num_steps == report.num_reveals
+        assert len(trace.events) <= report.num_reveals // 4 + 2
+        # Untraced runs carry no trace.
+        untraced = DemandAwareController(
+            datacenter, RandomizedCliqueLearner
+        ).run_stream(stream, rng=random.Random(5), batch_size=128)
+        assert untraced.trace is None
+        assert untraced.migration_ledger.total_cost == report.migration_ledger.total_cost
