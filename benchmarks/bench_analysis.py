@@ -1,0 +1,49 @@
+"""Benchmark: full-tree static analysis stays fast enough for tier-1.
+
+The analysis gate runs inside the tier-1 suite and on every CI leg, so it
+must stay cheap: analyzing the entire ``src/repro`` tree with the full
+rule catalog has to finish in under ``MAX_SECONDS`` (best of several
+rounds, to shrug off scheduler noise), and re-analyzing an already-loaded
+project must be faster still since parsing dominates.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis import analyze_paths, default_rules
+from repro.analysis.checker import analyze_project
+from repro.analysis.model import load_project
+
+SRC_TREE = Path(repro.__file__).resolve().parent
+MAX_SECONDS = 2.0
+ROUNDS = 3
+
+
+def _best_time(function) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_full_tree_analysis_under_budget():
+    elapsed = _best_time(lambda: analyze_paths([SRC_TREE]))
+    report = analyze_paths([SRC_TREE])
+    assert report.clean
+    assert report.num_modules > 40
+    assert elapsed < MAX_SECONDS, (
+        f"full-tree analysis took {elapsed:.2f}s (budget {MAX_SECONDS}s)"
+    )
+
+
+def test_rule_pass_is_cheaper_than_load_plus_pass():
+    project = load_project([SRC_TREE], SRC_TREE)
+    pass_only = _best_time(lambda: analyze_project(project, default_rules()))
+    end_to_end = _best_time(lambda: analyze_paths([SRC_TREE]))
+    assert pass_only < end_to_end
+    assert pass_only < MAX_SECONDS

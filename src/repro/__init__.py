@@ -26,6 +26,11 @@ See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
 inventory and ``EXPERIMENTS.md`` for the paper-versus-measured record.
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    analyze_paths,
+)
 from repro.core import (
     Arrangement,
     CostLedger,
@@ -58,6 +63,7 @@ from repro.core import (
     run_trials,
 )
 from repro.errors import (
+    AnalysisError,
     ArrangementError,
     EmbeddingError,
     ExperimentError,
@@ -112,6 +118,8 @@ from repro.workloads import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
     "Arrangement",
     "ArrangementError",
     "CliqueForest",
@@ -122,6 +130,7 @@ __all__ = [
     "DisjointSetForest",
     "EmbeddingError",
     "ExperimentError",
+    "Finding",
     "GraphKind",
     "GreedyClosestLearner",
     "GreedyOrientationLineLearner",
@@ -158,6 +167,7 @@ __all__ = [
     "UpdateRecord",
     "__version__",
     "all_scenarios",
+    "analyze_paths",
     "balanced_clique_merge_sequence",
     "closest_feasible_arrangement",
     "det_competitive_bound",

@@ -1,0 +1,72 @@
+"""Static determinism/thread-safety analysis of the repro tree.
+
+Every headline claim of this reproduction — E14's ``max deviation = 0``,
+bit-identical ``jobs=1`` vs ``jobs=4`` runs, batch-invariant reveal
+serving — rests on code conventions: randomness is always seeded and
+threaded through, wall clocks never feed cost accounting, deterministic
+modules never iterate unordered collections bare, service queues are
+always bounded.  This package *mechanizes* those conventions as an
+AST-based checker (stdlib :mod:`ast` only) with:
+
+* a rule engine (:mod:`repro.analysis.checker`) over a parsed
+  :mod:`project model <repro.analysis.model>`,
+* six primary rules — DET001/DET002/DET003
+  (:mod:`~repro.analysis.rules_determinism`), THR001/THR002
+  (:mod:`~repro.analysis.rules_threading`), API001
+  (:mod:`~repro.analysis.rules_api`) — plus the SUP001/SUP002 meta-rules
+  policing the waiver mechanism itself,
+* per-line ``# repro: allow[rule] — reason`` suppressions
+  (:mod:`~repro.analysis.suppress`),
+* baseline snapshots for ratcheting (:mod:`~repro.analysis.baseline`),
+* the ``python -m repro analyze`` CLI (:mod:`~repro.analysis.cli`).
+
+The checker self-hosts: ``tests/test_analysis.py`` runs it over the whole
+``src/repro`` tree and asserts zero unsuppressed findings, so the gate is
+part of tier-1.  See ``DESIGN.md`` ("Analysis subsystem") for the rule
+catalog and ``CONTRIBUTING.md`` for the manifest obligations of new
+modules.
+"""
+
+from repro.analysis.baseline import new_findings, read_baseline, write_baseline
+from repro.analysis.checker import (
+    AnalysisReport,
+    analyze_paths,
+    analyze_project,
+    default_rules,
+    rule_catalog,
+    select_rules,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.manifest import (
+    DETERMINISTIC_MODULES,
+    THREADED_MODULES,
+    is_deterministic_module,
+    is_threaded_module,
+)
+from repro.analysis.suppress import (
+    RULE_MISSING_REASON,
+    RULE_STALE,
+    Suppression,
+    parse_suppressions,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "DETERMINISTIC_MODULES",
+    "Finding",
+    "RULE_MISSING_REASON",
+    "RULE_STALE",
+    "Suppression",
+    "THREADED_MODULES",
+    "analyze_paths",
+    "analyze_project",
+    "default_rules",
+    "is_deterministic_module",
+    "is_threaded_module",
+    "new_findings",
+    "parse_suppressions",
+    "read_baseline",
+    "rule_catalog",
+    "select_rules",
+    "write_baseline",
+]

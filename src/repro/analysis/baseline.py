@@ -1,0 +1,73 @@
+"""Baseline snapshots: adopt known findings, fail only on new ones.
+
+A baseline is a JSON snapshot of accepted findings.  Comparing a run
+against it keeps the gate green while legacy findings are burned down,
+without letting *new* violations ride in — the standard ratchet workflow::
+
+    python -m repro analyze --write-baseline analysis-baseline.json
+    ...later...
+    python -m repro analyze --baseline analysis-baseline.json
+
+Matching uses :meth:`Finding.key` (rule, path, message) as a multiset, so
+pure line drift never resurrects an adopted finding, while a second
+occurrence of the same violation in the same file is correctly new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+#: Schema version of the snapshot file.
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` as the accepted baseline at ``path``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_json() for finding in sorted(findings)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def read_baseline(path: Path) -> List[Finding]:
+    """Load a baseline snapshot written by :func:`write_baseline`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise AnalysisError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise AnalysisError(f"malformed baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise AnalysisError(
+            f"malformed baseline {path}: expected an object with 'findings'"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    return [Finding.from_json(entry) for entry in payload["findings"]]
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> List[Finding]:
+    """Findings not covered by the baseline (multiset difference on keys)."""
+    budget = Counter(finding.key() for finding in baseline)
+    fresh: List[Finding] = []
+    for finding in sorted(findings):
+        if budget[finding.key()] > 0:
+            budget[finding.key()] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -1,0 +1,159 @@
+"""The analysis engine: rule registry, tree walk, suppression, reporting.
+
+:func:`analyze_paths` is the whole pipeline — load the tree, run the
+requested rules, fold in the suppression comments — and returns an
+:class:`AnalysisReport` whose :attr:`~AnalysisReport.findings` list is
+exactly what ``python -m repro analyze`` prints and what the tier-1 gate
+asserts empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import Project, load_project
+from repro.analysis.rulebase import Rule
+from repro.analysis.rules_api import PublicAnnotationsRule
+from repro.analysis.rules_determinism import (
+    UnorderedIterationRule,
+    UnseededRandomnessRule,
+    WallClockTaintRule,
+)
+from repro.analysis.rules_threading import LockDisciplineRule, UnboundedQueueRule
+from repro.analysis.suppress import (
+    RULE_MISSING_REASON,
+    RULE_STALE,
+    Suppression,
+    apply_suppressions,
+)
+from repro.errors import AnalysisError
+
+
+def default_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, in catalog order."""
+    return [
+        UnseededRandomnessRule(),
+        WallClockTaintRule(),
+        UnorderedIterationRule(),
+        LockDisciplineRule(),
+        UnboundedQueueRule(),
+        PublicAnnotationsRule(),
+    ]
+
+
+def rule_catalog() -> Dict[str, Rule]:
+    """``rule id -> rule`` for every registered rule."""
+    return {rule.rule_id: rule for rule in default_rules()}
+
+
+def select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve ``--rules`` ids (case-insensitive) to rule instances."""
+    catalog = rule_catalog()
+    if not rule_ids:
+        return list(catalog.values())
+    selected: List[Rule] = []
+    for rule_id in rule_ids:
+        canonical = rule_id.strip().upper()
+        if canonical not in catalog:
+            known = ", ".join(sorted(catalog))
+            raise AnalysisError(f"unknown rule {rule_id!r}; known rules: {known}")
+        selected.append(catalog[canonical])
+    return selected
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    root: str
+    """The analysis root findings' paths are relative to."""
+    rule_ids: Tuple[str, ...]
+    """The rules that ran, in catalog order."""
+    num_modules: int
+    findings: List[Finding] = field(default_factory=list)
+    """Unsuppressed findings, including SUP001/SUP002 meta-findings."""
+    suppressed: List[Finding] = field(default_factory=list)
+    """Findings silenced by a justified ``# repro: allow[...]`` comment."""
+
+    @property
+    def clean(self) -> bool:
+        """Whether the tree passed (no unsuppressed findings)."""
+        return not self.findings
+
+    def to_json(self) -> Dict:
+        """The machine-readable report shape of ``--format json``."""
+        return {
+            "root": self.root,
+            "rules": list(self.rule_ids),
+            "modules": self.num_modules,
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [finding.to_json() for finding in self.suppressed],
+            "clean": self.clean,
+        }
+
+    def to_text(self) -> str:
+        """The human report: one line per finding plus a summary line."""
+        lines = [finding.format() for finding in self.findings]
+        lines.append(
+            f"analyzed {self.num_modules} modules with "
+            f"{len(self.rule_ids)} rules: {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def analyze_project(
+    project: Project, rules: Optional[Sequence[Rule]] = None
+) -> AnalysisReport:
+    """Run ``rules`` over an already-loaded project."""
+    active_rules = list(rules) if rules is not None else default_rules()
+    raw: List[Finding] = []
+    for rule in active_rules:
+        for module in project.ordered():
+            raw.extend(rule.check(module))
+        raw.extend(rule.check_project(project))
+    suppressions: List[Suppression] = []
+    for module in project.ordered():
+        suppressions.extend(module.suppressions)
+    active, suppressed, meta = apply_suppressions(
+        raw, suppressions, executed_rules=[rule.rule_id for rule in active_rules]
+    )
+    findings = sorted(active + meta)
+    return AnalysisReport(
+        root=str(project.root),
+        rule_ids=tuple(rule.rule_id for rule in active_rules),
+        num_modules=len(project.modules),
+        findings=findings,
+        suppressed=sorted(suppressed),
+    )
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Load and analyze a source tree.
+
+    ``root`` anchors the relative paths findings carry (and therefore the
+    identities baselines match on); it defaults to the first path's parent
+    for files, or the first path itself for directories.
+    """
+    if not paths:
+        raise AnalysisError("analyze_paths() needs at least one path")
+    resolved = [Path(path).resolve() for path in paths]
+    for path in resolved:
+        if not path.exists():
+            raise AnalysisError(f"no such path: {path}")
+    if root is None:
+        first = resolved[0]
+        root = first if first.is_dir() else first.parent
+    project = load_project(resolved, Path(root).resolve())
+    return analyze_project(project, rules)
+
+
+#: Rule ids of the suppression meta-rules, re-exported for reporting.
+META_RULES: Tuple[str, str] = (RULE_MISSING_REASON, RULE_STALE)

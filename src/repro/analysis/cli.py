@@ -1,0 +1,124 @@
+"""The ``python -m repro analyze`` command.
+
+Runs the static checker over a source tree (the installed ``repro``
+package by default), prints the findings as text or JSON, optionally
+ratchets against a baseline snapshot, and exits non-zero when any
+unsuppressed (or, with ``--baseline``, any *new*) finding remains — which
+is how CI and the tier-1 gate consume it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import new_findings, read_baseline, write_baseline
+from repro.analysis.checker import analyze_paths, rule_catalog, select_rules
+from repro.errors import AnalysisError
+
+
+def default_target() -> Path:
+    """The tree analyzed when no paths are given: the ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``analyze`` options to an argparse (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="compare against a snapshot; only findings absent from it fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="FILE",
+        help="snapshot the current findings as the accepted baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def command_analyze(args: argparse.Namespace) -> int:
+    """Entry point shared by the repro CLI dispatcher and the tests."""
+    if args.list_rules:
+        for rule_id, rule in sorted(rule_catalog().items()):
+            print(f"{rule_id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+    paths = [Path(path) for path in args.paths] or [default_target()]
+    rules = select_rules(args.rules)
+    report = analyze_paths(paths, rules=rules)
+    findings = report.findings
+    if args.baseline is not None and args.baseline.exists():
+        findings = new_findings(findings, read_baseline(args.baseline))
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        payload = report.to_json()
+        payload["findings"] = [finding.to_json() for finding in findings]
+        payload["clean"] = not findings
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        suffix = ""
+        if args.baseline is not None and args.baseline.exists():
+            adopted = len(report.findings) - len(findings)
+            suffix = f" ({adopted} adopted by baseline)"
+        print(
+            f"analyzed {report.num_modules} modules with "
+            f"{len(report.rule_ids)} rules: {len(findings)} new finding(s), "
+            f"{len(report.suppressed)} suppressed{suffix}"
+        )
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="static determinism/thread-safety checks for the repro tree",
+    )
+    add_analyze_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return command_analyze(args)
+    except AnalysisError as error:
+        parser.error(str(error))
+        return 2  # unreachable; parser.error() raises SystemExit
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

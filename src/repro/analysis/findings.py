@@ -1,0 +1,59 @@
+"""The finding model of the static-analysis subsystem.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Findings are value objects: hashable, ordered by location, and round-trip
+through JSON (the ``--format json`` report and the ``--baseline`` snapshot
+both serialize this shape).  The *baseline identity* of a finding
+deliberately omits the line number — :meth:`Finding.key` — so that pure
+line drift (code added above a known finding) does not resurrect it as
+"new" in a baseline comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Path of the offending module, relative to the analysis root."""
+    line: int
+    """1-based line of the offending node."""
+    column: int
+    """0-based column of the offending node."""
+    rule: str
+    """The rule identifier (``DET001``, ``THR002``, ...)."""
+    message: str
+    """Human explanation of the violation, including the expected remedy."""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used by baseline comparisons."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: RULE message`` text rendering."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON object shape of one finding."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json` output (strict)."""
+        try:
+            return cls(
+                path=str(payload["path"]),
+                line=int(payload["line"]),
+                column=int(payload["column"]),
+                rule=str(payload["rule"]),
+                message=str(payload["message"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise AnalysisError(f"malformed finding payload: {payload!r}") from error

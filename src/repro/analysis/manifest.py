@@ -1,0 +1,58 @@
+"""Scope manifests: which modules each invariant family applies to.
+
+The determinism rules cannot apply everywhere — the CLI legitimately
+iterates report dicts in display order, and the experiment suite
+legitimately reads wall clocks for its timing columns.  These manifests
+draw the boundary *explicitly* so that adding a module to a
+determinism-sensitive subsystem is a reviewable one-line diff here, not an
+unstated assumption.
+
+``DETERMINISTIC_MODULES`` lists the dotted prefixes whose outputs feed the
+bit-identity claims (E14 ``max deviation = 0``, ``jobs=1`` == ``jobs=4``
+runs, batch-invariant reveal serving).  Any new module that computes or
+transports costs must be added here — see ``CONTRIBUTING.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Dotted module prefixes whose behaviour must be bit-identical across
+#: runs, worker counts and host machines.  DET003 (unordered iteration)
+#: applies only inside these prefixes.
+DETERMINISTIC_MODULES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.dynamic_minla",
+    "repro.graphs",
+    "repro.minla",
+    "repro.service",
+    "repro.telemetry",
+    "repro.vnet",
+    "repro.workloads",
+)
+
+#: Dotted module prefixes that run worker threads.  The thread-discipline
+#: rules (THR001 lock/manifest discipline, THR002 bounded queues) apply
+#: only inside these prefixes.
+THREADED_MODULES: Tuple[str, ...] = ("repro.service",)
+
+
+def module_matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+    """Whether ``module`` falls under any manifest prefix.
+
+    A prefix matches itself and its submodules (``repro.core`` matches
+    ``repro.core.simulator`` but not ``repro.core_extras``).
+    """
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+def is_deterministic_module(module: str) -> bool:
+    """Whether the determinism rules apply to ``module``."""
+    return module_matches(module, DETERMINISTIC_MODULES)
+
+
+def is_threaded_module(module: str) -> bool:
+    """Whether the thread-discipline rules apply to ``module``."""
+    return module_matches(module, THREADED_MODULES)

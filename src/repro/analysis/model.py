@@ -1,0 +1,134 @@
+"""The unit of analysis: one parsed module, and the project that holds them.
+
+:class:`SourceModule` bundles everything a rule may want about one file —
+the AST, the raw source, the dotted module name, and the parsed suppression
+comments.  :class:`Project` is the whole analyzed tree at once, indexed by
+dotted name, for rules that must resolve re-exports across files (API001).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.manifest import is_deterministic_module, is_threaded_module
+from repro.analysis.suppress import Suppression, parse_suppressions
+from repro.errors import AnalysisError
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python module under analysis."""
+
+    path: Path
+    """Absolute path of the file."""
+    rel_path: str
+    """Path relative to the analysis root (the identity findings carry)."""
+    module: str
+    """Dotted module name (``repro.service.broker``)."""
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @property
+    def is_package_init(self) -> bool:
+        """Whether this module is a package ``__init__``."""
+        return self.path.name == "__init__.py"
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether the determinism manifest covers this module."""
+        return is_deterministic_module(self.module)
+
+    @property
+    def is_threaded(self) -> bool:
+        """Whether the thread-discipline manifest covers this module."""
+        return is_threaded_module(self.module)
+
+
+@dataclass
+class Project:
+    """Every module of one analysis run, indexed by dotted name."""
+
+    root: Path
+    modules: Dict[str, SourceModule] = field(default_factory=dict)
+
+    def get(self, module: str) -> Optional[SourceModule]:
+        """Look one module up by dotted name (``None`` when not analyzed)."""
+        return self.modules.get(module)
+
+    def ordered(self) -> List[SourceModule]:
+        """Modules in deterministic (path-sorted) order."""
+        return sorted(self.modules.values(), key=lambda mod: mod.rel_path)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Derive the dotted module name of ``path`` within the analyzed tree.
+
+    The name is anchored at the last path component named ``repro`` when
+    one exists (so ``src/repro/service/broker.py`` maps to
+    ``repro.service.broker`` regardless of the checkout location);
+    otherwise it falls back to the path relative to ``root``.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    anchor = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            anchor = index
+            break
+    if anchor is not None:
+        return ".".join(parts[anchor:])
+    try:
+        relative = path.with_suffix("").relative_to(root)
+        rel_parts = list(relative.parts)
+        if rel_parts and rel_parts[-1] == "__init__":
+            rel_parts = rel_parts[:-1]
+        return ".".join(rel_parts) if rel_parts else path.stem
+    except ValueError:
+        return path.stem
+
+
+def load_module(path: Path, root: Path) -> SourceModule:
+    """Parse one file into a :class:`SourceModule`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise AnalysisError(f"cannot read {path}: {error}") from error
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise AnalysisError(f"cannot parse {path}: {error}") from error
+    try:
+        rel_path = str(path.relative_to(root))
+    except ValueError:
+        rel_path = str(path)
+    module = SourceModule(
+        path=path,
+        rel_path=rel_path,
+        module=module_name_for(path, root),
+        source=source,
+        tree=tree,
+    )
+    module.suppressions = parse_suppressions(rel_path, source)
+    return module
+
+
+def load_project(paths: Sequence[Path], root: Path) -> Project:
+    """Load every ``.py`` file under ``paths`` into one :class:`Project`."""
+    project = Project(root=root)
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise AnalysisError(f"not a Python source path: {path}")
+    for file_path in files:
+        module = load_module(file_path, root)
+        project.modules[module.module] = module
+    return project

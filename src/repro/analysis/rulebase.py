@@ -1,0 +1,99 @@
+"""Rule protocol and shared AST helpers of the analysis subsystem.
+
+A rule is a small object with an id, a one-line rationale, and either a
+per-module :meth:`Rule.check` or a whole-project
+:meth:`Rule.check_project` (for cross-file rules such as API001).  Rules
+yield :class:`~repro.analysis.findings.Finding` objects; suppression and
+reporting are the engine's job, so rules stay pure syntax walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import Project, SourceModule
+
+
+class Rule:
+    """One mechanized invariant.
+
+    Subclasses set :attr:`rule_id`/:attr:`title`/:attr:`rationale` and
+    override :meth:`check` (per module) or :meth:`check_project` (once per
+    run, receives the whole project).  The default implementations yield
+    nothing, so a subclass only implements the granularity it needs.
+    """
+
+    rule_id: str = "RULE000"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Per-module findings (default: none)."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Whole-project findings (default: none)."""
+        return iter(())
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` inside ``module``."""
+        return Finding(
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted callee name of a call, when statically resolvable."""
+    return dotted_name(node.func)
+
+
+def scope_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Yield one scope's statements in source order.
+
+    Descends into compound statements (``if``/``for``/``with``/``try``)
+    but *not* into nested function or class definitions — those are their
+    own scopes.  Unlike :func:`ast.walk` the order is the textual order,
+    which the DET002 taint walk relies on (taint introduced by a statement
+    can only reach sinks at or after it).
+    """
+    for statement in body:
+        yield statement
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            inner = getattr(statement, field_name, None)
+            if inner:
+                yield from scope_statements(inner)
+        for handler in getattr(statement, "handlers", []) or []:
+            yield from scope_statements(handler.body)
+
+
+def scopes(tree: ast.Module) -> Iterator[List[ast.stmt]]:
+    """Every statement scope of a module: the top level, then each function."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body

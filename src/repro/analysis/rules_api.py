@@ -1,0 +1,152 @@
+"""API001: exported public functions carry complete type annotations.
+
+Every name a package ``__init__`` re-exports is public API; a public
+function whose parameters or return type are unannotated pushes its
+contract into the docstring (or the reader's imagination).  This rule
+resolves each exported name through the re-export chain back to its
+defining module and checks the definition site, so the finding lands on
+the line a fix belongs to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import Project, SourceModule
+from repro.analysis.rulebase import Rule
+
+_FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _exported_names(module: SourceModule) -> List[str]:
+    """The public surface of one ``__init__``: ``__all__`` or import names."""
+    for statement in module.tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and any(
+                isinstance(target, ast.Name) and target.id == "__all__"
+                for target in statement.targets
+            )
+            and isinstance(statement.value, (ast.List, ast.Tuple))
+        ):
+            return [
+                element.value
+                for element in statement.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+    names: List[str] = []
+    for statement in module.tree.body:
+        if isinstance(statement, ast.ImportFrom):
+            for alias in statement.names:
+                bound = alias.asname or alias.name
+                if not bound.startswith("_"):
+                    names.append(bound)
+    return names
+
+
+def _import_map(module: SourceModule) -> Dict[str, Tuple[str, str]]:
+    """``bound name -> (source module, original name)`` for one module."""
+    mapping: Dict[str, Tuple[str, str]] = {}
+    for statement in module.tree.body:
+        if isinstance(statement, ast.ImportFrom) and statement.module:
+            source = statement.module
+            if statement.level:
+                base = module.module.split(".")
+                if not module.is_package_init:
+                    base = base[:-1]
+                base = base[: len(base) - (statement.level - 1)]
+                source = ".".join(base + [statement.module])
+            for alias in statement.names:
+                mapping[alias.asname or alias.name] = (source, alias.name)
+    return mapping
+
+
+def _missing_annotations(function: ast.AST) -> List[str]:
+    """Parameter/return slots of ``function`` lacking annotations."""
+    missing: List[str] = []
+    arguments = function.args
+    positional = list(arguments.posonlyargs) + list(arguments.args)
+    for index, argument in enumerate(positional):
+        if index == 0 and argument.arg in {"self", "cls"}:
+            continue
+        if argument.annotation is None:
+            missing.append(argument.arg)
+    for argument in arguments.kwonlyargs:
+        if argument.annotation is None:
+            missing.append(argument.arg)
+    if arguments.vararg is not None and arguments.vararg.annotation is None:
+        missing.append("*" + arguments.vararg.arg)
+    if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+        missing.append("**" + arguments.kwarg.arg)
+    if function.returns is None:
+        missing.append("return")
+    return missing
+
+
+class PublicAnnotationsRule(Rule):
+    """API001: exported functions must be fully annotated."""
+
+    rule_id = "API001"
+    title = "exported public function missing type annotations"
+    rationale = (
+        "names re-exported by a package __init__ are the library's "
+        "contract; unannotated parameters or returns hide that contract "
+        "from type checkers and readers"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        seen: set = set()
+        for module in project.ordered():
+            if not module.is_package_init:
+                continue
+            for name in _exported_names(module):
+                resolved = self._resolve(project, module, name, depth=0)
+                if resolved is None:
+                    continue
+                defining, function = resolved
+                key = (defining.module, function.name, function.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                missing = _missing_annotations(function)
+                if missing:
+                    yield self.finding(
+                        defining,
+                        function,
+                        f"public function {defining.module}.{function.name} "
+                        f"(exported by {module.rel_path}) is missing "
+                        f"annotations for: {', '.join(missing)}",
+                    )
+
+    def _resolve(
+        self, project: Project, module: SourceModule, name: str, depth: int
+    ) -> Optional[Tuple[SourceModule, ast.AST]]:
+        """Follow re-exports of ``name`` back to a function definition."""
+        if depth > 8:
+            return None
+        for statement in module.tree.body:
+            if isinstance(statement, _FunctionDef) and statement.name == name:
+                return module, statement
+            if isinstance(statement, ast.ClassDef) and statement.name == name:
+                return None  # classes are out of API001's scope
+            if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                if any(
+                    isinstance(target, ast.Name) and target.id == name
+                    for target in targets
+                ):
+                    return None  # constants are out of API001's scope
+        source = _import_map(module).get(name)
+        if source is None:
+            return None
+        source_module = project.get(source[0])
+        if source_module is None:
+            return None
+        return self._resolve(project, source_module, source[1], depth + 1)

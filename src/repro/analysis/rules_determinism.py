@@ -1,0 +1,436 @@
+"""Determinism rules: seeded randomness, wall-clock hygiene, ordered iteration.
+
+These three rules mechanize the conventions behind every bit-identity
+claim in the repository (E14 ``max deviation = 0``, ``--jobs N`` equal to
+sequential, batch-invariant reveal serving):
+
+* **DET001** — randomness must flow from an explicitly seeded generator
+  that the caller threads through.  Module-level ``random.*`` calls and
+  ``random.Random()`` without a seed draw from ambient, per-process state.
+* **DET002** — wall-clock readings are observability, never semantics: a
+  value derived from ``time.time()``/``perf_counter()``/``datetime.now()``
+  must not flow into cost/ledger/trace arithmetic.  Timing-named sinks
+  (``*_seconds``, ``wall``, ``latency`` ...) are the sanctioned outlets.
+* **DET003** — in modules covered by
+  :data:`~repro.analysis.manifest.DETERMINISTIC_MODULES`, iteration over
+  ``set``/``frozenset`` expressions or raw dict views must go through
+  ``sorted(...)`` (or feed an order-insensitive reduction), because any
+  ordering that leaks into costs or output must be reproducible across
+  hash seeds and insertion histories.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import SourceModule
+from repro.analysis.rulebase import (
+    Rule,
+    call_name,
+    dotted_name,
+    scope_statements,
+    scopes,
+)
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+#: ``random`` module functions that draw from the ambient global generator.
+_GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` entry points that are fine *when given a seed*.
+_SEEDABLE_NUMPY_FACTORIES = frozenset(
+    {"default_rng", "Generator", "RandomState", "SeedSequence"}
+)
+
+
+class UnseededRandomnessRule(Rule):
+    """DET001: randomness must come from an explicitly seeded generator."""
+
+    rule_id = "DET001"
+    title = "unseeded randomness"
+    rationale = (
+        "module-level random.* calls and random.Random() without a seed "
+        "draw from ambient per-process state, breaking run reproducibility"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.Random() without a seed argument; pass an "
+                        "explicit seed so runs are reproducible",
+                    )
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _GLOBAL_RANDOM_FUNCTIONS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level {name}() uses the ambient global "
+                    "generator; thread a seeded random.Random through "
+                    "instead",
+                )
+                continue
+            if len(parts) >= 3 and parts[0] in {"np", "numpy"} and parts[1] == "random":
+                attr = parts[2]
+                if attr in _SEEDABLE_NUMPY_FACTORIES and (node.args or node.keywords):
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level {name}() draws from numpy's ambient "
+                    "state; use np.random.default_rng(seed) and pass the "
+                    "generator through",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock taint into cost accounting
+# ----------------------------------------------------------------------
+
+#: Dotted callee names that read a wall clock.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Bare names that are clock reads when imported from :mod:`time`.
+_CLOCK_BARE_NAMES = frozenset(
+    {
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "time_ns",
+    }
+)
+
+#: Substrings of a dotted callee path that mark it as cost accounting.
+_SINK_TOKENS = ("ledger", "charge", "cost", "trace", "recorder")
+
+#: Substrings of a keyword/target name that mark a *timing* destination —
+#: the sanctioned place for wall-clock values even inside cost records.
+_TIMING_NAME_TOKENS = (
+    "seconds",
+    "second",
+    "latency",
+    "elapsed",
+    "wall",
+    "duration",
+    "timestamp",
+    "created",
+    "time",
+    "_ms",
+    "deadline",
+)
+
+
+def _is_timing_name(name: Optional[str]) -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in _TIMING_NAME_TOKENS)
+
+
+def _is_sink_callee(name: str) -> bool:
+    lowered = name.lower()
+    return any(token in lowered for token in _SINK_TOKENS)
+
+
+class WallClockTaintRule(Rule):
+    """DET002: wall-clock readings must never reach cost accounting."""
+
+    rule_id = "DET002"
+    title = "wall-clock value flows into cost accounting"
+    rationale = (
+        "costs must be a pure function of the request sequence and seeds; "
+        "a clock reading that feeds a ledger/trace/cost value makes totals "
+        "vary run to run"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        clock_imports = self._clock_imports(module.tree)
+        for body in scopes(module.tree):
+            yield from self._check_scope(module, body, clock_imports)
+
+    @staticmethod
+    def _clock_imports(tree: ast.Module) -> Set[str]:
+        """Bare names bound to clock functions by ``from time import ...``."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_BARE_NAMES or alias.name == "time":
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def _is_clock_call(self, node: ast.Call, clock_imports: Set[str]) -> bool:
+        name = call_name(node)
+        if name is None:
+            return False
+        return name in _CLOCK_CALLS or name in clock_imports
+
+    def _expr_tainted(
+        self, node: ast.AST, tainted: Set[str], clock_imports: Set[str]
+    ) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and self._is_clock_call(
+                child, clock_imports
+            ):
+                return True
+            if isinstance(child, ast.Name) and child.id in tainted:
+                return True
+            if isinstance(child, ast.Attribute):
+                name = dotted_name(child)
+                if name is not None and name in tainted:
+                    return True
+        return False
+
+    def _check_scope(
+        self, module: SourceModule, body: List[ast.stmt], clock_imports: Set[str]
+    ) -> Iterator[Finding]:
+        tainted: Set[str] = set()
+        for statement in scope_statements(body):
+            yield from self._check_sinks(module, statement, tainted, clock_imports)
+            self._propagate(statement, tainted, clock_imports)
+
+    def _propagate(
+        self, statement: ast.stmt, tainted: Set[str], clock_imports: Set[str]
+    ) -> None:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        elif isinstance(statement, ast.AugAssign):
+            targets, value = [statement.target], statement.value
+        if value is None:
+            return
+        if not self._expr_tainted(value, tainted, clock_imports):
+            return
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    tainted.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    name = dotted_name(node)
+                    if name is not None:
+                        tainted.add(name)
+
+    def _check_sinks(
+        self,
+        module: SourceModule,
+        statement: ast.stmt,
+        tainted: Set[str],
+        clock_imports: Set[str],
+    ) -> Iterator[Finding]:
+        # Sink 1: tainted value assigned to a cost-named target.
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            targets, value = [statement.target], statement.value
+        elif isinstance(statement, ast.AugAssign):
+            targets, value = [statement.target], statement.value
+        if value is not None and self._expr_tainted(value, tainted, clock_imports):
+            for target in targets:
+                name = dotted_name(target) or ""
+                short = name.rsplit(".", 1)[-1]
+                if _is_sink_callee(short) and not _is_timing_name(short):
+                    yield self.finding(
+                        module,
+                        statement,
+                        f"wall-clock-derived value assigned to cost-"
+                        f"accounting target {name!r}; costs must be pure "
+                        "functions of requests and seeds",
+                    )
+        # Sink 2: tainted value passed into a cost/ledger/trace call.
+        for node in ast.walk(statement):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node)
+            if callee is None or not _is_sink_callee(callee):
+                continue
+            for arg in node.args:
+                if self._expr_tainted(arg, tainted, clock_imports):
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"wall-clock-derived value passed positionally to "
+                        f"{callee}(); route timings through a timing-named "
+                        "keyword or keep them out of cost accounting",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg is not None and _is_timing_name(keyword.arg):
+                    continue
+                if self._expr_tainted(keyword.value, tainted, clock_imports):
+                    label = keyword.arg or "**kwargs"
+                    yield self.finding(
+                        module,
+                        keyword.value,
+                        f"wall-clock-derived value passed as {label!r} to "
+                        f"{callee}(); costs must not depend on clock "
+                        "readings",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration in deterministic modules
+# ----------------------------------------------------------------------
+
+#: Callables whose result does not depend on element order — iterating an
+#: unordered collection directly into one of these is harmless.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"all", "any", "dict", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class UnorderedIterationRule(Rule):
+    """DET003: deterministic modules iterate sets/dict views via sorted()."""
+
+    rule_id = "DET003"
+    title = "unordered iteration in a deterministic module"
+    rationale = (
+        "set iteration order depends on the hash seed and insertion "
+        "history; any order that leaks into costs or output must go "
+        "through sorted(...)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.is_deterministic:
+            return
+        exempt = self._order_insensitive_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            iterables: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                if id(node) in exempt:
+                    continue
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if id(iterable) in exempt:
+                    continue
+                description = self._unordered(iterable)
+                if description is not None:
+                    yield self.finding(
+                        module,
+                        iterable,
+                        f"iteration over {description} in a deterministic "
+                        "module; wrap it in sorted(...) so the order cannot "
+                        "depend on hashing or insertion history",
+                    )
+
+    @staticmethod
+    def _order_insensitive_nodes(tree: ast.Module) -> Set[int]:
+        """Node ids consumed by an order-insensitive reduction.
+
+        ``sum(x for x in s)`` and ``max(d.values())`` are deterministic
+        even over unordered inputs, so the comprehension (and the direct
+        argument) are exempt from DET003.
+        """
+        exempt: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or name.split(".")[-1] not in _ORDER_INSENSITIVE_CONSUMERS:
+                continue
+            for arg in node.args:
+                exempt.add(id(arg))
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    for gen in arg.generators:
+                        exempt.add(id(gen.iter))
+        return exempt
+
+    def _unordered(self, node: ast.expr) -> Optional[str]:
+        """Describe why ``node`` is an unordered iterable, or ``None``."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            left = self._unordered(node.left)
+            right = self._unordered(node.right)
+            if left is not None or right is not None:
+                return "a set expression"
+            return None
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in {"set", "frozenset"}:
+                return f"{name}(...)"
+            if isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                if method in _DICT_VIEW_METHODS and not node.args:
+                    return f"a raw dict view (.{method}())"
+                if method in _SET_RETURNING_METHODS:
+                    receiver = self._unordered(node.func.value)
+                    if receiver is not None:
+                        return f"a set method (.{method}())"
+        return None

@@ -1,0 +1,303 @@
+"""Thread-discipline rules for the serving subsystem.
+
+* **THR001** — every attribute a worker thread writes is part of the
+  cross-thread contract, so it must be *declared*: thread subclasses list
+  the attributes their ``run()`` path writes in a class-level ``_shared``
+  manifest (single-writer attributes the owner publishes and readers
+  collect after ``join()``); non-thread classes that declare a ``_shared``
+  manifest must write those attributes under the owning ``*lock*`` (or
+  hand the data to a ``queue.Queue``, which synchronizes internally).
+* **THR002** — queues between producers and workers must be bounded:
+  an unbounded ``queue.Queue()`` (or a list popped from the front) turns
+  overload into unbounded memory instead of explicit backpressure.
+
+Both rules apply only inside
+:data:`~repro.analysis.manifest.THREADED_MODULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import SourceModule
+from repro.analysis.rulebase import Rule, call_name, dotted_name
+
+#: Name of the class-level manifest declaring worker-written attributes.
+SHARED_MANIFEST = "_shared"
+
+
+def _self_attribute_writes(node: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
+    """Yield ``(statement, attr)`` for every ``self.attr = ...`` under ``node``."""
+    for statement in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+            targets = [statement.target]
+        else:
+            continue
+        for target in targets:
+            for child in ast.walk(target):
+                if (
+                    isinstance(child, ast.Attribute)
+                    and isinstance(child.value, ast.Name)
+                    and child.value.id == "self"
+                ):
+                    yield statement, child.attr
+
+
+def _shared_manifest(class_def: ast.ClassDef) -> Optional[Set[str]]:
+    """Parse the class-level ``_shared`` manifest, when declared."""
+    for statement in class_def.body:
+        if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            statement.targets
+            if isinstance(statement, ast.Assign)
+            else [statement.target]
+        )
+        if not any(
+            isinstance(target, ast.Name) and target.id == SHARED_MANIFEST
+            for target in targets
+        ):
+            continue
+        value = statement.value
+        if isinstance(value, ast.Call) and call_name(value) in {"frozenset", "set"}:
+            if len(value.args) == 1:
+                value = value.args[0]
+        names: Set[str] = set()
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.add(element.value)
+        return names
+    return None
+
+
+def _is_thread_subclass(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1] == "Thread":
+            return True
+    return False
+
+
+class LockDisciplineRule(Rule):
+    """THR001: worker-written attributes are declared and lock-protected."""
+
+    rule_id = "THR001"
+    title = "undisciplined cross-thread attribute access"
+    rationale = (
+        "attributes crossing a thread boundary must be declared in the "
+        "class's _shared manifest and written under the owning lock (or "
+        "be a queue.Queue), so the synchronization story is reviewable"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.is_threaded:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: SourceModule, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        shared = _shared_manifest(class_def)
+        is_thread = _is_thread_subclass(class_def)
+        methods = [
+            statement
+            for statement in class_def.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if is_thread:
+            declared = shared or set()
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                for statement, attr in _self_attribute_writes(method):
+                    if attr not in declared:
+                        yield self.finding(
+                            module,
+                            statement,
+                            f"{class_def.name}.{method.name} writes "
+                            f"self.{attr} on the worker thread but "
+                            f"{attr!r} is not declared in the class's "
+                            f"{SHARED_MANIFEST} manifest",
+                        )
+        elif shared:
+            queue_attrs = self._queue_attributes(class_def)
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                yield from self._check_locked_writes(
+                    module, class_def, method, shared, queue_attrs
+                )
+
+    @staticmethod
+    def _queue_attributes(class_def: ast.ClassDef) -> Set[str]:
+        """Attributes initialized to ``queue.Queue`` objects in ``__init__``."""
+        attrs: Set[str] = set()
+        for method in class_def.body:
+            if (
+                not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or method.name != "__init__"
+            ):
+                continue
+            for statement, attr in _self_attribute_writes(method):
+                value = getattr(statement, "value", None)
+                if value is None:
+                    continue
+                for call in ast.walk(value):
+                    if isinstance(call, ast.Call):
+                        name = call_name(call) or ""
+                        if name.split(".")[-1] in {
+                            "Queue",
+                            "LifoQueue",
+                            "PriorityQueue",
+                            "SimpleQueue",
+                        }:
+                            attrs.add(attr)
+        return attrs
+
+    def _check_locked_writes(
+        self,
+        module: SourceModule,
+        class_def: ast.ClassDef,
+        method: ast.AST,
+        shared: Set[str],
+        queue_attrs: Set[str],
+        inside_lock: bool = False,
+    ) -> Iterator[Finding]:
+        """Recursive walk tracking whether we are under a ``with *lock*``."""
+        for statement in getattr(method, "body", []):
+            held = inside_lock
+            if isinstance(statement, ast.With):
+                for item in statement.items:
+                    name = dotted_name(item.context_expr) or (
+                        dotted_name(item.context_expr.func)
+                        if isinstance(item.context_expr, ast.Call)
+                        else None
+                    )
+                    if name is not None and "lock" in name.lower():
+                        held = True
+            for direct, attr in _self_attribute_writes_shallow(statement):
+                if attr in shared and attr not in queue_attrs and not held:
+                    yield self.finding(
+                        module,
+                        direct,
+                        f"{class_def.name} writes shared attribute "
+                        f"self.{attr} outside the owning lock (declared in "
+                        f"{SHARED_MANIFEST}); wrap the write in "
+                        "'with self.<lock>:'",
+                    )
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(statement, field_name, None)
+                if inner:
+                    yield from self._check_locked_writes(
+                        module,
+                        class_def,
+                        _BodyHolder(inner),
+                        shared,
+                        queue_attrs,
+                        inside_lock=held,
+                    )
+            for handler in getattr(statement, "handlers", []) or []:
+                yield from self._check_locked_writes(
+                    module,
+                    class_def,
+                    _BodyHolder(handler.body),
+                    shared,
+                    queue_attrs,
+                    inside_lock=held,
+                )
+
+
+class _BodyHolder:
+    """Adapter giving a plain statement list a ``.body`` attribute."""
+
+    def __init__(self, body: List[ast.stmt]) -> None:
+        self.body = body
+
+
+def _self_attribute_writes_shallow(
+    statement: ast.stmt,
+) -> Iterator[Tuple[ast.stmt, str]]:
+    """Attribute writes of one statement, not descending into sub-blocks."""
+    if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        yield from _self_attribute_writes(statement)
+
+
+class UnboundedQueueRule(Rule):
+    """THR002: producer/worker queues in service code must be bounded."""
+
+    rule_id = "THR002"
+    title = "unbounded queue in service code"
+    rationale = (
+        "an unbounded queue turns overload into unbounded memory; bounded "
+        "queues make backpressure explicit at the submission point"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.is_threaded:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            short = (name or "").split(".")[-1]
+            if short in {"Queue", "LifoQueue", "PriorityQueue"} and name in {
+                f"queue.{short}",
+                short,
+            }:
+                maxsize = self._maxsize_argument(node)
+                if maxsize is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() without a positive maxsize is unbounded; "
+                        "pass maxsize=<capacity> so overload becomes "
+                        "backpressure, not memory growth",
+                    )
+            elif name in {"queue.SimpleQueue", "SimpleQueue"}:
+                yield self.finding(
+                    module,
+                    node,
+                    "queue.SimpleQueue() cannot be bounded; use "
+                    "queue.Queue(maxsize=<capacity>) instead",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "list.pop(0) suggests a list used as an unbounded FIFO; "
+                    "use a bounded queue.Queue (or collections.deque with "
+                    "maxlen) instead",
+                )
+
+    @staticmethod
+    def _maxsize_argument(node: ast.Call) -> Optional[ast.expr]:
+        """The queue-capacity argument, unless it is literally unbounded."""
+        candidate: Optional[ast.expr] = None
+        if node.args:
+            candidate = node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "maxsize":
+                candidate = keyword.value
+        if candidate is None:
+            return None
+        if isinstance(candidate, ast.Constant) and (
+            not isinstance(candidate.value, int) or candidate.value <= 0
+        ):
+            return None
+        return candidate

@@ -55,6 +55,15 @@ The CLI makes the common workflows available without writing Python:
     archive.  The archive location defaults to ``.repro-runs`` and is
     overridden by ``REPRO_RUNSTORE`` or ``--store``.
 
+``python -m repro analyze``
+    Run the static determinism/thread-safety checker
+    (:mod:`repro.analysis`) over a source tree (the installed ``repro``
+    package by default): seeded-randomness, wall-clock-taint, ordered
+    iteration, lock-discipline, bounded-queue and public-annotation rules,
+    with per-line ``# repro: allow[rule] — reason`` suppressions and a
+    ``--baseline`` ratchet.  Exits non-zero on unsuppressed findings, so
+    CI gates on it.
+
 Scenario recipes in a ``.repro-scenarios.toml`` file in the working
 directory are discovered at startup and registered next to the built-ins,
 so they appear in ``scenarios list`` and are swept by E11.
@@ -67,6 +76,7 @@ import random
 from typing import Callable, Dict, List, Optional
 
 from repro.adversary.line_adversary import run_line_adversary
+from repro.analysis.cli import add_analyze_arguments, command_analyze
 from repro.adversary.random_adversary import worst_of_k_search
 from repro.adversary.tree_adversary import tree_adversary_instance
 from repro.core.algorithm import OnlineMinLAAlgorithm
@@ -755,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'gc': keep only the newest N runs per configuration",
     )
     runs.set_defaults(handler=command_runs)
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the static determinism/thread-safety checks over the tree",
+    )
+    add_analyze_arguments(analyze)
+    analyze.set_defaults(handler=command_analyze)
 
     return parser
 

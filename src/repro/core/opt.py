@@ -303,11 +303,10 @@ def exact_optimal_online_cost(
             )
         next_layer: Dict[Arrangement, int] = {}
         for candidate in feasible:
-            best: Optional[int] = None
-            for previous, cost_so_far in current_layer.items():
-                total = cost_so_far + previous.kendall_tau(candidate)
-                if best is None or total < best:
-                    best = total
+            best = min(
+                cost_so_far + previous.kendall_tau(candidate)
+                for previous, cost_so_far in current_layer.items()
+            )
             next_layer[candidate] = int(best)
         current_layer = next_layer
     return min(current_layer.values())

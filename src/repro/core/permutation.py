@@ -31,6 +31,7 @@ boundaries via :meth:`MutableArrangement.snapshot`.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ArrangementError
@@ -121,6 +122,7 @@ class Arrangement:
         n = len(positions)
         order: List[Node] = [None] * n  # type: ignore[list-item]
         seen = [False] * n
+        # repro: allow[det003] — each entry fills a distinct slot; the result is order-independent
         for node, pos in positions.items():
             if not isinstance(pos, int) or pos < 0 or pos >= n:
                 raise ArrangementError(f"position {pos!r} of node {node!r} is out of range")
@@ -434,6 +436,7 @@ class MutableArrangement:
         labels = self._labels
         order = tuple(labels[index] for index in self._order)
         position = self._position
+        # repro: allow[det003] — builds a lookup mapping; its content is order-independent
         positions = {node: position[index] for node, index in self._index_of.items()}
         return Arrangement._from_trusted(order, positions)
 
@@ -703,7 +706,7 @@ def arrangement_from_blocks(blocks: Sequence[Sequence[Node]]) -> Arrangement:
     return Arrangement(order)
 
 
-def random_arrangement(nodes: Iterable[Node], rng) -> Arrangement:
+def random_arrangement(nodes: Iterable[Node], rng: random.Random) -> Arrangement:
     """A uniformly random arrangement of ``nodes`` drawn with ``rng``.
 
     ``rng`` is a :class:`random.Random` instance (or any object providing a

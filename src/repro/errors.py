@@ -68,6 +68,15 @@ class EmbeddingError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """A static-analysis invocation was configured inconsistently.
+
+    Raised by :mod:`repro.analysis` when an unknown rule id is requested,
+    when a baseline snapshot is malformed, or when a target path cannot be
+    parsed as Python source.
+    """
+
+
 class ServiceError(ReproError):
     """An online serving operation failed or was mis-configured.
 

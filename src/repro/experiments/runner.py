@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, TypeVar
 
 from repro.experiments.tables import ResultTable
 from repro.telemetry.trace import TraceSample
@@ -93,7 +93,15 @@ def seeded_rng(seed: int, *salt: object) -> random.Random:
     return random.Random("|".join([str(seed)] + [repr(item) for item in salt]))
 
 
-def scale_pick(scale: ExperimentScale, smoke, bench, full):
+_ScaleValue = TypeVar("_ScaleValue")
+
+
+def scale_pick(
+    scale: ExperimentScale,
+    smoke: _ScaleValue,
+    bench: _ScaleValue,
+    full: _ScaleValue,
+) -> _ScaleValue:
     """Select a per-scale configuration value."""
     if scale is ExperimentScale.SMOKE:
         return smoke

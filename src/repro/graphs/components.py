@@ -98,6 +98,7 @@ class DisjointSetForest:
 
     def components(self) -> List[FrozenSet[Node]]:
         """All components as a list of frozensets (in no particular order)."""
+        # repro: allow[det003] — dict of roots is insertion-ordered; union() updates it deterministically
         return [frozenset(members) for members in self._members.values()]
 
     def representatives(self) -> Iterator[Node]:
@@ -140,5 +141,6 @@ class DisjointSetForest:
         clone = DisjointSetForest()
         clone._parent = dict(self._parent)
         clone._size = dict(self._size)
+        # repro: allow[det003] — clone preserves the source dict's deterministic insertion order
         clone._members = {root: list(members) for root, members in self._members.items()}
         return clone

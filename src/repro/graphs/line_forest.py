@@ -91,10 +91,12 @@ class LineForest:
 
     def components(self) -> List[FrozenSet[Node]]:
         """The current components as node sets."""
+        # repro: allow[det003] — path dict is insertion-ordered; merges update it deterministically
         return [frozenset(path) for path in self._paths.values()]
 
     def paths(self) -> List[Tuple[Node, ...]]:
         """The current components as node sequences in path order."""
+        # repro: allow[det003] — path dict is insertion-ordered; merges update it deterministically
         return [tuple(path) for path in self._paths.values()]
 
     def component_of(self, node: Node) -> FrozenSet[Node]:
@@ -122,6 +124,7 @@ class LineForest:
     def edges(self) -> List[Tuple[Node, Node]]:
         """All edges of the currently revealed graph."""
         result: List[Tuple[Node, Node]] = []
+        # repro: allow[det003] — path dict is insertion-ordered; merges update it deterministically
         for path in self._paths.values():
             result.extend(zip(path, path[1:]))
         return result
@@ -188,6 +191,7 @@ class LineForest:
     def copy(self) -> "LineForest":
         """An independent copy of the forest (history included)."""
         clone = LineForest([])
+        # repro: allow[det003] — clone preserves the source dict's deterministic insertion order
         clone._paths = {cid: list(path) for cid, path in self._paths.items()}
         clone._component_id = dict(self._component_id)
         clone._history = list(self._history)

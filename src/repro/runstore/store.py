@@ -39,13 +39,16 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.envconfig import read_env_path
 from repro.errors import RunStoreError
 from repro.experiments.tables import ResultTable
 from repro.io import table_from_dict, table_to_dict, trace_from_dict, trace_to_dict
 from repro.telemetry.trace import TraceSample
+
+if TYPE_CHECKING:  # import would cycle through repro.experiments at runtime
+    from repro.experiments.runner import ExperimentResult
 
 PathLike = Union[str, Path]
 
@@ -186,7 +189,7 @@ class RunSummary:
 
 
 def run_record_from_result(
-    result,
+    result: "ExperimentResult",
     scale: str,
     seed: int,
     jobs: int = 1,

@@ -77,6 +77,11 @@ class _QueueItem:
 class _ShardWorker(threading.Thread):
     """One shard's consumer: drain the queue in micro-batches, serve, record."""
 
+    #: Cross-thread contract (enforced by THR001): attributes the worker
+    #: thread writes.  All are single-writer — the worker publishes, the
+    #: control thread reads them only after ``join()`` in ``drain()``.
+    _shared = ("error", "results", "_sentinel_seen")
+
     def __init__(
         self,
         engine: ShardEngine,
@@ -182,6 +187,10 @@ class ArrangementService:
     completed request — the hook closed-loop load generators use to release
     their concurrency tokens.
     """
+
+    #: Cross-thread contract (enforced by THR001): attributes written
+    #: concurrently by submitter threads, guarded by ``_submit_lock``.
+    _shared = ("_next_index",)
 
     def __init__(
         self,

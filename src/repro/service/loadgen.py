@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from threading import BoundedSemaphore
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.det import DeterministicClosestLearner
 from repro.core.instance import OnlineMinLAInstance
@@ -46,7 +46,7 @@ from repro.core.rand_cliques import MoveSmallerCliqueLearner, RandomizedCliqueLe
 from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
 from repro.errors import ServiceError
 from repro.graphs.reveal import GraphKind
-from repro.service.broker import ArrangementService, ServeResult
+from repro.service.broker import ArrangementService, Request, ServeResult
 from repro.service.engine import ShardEngine
 from repro.service.metrics import ServiceSummary, summarize_results
 from repro.service.partition import (
@@ -55,7 +55,7 @@ from repro.service.partition import (
     reveal_partition,
 )
 from repro.vnet.topology import LinearDatacenter
-from repro.workloads.base import RequestStream
+from repro.workloads.base import RequestStream, Scenario
 
 #: Serving algorithm names accepted by the builders and the CLI.
 LEARNERS = ("rand", "move-smaller", "det")
@@ -214,7 +214,7 @@ class LoadReport:
 
 def drive_service(
     service: ArrangementService,
-    requests,
+    requests: Iterable[Request],
     mode: str = "replay",
     rate: Optional[float] = None,
     concurrency: int = 32,
@@ -260,7 +260,7 @@ def drive_service(
 
 
 def run_scenario_loadgen(
-    scenario,
+    scenario: Scenario,
     num_nodes: int,
     num_requests: int,
     seed: int = 0,

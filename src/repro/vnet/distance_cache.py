@@ -87,6 +87,7 @@ class SlotDistanceCache:
         slot_of = embedding.slot_of
         moved = [
             node
+            # repro: allow[det003] — eviction bookkeeping; the evicted set is order-independent
             for node, slot in self._slot_of_node.items()
             if slot_of(node) != slot
         ]

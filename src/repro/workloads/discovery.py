@@ -173,7 +173,7 @@ def _parse_toml(text: str, source: str) -> Dict[str, Dict[str, Any]]:
         parsed = tomllib.loads(text)
     except tomllib.TOMLDecodeError as exc:
         raise ReproError(f"{source} is not valid TOML: {exc}") from exc
-    for name, table in parsed.items():
+    for name, table in sorted(parsed.items()):
         if not isinstance(table, dict):
             raise ReproError(
                 f"{source}: top-level entry {name!r} must be a [scenario] table"
@@ -308,7 +308,7 @@ def load_scenario_file(path: Union[str, Path]) -> List[ComposedScenario]:
     if not tables:
         raise ReproError(f"{path} defines no scenario tables")
     scenarios: List[ComposedScenario] = []
-    for name, recipe in tables.items():
+    for name, recipe in sorted(tables.items()):
         if name in _LOADED_RECIPES:
             if _LOADED_RECIPES[name] == recipe:
                 scenarios.append(_REGISTRY[name])  # type: ignore[arg-type]

@@ -24,13 +24,16 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.graphs.components import DisjointSetForest
 from repro.graphs.line_forest import LineForest
 from repro.graphs.reveal import GraphKind, RevealStep
 from repro.workloads.base import Node, Request, RequestStream
+
+if TYPE_CHECKING:  # import would cycle through repro.vnet at runtime
+    from repro.vnet.traffic import TrafficTrace
 
 WEIGHTINGS = ("pairs", "zipf")
 
@@ -326,7 +329,7 @@ def stream_statistics(
     return num_requests, reveals
 
 
-def materialize_trace(stream: RequestStream):
+def materialize_trace(stream: RequestStream) -> "TrafficTrace":
     """Materialize a kind-pure stream into a full TrafficTrace.
 
     Intended for small workloads and equivalence tests; datacenter-scale

@@ -1,164 +1,704 @@
-"""Tests for the run-analysis tools (potentials, merge profiles, harmonic certificates)."""
+"""Tests for the static-analysis subsystem (:mod:`repro.analysis`).
 
-import random
+Covers the tier-1 gate (the whole ``src/repro`` tree is analysis-clean),
+one fixture pair per rule (fires on a known-bad snippet, silent on the
+fixed version), the suppression mechanism (justified waivers silence,
+reason-less and stale waivers are findings), the baseline ratchet, and
+the ``python -m repro analyze`` CLI.
+"""
+
+import json
+from pathlib import Path
 
 import pytest
 
-from repro.core.analysis import (
-    cost_distribution,
-    disagreement_trajectory,
-    expected_per_step_costs,
-    harmonic_certificate,
-    instance_profile,
-    merge_profile,
-    peak_disagreement,
-    per_step_cost_matrix,
-    worst_harmonic_certificate,
+import repro
+from repro.analysis import (
+    DETERMINISTIC_MODULES,
+    Finding,
+    RULE_MISSING_REASON,
+    RULE_STALE,
+    analyze_paths,
+    new_findings,
+    parse_suppressions,
+    read_baseline,
+    rule_catalog,
+    select_rules,
+    write_baseline,
 )
-from repro.core.bounds import harmonic_number
-from repro.core.instance import OnlineMinLAInstance
-from repro.core.rand_cliques import RandomizedCliqueLearner
-from repro.core.rand_lines import RandomizedLineLearner
-from repro.core.simulator import run_online, run_trials
-from repro.errors import ReproError
-from repro.graphs.generators import (
-    balanced_clique_merge_sequence,
-    growing_clique_sequence,
-    random_clique_merge_sequence,
-    random_line_sequence,
+from repro.analysis.cli import main as analyze_main
+from repro.errors import AnalysisError
+
+SRC_TREE = Path(repro.__file__).resolve().parent
+
+
+def run_over(tmp_path, files, rules=None):
+    """Write fixture ``files`` (relative path -> source) and analyze them."""
+    for rel_path, source in files.items():
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    selected = select_rules(rules) if rules else None
+    return analyze_paths([tmp_path], root=tmp_path, rules=selected)
+
+
+def rules_fired(report):
+    return sorted({finding.rule for finding in report.findings})
+
+
+# ----------------------------------------------------------------------
+# The tier-1 gate: the repository itself is analysis-clean
+# ----------------------------------------------------------------------
+class TestSelfHost:
+    def test_src_tree_has_zero_unsuppressed_findings(self):
+        report = analyze_paths([SRC_TREE])
+        assert report.clean, "\n" + "\n".join(
+            finding.format() for finding in report.findings
+        )
+
+    def test_src_tree_analyzes_many_modules(self):
+        report = analyze_paths([SRC_TREE])
+        assert report.num_modules > 40
+
+    def test_every_suppression_in_tree_has_a_reason(self):
+        report = analyze_paths([SRC_TREE])
+        assert not [f for f in report.findings if f.rule == RULE_MISSING_REASON]
+
+    def test_deterministic_manifest_covers_the_core_subsystems(self):
+        for prefix in (
+            "repro.core",
+            "repro.telemetry",
+            "repro.workloads",
+            "repro.vnet",
+            "repro.service",
+        ):
+            assert prefix in DETERMINISTIC_MODULES
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded randomness
+# ----------------------------------------------------------------------
+class TestDET001:
+    def test_fires_on_global_random_calls(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import random\n"
+                    "def draw():\n"
+                    "    return random.random() + random.randint(0, 3)\n"
+                )
+            },
+            rules=["DET001"],
+        )
+        assert len(report.findings) == 2
+        assert rules_fired(report) == ["DET001"]
+
+    def test_fires_on_unseeded_random_instance(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {"repro/core/bad.py": "import random\nrng = random.Random()\n"},
+            rules=["DET001"],
+        )
+        assert rules_fired(report) == ["DET001"]
+
+    def test_fires_on_numpy_module_level_calls(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import numpy as np\n"
+                    "def draw():\n"
+                    "    return np.random.rand(3)\n"
+                    "def gen():\n"
+                    "    return np.random.default_rng()\n"
+                )
+            },
+            rules=["DET001"],
+        )
+        assert len(report.findings) == 2
+
+    def test_silent_on_seeded_randomness(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/good.py": (
+                    "import random\n"
+                    "try:\n"
+                    "    import numpy as np\n"
+                    "except ImportError:\n"
+                    "    np = None\n"
+                    "rng = random.Random(0)\n"
+                    "def draw(local_rng: random.Random) -> float:\n"
+                    "    if np is not None:\n"
+                    "        np.random.default_rng(7)\n"
+                    "    return local_rng.random()\n"
+                )
+            },
+            rules=["DET001"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock taint into cost accounting
+# ----------------------------------------------------------------------
+class TestDET002:
+    def test_fires_when_clock_value_reaches_a_ledger(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import time\n"
+                    "def serve(ledger):\n"
+                    "    start = time.time()\n"
+                    "    elapsed = time.time() - start\n"
+                    "    ledger.charge(elapsed)\n"
+                )
+            },
+            rules=["DET002"],
+        )
+        assert rules_fired(report) == ["DET002"]
+
+    def test_tracks_taint_through_assignments(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "from time import perf_counter\n"
+                    "def serve(ledger):\n"
+                    "    started = perf_counter()\n"
+                    "    waited = perf_counter() - started\n"
+                    "    scaled = waited * 2.0\n"
+                    "    ledger.add_cost(scaled)\n"
+                )
+            },
+            rules=["DET002"],
+        )
+        assert rules_fired(report) == ["DET002"]
+
+    def test_fires_on_clock_assigned_to_cost_target(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "import time\n"
+                    "def serve(record):\n"
+                    "    record.total_cost = time.perf_counter()\n"
+                )
+            },
+            rules=["DET002"],
+        )
+        assert rules_fired(report) == ["DET002"]
+
+    def test_silent_on_timing_named_sinks(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/good.py": (
+                    "from time import perf_counter\n"
+                    "def serve(ledger, record_cost_trace):\n"
+                    "    started = perf_counter()\n"
+                    "    elapsed = perf_counter() - started\n"
+                    "    record_cost_trace(wall_seconds=elapsed)\n"
+                    "    ledger.charge(1.0)\n"
+                    "    return elapsed\n"
+                )
+            },
+            rules=["DET002"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration in deterministic modules
+# ----------------------------------------------------------------------
+class TestDET003:
+    def test_fires_on_set_iteration(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "def order(items):\n"
+                    "    out = []\n"
+                    "    for node in set(items):\n"
+                    "        out.append(node)\n"
+                    "    return out\n"
+                )
+            },
+            rules=["DET003"],
+        )
+        assert rules_fired(report) == ["DET003"]
+
+    def test_fires_on_raw_dict_view_iteration(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "def render(mapping):\n"
+                    "    return [key for key, value in mapping.items()]\n"
+                )
+            },
+            rules=["DET003"],
+        )
+        assert rules_fired(report) == ["DET003"]
+
+    def test_fires_on_set_literals_and_comprehensions(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/bad.py": (
+                    "def walk(a, b):\n"
+                    "    for x in {a, b}:\n"
+                    "        yield x\n"
+                    "    for y in {c for c in (a, b)}:\n"
+                    "        yield y\n"
+                )
+            },
+            rules=["DET003"],
+        )
+        assert len(report.findings) == 2
+
+    def test_silent_when_sorted_or_reduced(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/good.py": (
+                    "def order(items, mapping):\n"
+                    "    out = [node for node in sorted(set(items))]\n"
+                    "    out.extend(key for key, _ in sorted(mapping.items()))\n"
+                    "    total = sum(value for value in mapping.values())\n"
+                    "    biggest = max(mapping.values())\n"
+                    "    return out, total, biggest\n"
+                )
+            },
+            rules=["DET003"],
+        )
+        assert report.clean
+
+    def test_silent_outside_the_deterministic_manifest(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/experiments/display.py": (
+                    "def render(mapping):\n"
+                    "    return [key for key in mapping.keys()]\n"
+                )
+            },
+            rules=["DET003"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# THR001 — cross-thread attribute discipline
+# ----------------------------------------------------------------------
+class TestTHR001:
+    def test_fires_on_undeclared_worker_write(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/bad.py": (
+                    "import threading\n"
+                    "class Worker(threading.Thread):\n"
+                    "    def run(self):\n"
+                    "        self.result = 42\n"
+                )
+            },
+            rules=["THR001"],
+        )
+        assert rules_fired(report) == ["THR001"]
+
+    def test_silent_when_declared_in_shared_manifest(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/good.py": (
+                    "import threading\n"
+                    "class Worker(threading.Thread):\n"
+                    "    _shared = ('result',)\n"
+                    "    def run(self):\n"
+                    "        self.result = 42\n"
+                )
+            },
+            rules=["THR001"],
+        )
+        assert report.clean
+
+    def test_fires_on_shared_write_outside_lock(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/bad.py": (
+                    "import threading\n"
+                    "class Broker:\n"
+                    "    _shared = ('counter',)\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.counter = 0\n"
+                    "    def bump(self):\n"
+                    "        self.counter += 1\n"
+                )
+            },
+            rules=["THR001"],
+        )
+        assert rules_fired(report) == ["THR001"]
+
+    def test_silent_on_shared_write_under_lock(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/good.py": (
+                    "import threading\n"
+                    "class Broker:\n"
+                    "    _shared = ('counter',)\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.counter = 0\n"
+                    "    def bump(self):\n"
+                    "        with self._lock:\n"
+                    "            self.counter += 1\n"
+                )
+            },
+            rules=["THR001"],
+        )
+        assert report.clean
+
+    def test_silent_outside_service_modules(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/anything.py": (
+                    "import threading\n"
+                    "class Worker(threading.Thread):\n"
+                    "    def run(self):\n"
+                    "        self.result = 42\n"
+                )
+            },
+            rules=["THR001"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# THR002 — bounded queues in service code
+# ----------------------------------------------------------------------
+class TestTHR002:
+    def test_fires_on_unbounded_queue(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/bad.py": (
+                    "import queue\n"
+                    "requests = queue.Queue()\n"
+                    "events = queue.SimpleQueue()\n"
+                )
+            },
+            rules=["THR002"],
+        )
+        assert len(report.findings) == 2
+
+    def test_fires_on_zero_maxsize(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {"repro/service/bad.py": "import queue\nq = queue.Queue(maxsize=0)\n"},
+            rules=["THR002"],
+        )
+        assert rules_fired(report) == ["THR002"]
+
+    def test_fires_on_list_as_queue(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/bad.py": (
+                    "def drain(backlog):\n"
+                    "    while backlog:\n"
+                    "        yield backlog.pop(0)\n"
+                )
+            },
+            rules=["THR002"],
+        )
+        assert rules_fired(report) == ["THR002"]
+
+    def test_silent_on_bounded_queue(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/good.py": (
+                    "import queue\n"
+                    "def build(capacity: int) -> queue.Queue:\n"
+                    "    return queue.Queue(maxsize=capacity)\n"
+                )
+            },
+            rules=["THR002"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# API001 — exported functions carry full annotations
+# ----------------------------------------------------------------------
+class TestAPI001:
+    def test_fires_on_unannotated_export(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/__init__.py": (
+                    "from repro.demo.impl import compute\n__all__ = ['compute']\n"
+                ),
+                "repro/demo/impl.py": "def compute(x, y=2):\n    return x + y\n",
+            },
+            rules=["API001"],
+        )
+        assert rules_fired(report) == ["API001"]
+        (finding,) = report.findings
+        assert finding.path.endswith("impl.py")
+        assert "x" in finding.message and "return" in finding.message
+
+    def test_resolves_reexport_chains(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/__init__.py": (
+                    "from repro.demo import compute\n__all__ = ['compute']\n"
+                ),
+                "repro/demo/__init__.py": "from repro.demo.impl import compute\n",
+                "repro/demo/impl.py": "def compute(x):\n    return x\n",
+            },
+            rules=["API001"],
+        )
+        assert len(report.findings) == 1
+
+    def test_silent_on_fully_annotated_export(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/__init__.py": (
+                    "from repro.demo.impl import compute\n__all__ = ['compute']\n"
+                ),
+                "repro/demo/impl.py": (
+                    "def compute(x: int, y: int = 2) -> int:\n    return x + y\n"
+                ),
+            },
+            rules=["API001"],
+        )
+        assert report.clean
+
+    def test_ignores_unexported_functions(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/__init__.py": (
+                    "from repro.demo.impl import compute\n__all__ = ['compute']\n"
+                ),
+                "repro/demo/impl.py": (
+                    "def compute(x: int) -> int:\n    return helper(x)\n"
+                    "def helper(x):\n    return x\n"
+                ),
+            },
+            rules=["API001"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Suppressions: waivers silence findings, and are themselves policed
+# ----------------------------------------------------------------------
+BAD_SET_LOOP = (
+    "def order(items):\n"
+    "    return [x for x in set(items)]{comment}\n"
 )
 
 
-class TestDisagreementTrajectory:
-    def test_starts_at_zero_and_matches_final_distance(self):
-        rng = random.Random(0)
-        sequence = random_clique_merge_sequence(10, rng)
-        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-        result = run_online(
-            RandomizedCliqueLearner(), instance, rng=random.Random(1), record_trajectory=True
+class TestSuppressions:
+    def test_justified_suppression_silences_the_finding(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/mod.py": BAD_SET_LOOP.format(
+                    comment="  # repro: allow[det003] — order feeds no cost"
+                )
+            },
+            rules=["DET003"],
         )
-        trajectory = disagreement_trajectory(result, instance.initial_arrangement)
-        assert trajectory[0] == 0
-        assert trajectory[-1] == instance.initial_arrangement.kendall_tau(
-            result.final_arrangement
+        assert report.clean
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "DET003"
+
+    def test_standalone_comment_covers_the_next_line(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/mod.py": (
+                    "def order(items):\n"
+                    "    # repro: allow[det003] — order feeds no cost\n"
+                    "    return [x for x in set(items)]\n"
+                )
+            },
+            rules=["DET003"],
         )
-        assert len(trajectory) == instance.num_steps + 1
-        assert peak_disagreement(result, instance.initial_arrangement) == max(trajectory)
+        assert report.clean
+        assert len(report.suppressed) == 1
 
-    def test_requires_recorded_trajectory(self):
-        rng = random.Random(0)
-        sequence = random_clique_merge_sequence(6, rng)
-        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-        result = run_online(RandomizedCliqueLearner(), instance, rng=random.Random(1))
-        with pytest.raises(ReproError):
-            disagreement_trajectory(result, instance.initial_arrangement)
-
-
-class TestMergeProfiles:
-    def test_growing_clique_profile_of_the_seed_node(self):
-        sequence = growing_clique_sequence(6)
-        # Node 0 merges with a singleton at every step.
-        assert merge_profile(sequence, 0) == [1, 1, 1, 1, 1]
-        # Node 5 only takes part in the last merge, against a component of size 5.
-        assert merge_profile(sequence, 5) == [5]
-
-    def test_balanced_merge_profile_doubles(self):
-        sequence = balanced_clique_merge_sequence(8)
-        assert merge_profile(sequence, 0) == [1, 2, 4]
-
-    def test_line_sequence_profiles_sum_to_component_size(self):
-        rng = random.Random(1)
-        sequence = random_line_sequence(9, rng)
-        for node in sequence.nodes:
-            profile = merge_profile(sequence, node)
-            assert 1 + sum(profile) == 9
-
-    def test_unknown_node_rejected(self):
-        sequence = growing_clique_sequence(4)
-        with pytest.raises(ReproError):
-            merge_profile(sequence, 99)
-
-
-class TestHarmonicCertificates:
-    def test_growing_clique_seed_node_is_harmonic(self):
-        n = 16
-        sequence = growing_clique_sequence(n)
-        certificate = harmonic_certificate(sequence, 0)
-        # The seed node's Lemma 5 sum is H_n - 1 (every term is 1/(i+1)).
-        assert certificate.lemma5_value == pytest.approx(harmonic_number(n) - 1)
-        assert certificate.harmonic_budget == pytest.approx(harmonic_number(n))
-        assert 0 < certificate.lemma5_utilization <= 1.0
-
-    def test_certificates_never_exceed_lemma_budgets(self):
-        rng = random.Random(2)
-        for _ in range(5):
-            sequence = random_clique_merge_sequence(12, rng)
-            for node in (0, 5, 11):
-                certificate = harmonic_certificate(sequence, node)
-                assert certificate.lemma5_value <= certificate.harmonic_budget + 1e-9
-                assert certificate.lemma13_square_value <= 2 * certificate.harmonic_budget + 1e-9
-                assert certificate.lemma13_product_value <= 2 * certificate.harmonic_budget + 1e-9
-
-    def test_worst_certificate_is_the_maximum(self):
-        sequence = growing_clique_sequence(8)
-        worst = worst_harmonic_certificate(sequence)
-        assert worst.lemma5_value == pytest.approx(
-            max(harmonic_certificate(sequence, node).lemma5_value for node in sequence.nodes)
+    def test_reasonless_suppression_is_a_finding(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/mod.py": BAD_SET_LOOP.format(
+                    comment="  # repro: allow[det003]"
+                )
+            },
+            rules=["DET003"],
         )
+        assert rules_fired(report) == [RULE_MISSING_REASON]
+        assert len(report.suppressed) == 1
 
-
-class TestCostDistributions:
-    def _results(self, n=8, trials=6):
-        rng = random.Random(3)
-        sequence = random_line_sequence(n, rng)
-        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-        return run_trials(RandomizedLineLearner, instance, num_trials=trials, seed=0), instance
-
-    def test_cost_distribution_summaries(self):
-        results, _ = self._results()
-        distribution = cost_distribution(results)
-        assert distribution.total.count == 6
-        assert distribution.total.mean == pytest.approx(
-            sum(r.total_cost for r in results) / len(results)
+    def test_stale_suppression_is_a_finding(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/mod.py": (
+                    "def order(items):\n"
+                    "    return sorted(items)  # repro: allow[det003] — obsolete\n"
+                )
+            },
+            rules=["DET003"],
         )
-        assert distribution.moving.mean + distribution.rearranging.mean == pytest.approx(
-            distribution.total.mean
+        assert rules_fired(report) == [RULE_STALE]
+
+    def test_unexecuted_rules_are_not_reported_stale(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/core/mod.py": BAD_SET_LOOP.format(
+                    comment="  # repro: allow[det003] — order feeds no cost"
+                )
+            },
+            rules=["DET001"],
         )
+        assert report.clean
 
-    def test_per_step_matrix_and_means(self):
-        results, instance = self._results()
-        matrix = per_step_cost_matrix(results)
-        assert len(matrix) == 6
-        assert all(len(row) == instance.num_steps for row in matrix)
-        means = expected_per_step_costs(results)
-        assert len(means) == instance.num_steps
-        assert sum(means) == pytest.approx(
-            sum(r.total_cost for r in results) / len(results)
+    def test_one_comment_can_waive_several_rules(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/mod.py": (
+                    "import queue\n"
+                    "q = queue.Queue()  # repro: allow[thr002, det003] — test double\n"
+                )
+            },
+            rules=["THR002", "DET003"],
         )
+        # THR002 is waived; the DET003 half of the waiver is stale.
+        assert rules_fired(report) == [RULE_STALE]
+        assert len(report.suppressed) == 1
 
-    def test_empty_batches_rejected(self):
-        with pytest.raises(ReproError):
-            cost_distribution([])
-        with pytest.raises(ReproError):
-            per_step_cost_matrix([])
+    def test_parse_ignores_hash_inside_strings(self, tmp_path):
+        suppressions = parse_suppressions(
+            "mod.py", 'text = "# repro: allow[det003] — not a comment"\n'
+        )
+        assert suppressions == []
 
 
-class TestInstanceProfile:
-    def test_profile_fields(self):
-        rng = random.Random(4)
-        sequence = random_clique_merge_sequence(10, rng, num_final_components=2)
-        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-        profile = instance_profile(instance)
-        assert profile["num_nodes"] == 10.0
-        assert profile["num_steps"] == 8.0
-        assert profile["num_final_components"] == 2.0
-        assert profile["is_lines"] == 0.0
-        assert 0.0 < profile["worst_lemma5_utilization"] <= 1.0
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trips_through_json(self, tmp_path):
+        findings = [
+            Finding("a.py", 3, 0, "DET001", "one"),
+            Finding("b.py", 9, 4, "THR002", "two"),
+        ]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        assert read_baseline(path) == sorted(findings)
 
-    def test_profile_for_lines(self):
-        rng = random.Random(5)
-        sequence = random_line_sequence(8, rng)
-        instance = OnlineMinLAInstance.with_random_start(sequence, rng)
-        profile = instance_profile(instance)
-        assert profile["is_lines"] == 1.0
-        assert profile["largest_component"] == 8.0
+    def test_adopted_findings_do_not_fail_new_ones_do(self, tmp_path):
+        old = Finding("a.py", 3, 0, "DET001", "one")
+        drifted = Finding("a.py", 30, 0, "DET001", "one")  # same key, new line
+        fresh = Finding("a.py", 4, 0, "DET003", "newly introduced")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [old])
+        assert new_findings([drifted, fresh], read_baseline(path)) == [fresh]
+
+    def test_duplicate_findings_consume_baseline_budget(self):
+        finding = Finding("a.py", 3, 0, "DET001", "one")
+        again = Finding("a.py", 7, 0, "DET001", "one")
+        assert new_findings([finding, again], [finding]) == [again]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]")
+        with pytest.raises(AnalysisError):
+            read_baseline(path)
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(AnalysisError):
+            read_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestAnalyzeCLI:
+    def write_bad_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nvalue = random.random()\n")
+        return tmp_path
+
+    def test_exit_zero_on_clean_tree(self, capsys):
+        assert analyze_main([str(SRC_TREE)]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_exit_nonzero_on_findings(self, tmp_path, capsys):
+        tree = self.write_bad_tree(tmp_path)
+        assert analyze_main([str(tree)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        tree = self.write_bad_tree(tmp_path)
+        assert analyze_main([str(tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "DET001"
+        rebuilt = Finding.from_json(payload["findings"][0])
+        assert rebuilt.rule == "DET001"
+
+    def test_rules_filter(self, tmp_path):
+        tree = self.write_bad_tree(tmp_path)
+        assert analyze_main([str(tree), "--rules", "THR002"]) == 0
+        assert analyze_main([str(tree), "--rules", "det001"]) == 1
+
+    def test_unknown_rule_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            analyze_main([str(tmp_path), "--rules", "NOPE999"])
+
+    def test_baseline_workflow_round_trips(self, tmp_path, capsys):
+        tree = self.write_bad_tree(tmp_path)
+        baseline = tmp_path / "analysis-baseline.json"
+        assert analyze_main([str(tree), "--write-baseline", str(baseline)]) == 0
+        # The adopted finding no longer fails the gate ...
+        assert analyze_main([str(tree), "--baseline", str(baseline)]) == 0
+        # ... but a new violation still does.
+        worse = tree / "repro" / "core" / "worse.py"
+        worse.write_text("import random\nother = random.randint(0, 1)\n")
+        capsys.readouterr()
+        assert analyze_main([str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "bad.py" not in out
+
+    def test_list_rules_names_the_full_catalog(self, capsys):
+        assert analyze_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_catalog():
+            assert rule_id in out
+
+    def test_repro_cli_dispatches_analyze(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["analyze", str(SRC_TREE)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
