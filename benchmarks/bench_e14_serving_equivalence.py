@@ -1,8 +1,9 @@
 """Benchmark E14 — serving correctness against the offline batch harness.
 
-Regenerates the E14 table: served cost totals of the 1-shard deployment
-versus ``run_online`` (reveal serving) and the streamed demand-aware
-controller (traffic serving) — bit-identical, not approximately equal.
+Regenerates the E14 table: served cost totals of the 1-shard deployment —
+on the thread backend *and* the process backend — versus ``run_online``
+(reveal serving) and the streamed demand-aware controller (traffic
+serving): bit-identical, not approximately equal.
 """
 
 from repro.experiments.suite_service import run_e14_serving_equivalence
@@ -14,3 +15,8 @@ def test_e14_serving_equivalence(run_experiment):
     table = result.tables[0]
     identical = table.column("identical")
     assert all(bool(value) for value in identical)
+    # Both backend columns equal the offline column row by row.
+    offline = table.column("offline cost")
+    for backend_column in ("thread cost", "process cost"):
+        served = table.column(backend_column)
+        assert served == offline

@@ -31,9 +31,13 @@ DETERMINISTIC_MODULES: Tuple[str, ...] = (
     "repro.workloads",
 )
 
-#: Dotted module prefixes that run worker threads.  The thread-discipline
-#: rules (THR001 lock/manifest discipline, THR002 bounded queues) apply
-#: only inside these prefixes.
+#: Dotted module prefixes that run worker threads or worker processes.
+#: The thread-discipline rules (THR001 lock/manifest discipline, THR002
+#: bounded queues — stdlib *and* multiprocessing variants) apply only
+#: inside these prefixes.  The prefix match deliberately covers every
+#: ``repro.service`` submodule, including the process backend
+#: (``repro.service.procworker``, ``repro.service.shm``), so new serving
+#: modules are under both gates the moment they are created.
 THREADED_MODULES: Tuple[str, ...] = ("repro.service",)
 
 

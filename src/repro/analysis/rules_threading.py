@@ -8,8 +8,11 @@
   manifest must write those attributes under the owning ``*lock*`` (or
   hand the data to a ``queue.Queue``, which synchronizes internally).
 * **THR002** — queues between producers and workers must be bounded:
-  an unbounded ``queue.Queue()`` (or a list popped from the front) turns
-  overload into unbounded memory instead of explicit backpressure.
+  an unbounded ``queue.Queue()`` or ``multiprocessing.Queue()`` (or a list
+  popped from the front) turns overload into unbounded memory instead of
+  explicit backpressure.  The rule covers the cross-process variants
+  because the process backend's request pipes hold pickled payloads — an
+  unbounded one grows in *two* address spaces at once.
 
 Both rules apply only inside
 :data:`~repro.analysis.manifest.THREADED_MODULES`.
@@ -242,18 +245,32 @@ class UnboundedQueueRule(Rule):
         "queues make backpressure explicit at the submission point"
     )
 
+    #: Module prefixes whose ``Queue`` factories the rule recognizes
+    #: (``mp`` is the conventional ``import multiprocessing as mp`` alias).
+    _QUEUE_MODULES = ("queue", "multiprocessing", "mp")
+
     def check(self, module: SourceModule) -> Iterator[Finding]:
         if not module.is_threaded:
             return
+        bounded_factories = {
+            f"{prefix}.{short}"
+            for prefix in self._QUEUE_MODULES
+            for short in ("Queue", "LifoQueue", "PriorityQueue", "JoinableQueue")
+        }
+        simple_factories = {
+            f"{prefix}.SimpleQueue" for prefix in self._QUEUE_MODULES
+        }
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = call_name(node)
             short = (name or "").split(".")[-1]
-            if short in {"Queue", "LifoQueue", "PriorityQueue"} and name in {
-                f"queue.{short}",
-                short,
-            }:
+            if short in {
+                "Queue",
+                "LifoQueue",
+                "PriorityQueue",
+                "JoinableQueue",
+            } and (name in bounded_factories or name == short):
                 maxsize = self._maxsize_argument(node)
                 if maxsize is None:
                     yield self.finding(
@@ -263,12 +280,12 @@ class UnboundedQueueRule(Rule):
                         "pass maxsize=<capacity> so overload becomes "
                         "backpressure, not memory growth",
                     )
-            elif name in {"queue.SimpleQueue", "SimpleQueue"}:
+            elif name in simple_factories or name == "SimpleQueue":
                 yield self.finding(
                     module,
                     node,
-                    "queue.SimpleQueue() cannot be bounded; use "
-                    "queue.Queue(maxsize=<capacity>) instead",
+                    f"{name or 'SimpleQueue'}() cannot be bounded; use a "
+                    "Queue(maxsize=<capacity>) from the same module instead",
                 )
             elif (
                 isinstance(node.func, ast.Attribute)

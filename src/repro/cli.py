@@ -369,12 +369,13 @@ def _drive_scenario(arguments: argparse.Namespace, mode: str):
         mode=mode,
         rate=getattr(arguments, "rate", None),
         concurrency=getattr(arguments, "concurrency", 32),
+        backend=arguments.backend,
     )
     print(
         f"{scenario.name} ({scenario.kind_label}): n={num_nodes}, "
         f"requests={num_requests}, shards={arguments.shards} "
         f"(effective {report.summary.num_shards}), batch={arguments.batch}, "
-        f"mode={mode}"
+        f"mode={mode}, backend={report.backend}"
     )
     print(report.summary.to_text())
     balance = ", ".join(
@@ -652,6 +653,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["rand", "move-smaller", "det"],
             default="rand",
             help="online algorithm each shard serves with",
+        )
+        parser.add_argument(
+            "--backend",
+            choices=["thread", "process"],
+            default=None,
+            help="worker backend: threads (shared heap) or one process per "
+            "shard with shared-memory arrangements "
+            "(default: REPRO_SERVICE_BACKEND, else thread)",
         )
 
     serve = subparsers.add_parser(

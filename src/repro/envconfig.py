@@ -2,8 +2,9 @@
 
 The library honours a small family of environment variables —
 ``REPRO_METRIC_BACKEND`` (telemetry backend selection), ``REPRO_JOBS``
-(worker-process fan-out), ``REPRO_SCENARIO`` (default workload scenario)
-and ``REPRO_RUNSTORE`` (run-archive location) — and every one of them
+(worker-process fan-out), ``REPRO_SCENARIO`` (default workload scenario),
+``REPRO_SERVICE_BACKEND`` (thread- or process-backed shard workers) and
+``REPRO_RUNSTORE`` (run-archive location) — and every one of them
 changes *which code measured an experiment* or *where its record lands*.  A
 mis-spelt override must therefore never fall back silently: this module is
 the single place where those variables are read, so each consumer gets the

@@ -82,6 +82,8 @@ class ServiceError(ReproError):
 
     Raised by :mod:`repro.service` when a request names nodes of two
     different shards, when a bounded shard queue rejects a submission
-    (explicit backpressure), when a worker died mid-run, or when a load
-    generator is configured inconsistently.
+    (explicit backpressure), when a worker thread or worker *process* died
+    mid-run (the error names the dead shard instead of letting submitters
+    hang), when a shared-memory arrangement mirror is unreadable, or when
+    a load generator is configured inconsistently.
     """

@@ -197,19 +197,22 @@ def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
             throughputs = table.column("throughput req/s")
             p50 = table.column("p50 ms")
             p99 = table.column("p99 ms")
-            ok = all(value > 0 for value in throughputs) and all(
-                high >= low for high, low in zip(p99, p50)
+            ok = (
+                all(value > 0 for value in throughputs)
+                and all(high >= low for high, low in zip(p99, p50))
+                and result.findings["max cross-backend cost deviation"] == 0.0
             )
             return ok, (
-                "the service served every configuration with well-ordered "
-                "latency percentiles (timings are machine-dependent; "
-                "correctness is gated by E14)"
+                "thread and process backends served every configuration with "
+                "well-ordered latency percentiles and identical cost totals "
+                "(timings are machine-dependent; correctness is gated by E14)"
             )
         if result.experiment_id == "E14":
             ok = result.findings["max |served - offline| cost deviation"] == 0.0
             return ok, (
                 "served cost totals are bit-identical to the offline batch "
-                "harness on every scenario, view and batch size"
+                "harness on both backends for every scenario, view and "
+                "batch size"
             )
     except Exception:  # pragma: no cover - defensive: a malformed table is a failure
         return False, "verdict could not be computed"

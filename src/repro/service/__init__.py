@@ -3,12 +3,22 @@
 The batch harness owns its whole loop; this subsystem turns the same online
 algorithms into *servers*: requests are submitted one at a time, routed to
 component-aligned shards, micro-batched into rearrangement passes, and
-answered with per-request latency and cost accounting.  See ``DESIGN.md``
-("Service subsystem") for the shard/batch/backpressure model and the
+answered with per-request latency and cost accounting.  Workers run on one
+of two interchangeable backends — ``thread`` (one thread per shard, shared
+heap) or ``process`` (one forked interpreter per shard, bounded
+multiprocessing queues, shared-memory arrangement mirrors) — selected via
+``backend=`` / ``--backend`` / ``REPRO_SERVICE_BACKEND``; served costs are
+bit-identical across backends.  See ``DESIGN.md`` ("Service subsystem")
+for the shard/batch/backpressure model, the backend matrix and the
 determinism guarantees, and experiments E13/E14 for the measurements.
 """
 
-from repro.service.broker import ArrangementService, ServeResult
+from repro.service.broker import (
+    BACKENDS,
+    ArrangementService,
+    ServeResult,
+    WorkerStats,
+)
 from repro.service.engine import ServeRecord, ShardEngine, ShardReport
 from repro.service.loadgen import (
     LEARNERS,
@@ -18,6 +28,7 @@ from repro.service.loadgen import (
     build_traffic_service,
     drive_service,
     learner_factory,
+    resolve_backend,
     run_scenario_loadgen,
     shard_rng,
 )
@@ -28,9 +39,11 @@ from repro.service.partition import (
     partition_components,
     reveal_partition,
 )
+from repro.service.shm import SharedArrangementMirror
 
 __all__ = [
     "ArrangementService",
+    "BACKENDS",
     "LEARNERS",
     "LoadReport",
     "MODES",
@@ -40,6 +53,8 @@ __all__ = [
     "ShardEngine",
     "ShardPartition",
     "ShardReport",
+    "SharedArrangementMirror",
+    "WorkerStats",
     "build_reveal_service",
     "build_traffic_service",
     "discover_stream_partition",
@@ -47,6 +62,7 @@ __all__ = [
     "learner_factory",
     "partition_components",
     "percentile",
+    "resolve_backend",
     "reveal_partition",
     "run_scenario_loadgen",
     "shard_rng",

@@ -1,10 +1,19 @@
 """The sharded broker: bounded queues, async workers, micro-batching.
 
 An :class:`ArrangementService` owns one :class:`~repro.service.engine.ShardEngine`
-per shard, one bounded FIFO queue per shard, and one worker thread per
-shard.  The dispatcher routes every submitted request to the shard hosting
-both endpoints (component-aligned, see :mod:`repro.service.partition`), so
+per shard, one bounded FIFO queue per shard, and one worker per shard.  The
+dispatcher routes every submitted request to the shard hosting both
+endpoints (component-aligned, see :mod:`repro.service.partition`), so
 workers never coordinate and never contend on engine state.
+
+**Backends**: workers run either as threads (``backend="thread"``, the
+default — one shared heap, zero startup cost, serialized by the GIL) or as
+processes (``backend="process"``, :mod:`repro.service.procworker` — one
+interpreter per shard, requests over bounded ``multiprocessing`` queues,
+arrangements published through shared memory).  Both backends serve each
+shard's requests in submission order through the same batching rules, so
+served cost totals are bit-identical across backends (experiment E14 gates
+on exact equality); only the timing columns differ.
 
 **Backpressure** is explicit: queues are bounded by ``queue_capacity``;
 :meth:`ArrangementService.submit` blocks until the shard has room (the
@@ -25,8 +34,10 @@ trading amortization for tail latency under slow arrivals (cost totals may
 then vary across runs; the determinism tests use the default).
 
 Timing: every request records queue time (enqueue to batch start), service
-time (its batch's rearrangement pass) and total latency.  Costs never
-depend on these measurements — they are observability, not semantics.
+time (its batch's rearrangement pass) and total latency; every worker
+records its queue-depth high-water mark and busy fraction
+(:class:`WorkerStats`).  Costs never depend on these measurements — they
+are observability, not semantics.
 """
 
 from __future__ import annotations
@@ -37,12 +48,16 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.permutation import Arrangement
 from repro.errors import ServiceError
 from repro.service.engine import ShardEngine, ShardReport
 from repro.service.partition import ShardPartition
 
 Node = Hashable
 Request = Tuple[Node, Node]
+
+#: Worker backends :class:`ArrangementService` can run.
+BACKENDS: Tuple[str, ...] = ("thread", "process")
 
 _SENTINEL = object()
 
@@ -67,6 +82,32 @@ class ServeResult:
     """How many requests shared this rearrangement pass."""
 
 
+@dataclass(frozen=True)
+class WorkerStats:
+    """One shard worker's utilization counters (observability, not semantics).
+
+    ``queue_peak`` is the queue-depth high-water mark observed at batch
+    openings (queued items plus the one just dequeued), so it reports how
+    deep backpressure actually stacked; ``busy_seconds`` is time spent
+    inside rearrangement passes, and ``busy_fraction`` relates it to the
+    worker's lifetime — the where-does-time-go number that separates a
+    compute-bound backend from one waiting on arrivals.
+    """
+
+    shard_index: int
+    num_batches: int
+    queue_peak: int
+    busy_seconds: float
+    lifetime_seconds: float
+
+    @property
+    def busy_fraction(self) -> float:
+        """Share of the worker's lifetime spent serving batches."""
+        if self.lifetime_seconds <= 0.0:
+            return 0.0
+        return min(self.busy_seconds / self.lifetime_seconds, 1.0)
+
+
 @dataclass
 class _QueueItem:
     request_index: int
@@ -80,7 +121,15 @@ class _ShardWorker(threading.Thread):
     #: Cross-thread contract (enforced by THR001): attributes the worker
     #: thread writes.  All are single-writer — the worker publishes, the
     #: control thread reads them only after ``join()`` in ``drain()``.
-    _shared = ("error", "results", "_sentinel_seen")
+    _shared = (
+        "error",
+        "results",
+        "_sentinel_seen",
+        "queue_peak",
+        "busy_seconds",
+        "_started_at_seconds",
+        "_finished_at_seconds",
+    )
 
     def __init__(
         self,
@@ -101,8 +150,13 @@ class _ShardWorker(threading.Thread):
         self._sentinel_seen = False
         self.results: List[ServeResult] = []
         self.error: Optional[BaseException] = None
+        self.queue_peak = 0
+        self.busy_seconds = 0.0
+        self._started_at_seconds: Optional[float] = None
+        self._finished_at_seconds: Optional[float] = None
 
     def run(self) -> None:
+        self._started_at_seconds = perf_counter()
         try:
             self._serve_forever()
         except BaseException as error:  # noqa: BLE001 - reported at drain()
@@ -115,6 +169,26 @@ class _ShardWorker(threading.Thread):
             while not self._sentinel_seen:
                 if self._queue.get() is _SENTINEL:
                     break
+        finally:
+            self._finished_at_seconds = perf_counter()
+
+    def stats(self) -> WorkerStats:
+        """The worker's utilization counters (final once the thread joined)."""
+        started = self._started_at_seconds
+        finished = self._finished_at_seconds
+        if started is None:
+            lifetime_seconds = 0.0
+        elif finished is None:
+            lifetime_seconds = perf_counter() - started
+        else:
+            lifetime_seconds = finished - started
+        return WorkerStats(
+            shard_index=self._engine.shard_index,
+            num_batches=self._engine.report().num_batches,
+            queue_peak=self.queue_peak,
+            busy_seconds=self.busy_seconds,
+            lifetime_seconds=lifetime_seconds,
+        )
 
     def _collect_batch(self, first: _QueueItem) -> "Tuple[List[_QueueItem], bool]":
         """Pull up to ``batch_size`` items; returns ``(batch, saw_sentinel)``."""
@@ -139,17 +213,28 @@ class _ShardWorker(threading.Thread):
             batch.append(item)
         return batch, False
 
+    def _observe_depth(self) -> None:
+        """Record the queue depth at a batch opening (high-water tracking)."""
+        try:
+            depth = self._queue.qsize() + 1
+        except NotImplementedError:  # pragma: no cover - exotic platforms
+            depth = 1
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
     def _serve_forever(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
                 self._sentinel_seen = True
                 return
+            self._observe_depth()
             batch, saw_sentinel = self._collect_batch(item)
             started = perf_counter()
             records = self._engine.serve_batch([entry.pair for entry in batch])
             finished = perf_counter()
             service_seconds = finished - started
+            self.busy_seconds += service_seconds
             for entry, record in zip(batch, records):
                 result = ServeResult(
                     request_index=entry.request_index,
@@ -170,6 +255,91 @@ class _ShardWorker(threading.Thread):
                 return
 
 
+class _ThreadFleet:
+    """The thread backend: one daemon :class:`_ShardWorker` per shard.
+
+    The fleet owns the per-shard bounded queues and the worker threads and
+    exposes the backend contract the :class:`ArrangementService` dispatcher
+    drives: ``start`` / ``submit`` / ``try_submit`` / ``drain`` /
+    ``shard_reports`` / ``worker_stats`` / ``shard_arrangement`` /
+    ``close``.  :class:`~repro.service.procworker.ProcessShardFleet` is the
+    process-backed implementation of the same contract.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ShardEngine],
+        batch_size: int,
+        batch_timeout: Optional[float],
+        queue_capacity: int,
+        on_result: Optional[Callable[[ServeResult], None]],
+    ) -> None:
+        self._engines = list(engines)
+        self._queue_capacity = queue_capacity
+        self._queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=queue_capacity) for _ in engines
+        ]
+        self._workers = [
+            _ShardWorker(engine, shard_queue, batch_size, batch_timeout, on_result)
+            for engine, shard_queue in zip(self._engines, self._queues)
+        ]
+        self._drain_started = False
+
+    def start(self) -> None:
+        for worker in self._workers:
+            worker.start()
+
+    def submit(
+        self, shard: int, item: _QueueItem, timeout: Optional[float]
+    ) -> None:
+        try:
+            self._queues[shard].put(item, timeout=timeout)
+        except queue.Full:
+            raise ServiceError(
+                f"shard {shard} applied backpressure for more than {timeout}s "
+                f"(queue capacity {self._queue_capacity})"
+            ) from None
+
+    def try_submit(self, shard: int, item: _QueueItem) -> bool:
+        try:
+            self._queues[shard].put_nowait(item)
+        except queue.Full:
+            return False
+        return True
+
+    def drain(self) -> List[ServeResult]:
+        if not self._drain_started:
+            self._drain_started = True
+            for shard_queue in self._queues:
+                shard_queue.put(_SENTINEL)
+            for worker in self._workers:
+                worker.join()
+        for worker in self._workers:
+            if worker.error is not None:
+                raise ServiceError(
+                    f"shard {worker.name} failed: {worker.error!r}"
+                ) from worker.error
+        results = [
+            result for worker in self._workers for result in worker.results
+        ]
+        results.sort(key=lambda result: result.request_index)
+        return results
+
+    def shard_reports(self) -> List[ShardReport]:
+        return [engine.report() for engine in self._engines]
+
+    def worker_stats(self) -> "Tuple[WorkerStats, ...]":
+        return tuple(worker.stats() for worker in self._workers)
+
+    def shard_arrangement(self, shard: int) -> Arrangement:
+        return self._engines[shard].current_arrangement
+
+    def close(self) -> None:
+        # Threads share the parent heap: nothing to unlink or reap.  Workers
+        # are daemons, so even an un-drained fleet never blocks exit.
+        return None
+
+
 class ArrangementService:
     """A running arrangement-serving deployment: shards, queues, workers.
 
@@ -182,10 +352,16 @@ class ArrangementService:
         service.submit((u, v))       # blocks when the shard queue is full
         ...
         results = service.drain()    # flush, stop workers, collect
+        service.close()              # release backend resources
 
-    ``on_result`` (when given) is invoked by the worker thread for every
-    completed request — the hook closed-loop load generators use to release
-    their concurrency tokens.
+    ``backend`` selects the worker runtime: ``"thread"`` (default) shares
+    the parent heap, ``"process"`` forks one interpreter per shard and
+    publishes arrangements through shared memory
+    (:mod:`repro.service.procworker`).  Served cost totals are identical
+    either way.  ``on_result`` (when given) is invoked for every completed
+    request — the hook closed-loop load generators use to release their
+    concurrency tokens; under the process backend it runs in a per-shard
+    collector thread of the *submitting* process, not in the worker.
     """
 
     #: Cross-thread contract (enforced by THR001): attributes written
@@ -200,6 +376,7 @@ class ArrangementService:
         batch_timeout: Optional[float] = None,
         queue_capacity: int = 1024,
         on_result: Optional[Callable[[ServeResult], None]] = None,
+        backend: str = "thread",
     ) -> None:
         if not engines:
             raise ServiceError("the service needs at least one shard engine")
@@ -218,22 +395,33 @@ class ArrangementService:
             raise ServiceError(
                 f"queue capacity must be positive, got {queue_capacity}"
             )
+        if backend not in BACKENDS:
+            raise ServiceError(
+                f"unknown service backend {backend!r}; "
+                f"choose one of {list(BACKENDS)}"
+            )
         self._engines = list(engines)
         self._partition = partition
+        self.backend = backend
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
         self.queue_capacity = queue_capacity
-        self._queues: List["queue.Queue"] = [
-            queue.Queue(maxsize=queue_capacity) for _ in engines
-        ]
-        self._workers = [
-            _ShardWorker(engine, shard_queue, batch_size, batch_timeout, on_result)
-            for engine, shard_queue in zip(self._engines, self._queues)
-        ]
+        if backend == "process":
+            # Imported lazily: procworker imports this module's dataclasses.
+            from repro.service.procworker import ProcessShardFleet
+
+            self._fleet = ProcessShardFleet(
+                self._engines, batch_size, batch_timeout, queue_capacity, on_result
+            )
+        else:
+            self._fleet = _ThreadFleet(
+                self._engines, batch_size, batch_timeout, queue_capacity, on_result
+            )
         self._submit_lock = threading.Lock()
         self._next_index = 0
         self._started = False
         self._drained = False
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -250,24 +438,42 @@ class ArrangementService:
 
     def start(self) -> "ArrangementService":
         """Start the shard workers (idempotent)."""
+        if self._closed:
+            raise ServiceError("the service is closed")
         if not self._started:
             self._started = True
-            for worker in self._workers:
-                worker.start()
+            self._fleet.start()
         return self
 
     def __enter__(self) -> "ArrangementService":
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._drained:
-            self.drain()
+        try:
+            if not self._drained:
+                self.drain()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        Thread backend: a no-op.  Process backend: reaps any still-running
+        worker processes and unlinks every shard's shared-memory segment —
+        after ``close()`` the deployment holds no kernel objects.  Reports,
+        results and worker stats collected by an earlier :meth:`drain`
+        remain readable; :meth:`shard_arrangement` does not (its segments
+        are gone).
+        """
+        if not self._closed:
+            self._closed = True
+            self._fleet.close()
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def _item(self, pair: Request) -> "Tuple[int, _QueueItem]":
-        if not self._started or self._drained:
+    def _route(self, pair: Request) -> "Tuple[int, int]":
+        if not self._started or self._drained or self._closed:
             raise ServiceError(
                 "the service is not running (start() it, and submit before drain())"
             )
@@ -275,33 +481,26 @@ class ArrangementService:
         with self._submit_lock:
             index = self._next_index
             self._next_index += 1
-        return shard, _QueueItem(index, pair, perf_counter())
+        return shard, index
 
     def submit(self, pair: Request, timeout: Optional[float] = None) -> int:
         """Enqueue one request, blocking while the shard queue is full.
 
         Returns the request's global submission index.  A ``timeout`` (in
         seconds) turns starvation into an explicit :class:`ServiceError`
-        instead of waiting forever.
+        instead of waiting forever.  A dead worker process (process backend)
+        also surfaces here as a :class:`ServiceError` naming the shard.
         """
-        shard, item = self._item(pair)
-        try:
-            self._queues[shard].put(item, timeout=timeout)
-        except queue.Full:
-            raise ServiceError(
-                f"shard {shard} applied backpressure for more than {timeout}s "
-                f"(queue capacity {self.queue_capacity})"
-            ) from None
-        return item.request_index
+        shard, index = self._route(pair)
+        self._fleet.submit(shard, _QueueItem(index, pair, perf_counter()), timeout)
+        return index
 
     def try_submit(self, pair: Request) -> Optional[int]:
         """Enqueue one request or return ``None`` when the shard queue is full."""
-        shard, item = self._item(pair)
-        try:
-            self._queues[shard].put_nowait(item)
-        except queue.Full:
+        shard, index = self._route(pair)
+        if not self._fleet.try_submit(shard, _QueueItem(index, pair, perf_counter())):
             return None
-        return item.request_index
+        return index
 
     # ------------------------------------------------------------------
     # Completion
@@ -316,23 +515,33 @@ class ArrangementService:
         """
         if not self._started:
             raise ServiceError("the service was never started")
-        if not self._drained:
-            self._drained = True
-            for shard_queue in self._queues:
-                shard_queue.put(_SENTINEL)
-            for worker in self._workers:
-                worker.join()
-        for worker in self._workers:
-            if worker.error is not None:
-                raise ServiceError(
-                    f"shard {worker.name} failed: {worker.error!r}"
-                ) from worker.error
-        results = [
-            result for worker in self._workers for result in worker.results
-        ]
-        results.sort(key=lambda result: result.request_index)
-        return results
+        self._drained = True
+        return self._fleet.drain()
 
     def shard_reports(self) -> List[ShardReport]:
-        """Per-shard cost summaries (call after :meth:`drain` for final totals)."""
-        return [engine.report() for engine in self._engines]
+        """Per-shard cost summaries (call after :meth:`drain` for final totals).
+
+        Under the process backend the authoritative engine state lives in
+        the worker processes and ships home with the drain, so pre-drain
+        reports show only the parent's untouched engine copies.
+        """
+        return self._fleet.shard_reports()
+
+    def worker_stats(self) -> "Tuple[WorkerStats, ...]":
+        """Per-shard :class:`WorkerStats`, in shard order (final after drain)."""
+        return self._fleet.worker_stats()
+
+    def shard_arrangement(self, shard: int) -> Arrangement:
+        """One shard's current served arrangement.
+
+        Thread backend: the live engine's arrangement.  Process backend: a
+        zero-copy read of the shard's shared-memory mirror — consistent via
+        the seqlock protocol, with no pickling and no worker round trip.
+        """
+        if not 0 <= shard < len(self._engines):
+            raise ServiceError(
+                f"shard {shard} out of range for {len(self._engines)} shard(s)"
+            )
+        if self._closed:
+            raise ServiceError("the service is closed")
+        return self._fleet.shard_arrangement(shard)

@@ -44,9 +44,10 @@ from repro.core.instance import OnlineMinLAInstance
 from repro.core.permutation import Arrangement
 from repro.core.rand_cliques import MoveSmallerCliqueLearner, RandomizedCliqueLearner
 from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
+from repro.envconfig import read_env_choice
 from repro.errors import ServiceError
 from repro.graphs.reveal import GraphKind
-from repro.service.broker import ArrangementService, Request, ServeResult
+from repro.service.broker import BACKENDS, ArrangementService, Request, ServeResult
 from repro.service.engine import ShardEngine
 from repro.service.metrics import ServiceSummary, summarize_results
 from repro.service.partition import (
@@ -95,6 +96,28 @@ def shard_rng(seed: object, shard_index: int) -> random.Random:
     return random.Random(f"{seed}|service-shard-{shard_index}")
 
 
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the worker backend: explicit choice, else ``REPRO_SERVICE_BACKEND``.
+
+    ``None`` falls back to the ``REPRO_SERVICE_BACKEND`` environment
+    variable (validated, like every ``REPRO_*`` override) and then to
+    ``"thread"``.  An invalid explicit choice raises a
+    :class:`~repro.errors.ServiceError` naming the accepted backends.
+    """
+    if backend is None:
+        return read_env_choice(
+            "REPRO_SERVICE_BACKEND",
+            BACKENDS,
+            default="thread",
+            error=ServiceError,
+        )
+    if backend not in BACKENDS:
+        raise ServiceError(
+            f"unknown service backend {backend!r}; choose one of {list(BACKENDS)}"
+        )
+    return backend
+
+
 def _restrict_arrangement(
     arrangement: Optional[Arrangement], nodes: Sequence
 ) -> Optional[Arrangement]:
@@ -116,6 +139,7 @@ def build_traffic_service(
     partition: Optional[ShardPartition] = None,
     trace_every: Optional[int] = None,
     on_result: Optional[Callable[[ServeResult], None]] = None,
+    backend: Optional[str] = None,
 ) -> ArrangementService:
     """Deploy a stream-serving service (not yet started).
 
@@ -123,6 +147,7 @@ def build_traffic_service(
     kind inside a shard).  ``partition`` defaults to a streamed calibration
     pass (:func:`~repro.service.partition.discover_stream_partition`); pass
     one explicitly to reuse it across deployments of the same workload.
+    ``backend`` picks the worker runtime (see :func:`resolve_backend`).
     """
     if stream.kind is None:
         raise ServiceError(
@@ -151,6 +176,7 @@ def build_traffic_service(
         batch_timeout=batch_timeout,
         queue_capacity=queue_capacity,
         on_result=on_result,
+        backend=resolve_backend(backend),
     )
 
 
@@ -163,6 +189,7 @@ def build_reveal_service(
     batch_timeout: Optional[float] = None,
     queue_capacity: int = 1024,
     on_result: Optional[Callable[[ServeResult], None]] = None,
+    backend: Optional[str] = None,
 ) -> ArrangementService:
     """Deploy a reveal-serving service over one online MinLA instance.
 
@@ -193,6 +220,7 @@ def build_reveal_service(
         batch_timeout=batch_timeout,
         queue_capacity=queue_capacity,
         on_result=on_result,
+        backend=resolve_backend(backend),
     )
 
 
@@ -210,6 +238,8 @@ class LoadReport:
     results: Sequence[ServeResult] = field(repr=False)
     shard_requests: Dict[int, int] = field(default_factory=dict)
     """Requests served per shard (the partition balance actually achieved)."""
+    backend: str = "thread"
+    """The worker backend that served the run."""
 
 
 def drive_service(
@@ -272,17 +302,21 @@ def run_scenario_loadgen(
     mode: str = "replay",
     rate: Optional[float] = None,
     concurrency: int = 32,
+    backend: Optional[str] = None,
 ) -> LoadReport:
     """Replay one registered scenario through a fresh deployment, end to end.
 
     Builds the scenario's request stream, discovers the tenant partition,
-    boots the service in-process, drives it in the requested mode, drains
-    it and reduces the run to a :class:`~repro.service.metrics.ServiceSummary`.
+    boots the service in-process (on the thread or process backend — see
+    :func:`resolve_backend`), drives it in the requested mode, drains it,
+    releases the backend, and reduces the run to a
+    :class:`~repro.service.metrics.ServiceSummary`.
     """
     if mode not in MODES:
         raise ServiceError(f"unknown loadgen mode {mode!r}; choose one of {list(MODES)}")
     if concurrency < 1:
         raise ServiceError(f"concurrency must be positive, got {concurrency}")
+    backend = resolve_backend(backend)
     if mode == "open" and (rate is None or rate <= 0):
         # Validated before any deployment exists: a config error must not
         # leak a started service (worker threads blocked on their queues).
@@ -309,20 +343,31 @@ def run_scenario_loadgen(
         batch_timeout=batch_timeout,
         queue_capacity=queue_capacity,
         on_result=on_result,
+        backend=backend,
     )
-    service.start()
-    results, wall_seconds = drive_service(
-        service,
-        stream,
-        mode=mode,
-        rate=rate,
-        concurrency=concurrency,
-        seed=seed,
-        window=window,
-    )
-    summary = summarize_results(
-        results, service.shard_reports(), wall_seconds, batch_size
-    )
+    try:
+        service.start()
+        results, wall_seconds = drive_service(
+            service,
+            stream,
+            mode=mode,
+            rate=rate,
+            concurrency=concurrency,
+            seed=seed,
+            window=window,
+        )
+        summary = summarize_results(
+            results,
+            service.shard_reports(),
+            wall_seconds,
+            batch_size,
+            backend=backend,
+            worker_stats=service.worker_stats(),
+        )
+    finally:
+        # Backend resources (worker processes, shared-memory segments) must
+        # never outlive the run, even when driving it raised.
+        service.close()
     shard_requests: Dict[int, int] = {}
     for result in results:
         shard_requests[result.shard] = shard_requests.get(result.shard, 0) + 1
@@ -333,4 +378,5 @@ def run_scenario_loadgen(
         summary=summary,
         results=tuple(results),
         shard_requests=dict(sorted(shard_requests.items())),
+        backend=backend,
     )

@@ -14,12 +14,12 @@ observed latency, never an interpolation artefact.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ServiceError
 from repro.experiments.tables import ResultTable
-from repro.service.broker import ServeResult
+from repro.service.broker import ServeResult, WorkerStats
 from repro.service.engine import ShardReport
 
 #: The latency quantiles every summary reports.
@@ -59,11 +59,37 @@ class ServiceSummary:
     communication_cost: float
     total_cost: float
     """Migration plus communication — deterministic, unlike the timings."""
+    backend: str = "thread"
+    """Which worker backend served the run (``thread`` or ``process``)."""
+    shard_stats: "Tuple[WorkerStats, ...]" = field(default_factory=tuple)
+    """Per-shard queue-depth high-water marks and busy fractions."""
+
+    @property
+    def max_queue_peak(self) -> int:
+        """The deepest per-shard queue high-water mark observed."""
+        return max((stats.queue_peak for stats in self.shard_stats), default=0)
+
+    @property
+    def mean_busy_fraction(self) -> float:
+        """Mean worker busy fraction across shards (0 without stats)."""
+        if not self.shard_stats:
+            return 0.0
+        return sum(stats.busy_fraction for stats in self.shard_stats) / len(
+            self.shard_stats
+        )
 
     def to_text(self) -> str:
         """The multi-line human summary ``repro serve``/``loadgen`` print."""
         latency = self.latency_ms
         queue = self.queue_ms
+        worker_line = f"workers    : backend={self.backend}"
+        if self.shard_stats:
+            per_shard = "; ".join(
+                f"shard {stats.shard_index}: queue peak {stats.queue_peak}, "
+                f"busy {stats.busy_fraction * 100.0:.1f}%"
+                for stats in self.shard_stats
+            )
+            worker_line = f"{worker_line}; {per_shard}"
         return "\n".join(
             [
                 f"served {self.num_requests} requests on {self.num_shards} "
@@ -76,6 +102,7 @@ class ServiceSummary:
                 f"p99={queue['p99']:.3f}",
                 f"batches    : {self.num_batches} served "
                 f"(configured size {self.batch_size}, mean {self.mean_batch:.2f})",
+                worker_line,
                 f"served cost: migration={self.migration_cost:.1f} "
                 f"communication={self.communication_cost:.1f} "
                 f"total={self.total_cost:.1f} (reveals={self.num_reveals})",
@@ -88,12 +115,15 @@ class ServiceSummary:
             title=title,
             columns=[
                 "requests",
+                "backend",
                 "shards",
                 "batch",
                 "throughput req/s",
                 "p50 ms",
                 "p95 ms",
                 "p99 ms",
+                "queue peak",
+                "busy %",
                 "migration cost",
                 "communication cost",
                 "total cost",
@@ -102,12 +132,15 @@ class ServiceSummary:
         )
         table.add_row(
             self.num_requests,
+            self.backend,
             self.num_shards,
             self.batch_size,
             self.throughput,
             self.latency_ms["p50"],
             self.latency_ms["p95"],
             self.latency_ms["p99"],
+            self.max_queue_peak,
+            self.mean_busy_fraction * 100.0,
             self.migration_cost,
             self.communication_cost,
             self.total_cost,
@@ -122,6 +155,8 @@ class ServiceSummary:
             "latency p50 ms": self.latency_ms["p50"],
             "latency p95 ms": self.latency_ms["p95"],
             "latency p99 ms": self.latency_ms["p99"],
+            "max shard queue peak": float(self.max_queue_peak),
+            "mean worker busy fraction": self.mean_busy_fraction,
             "served total cost": self.total_cost,
         }
 
@@ -141,8 +176,16 @@ def summarize_results(
     shard_reports: Sequence[ShardReport],
     wall_seconds: float,
     batch_size: int,
+    backend: str = "thread",
+    worker_stats: Sequence[WorkerStats] = (),
 ) -> ServiceSummary:
-    """Reduce a drained run to its :class:`ServiceSummary`."""
+    """Reduce a drained run to its :class:`ServiceSummary`.
+
+    ``backend`` and ``worker_stats`` (from
+    :meth:`~repro.service.broker.ArrangementService.worker_stats`) label the
+    summary with *where* time went — per-shard queue-depth high-water marks
+    and busy fractions — so backend comparisons are more than totals.
+    """
     if not results:
         raise ServiceError("summarize_results() needs at least one served request")
     if wall_seconds <= 0:
@@ -164,4 +207,8 @@ def summarize_results(
             report.communication_cost for report in shard_reports
         ),
         total_cost=sum(report.total_cost for report in shard_reports),
+        backend=backend,
+        shard_stats=tuple(
+            sorted(worker_stats, key=lambda stats: stats.shard_index)
+        ),
     )

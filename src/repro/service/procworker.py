@@ -1,0 +1,472 @@
+"""The process backend: one worker process per shard, queues across the fork.
+
+:class:`ProcessShardFleet` implements the same backend contract as the
+thread fleet in :mod:`repro.service.broker`, but runs every shard's
+:class:`~repro.service.engine.ShardEngine` in its own forked interpreter —
+the GIL stops being the ceiling, so shardable scenarios can use one core
+per shard.  The moving parts, per shard:
+
+* a bounded ``multiprocessing.Queue`` of request tuples
+  ``(request_index, pair, enqueued_at)`` — same capacity, same explicit
+  backpressure semantics as the thread backend's ``queue.Queue``,
+* the worker process (:func:`_worker_main`): the exact batching loop of the
+  thread worker (deterministic batch composition with ``batch_timeout=None``),
+  publishing each revealing batch's arrangement into the shard's
+  :class:`~repro.service.shm.SharedArrangementMirror`,
+* a bounded result queue carrying one ``("results", [...])`` message per
+  served batch (amortized IPC), then ``("error", ...)`` on engine failure
+  and finally ``("done", report, stats)``,
+* a collector thread in the broker process that drains the result queue,
+  fires ``on_result`` hooks, and notices a worker that died without saying
+  goodbye.
+
+The sentinel is ``None`` — object identity does not survive a queue hop
+between processes, so the thread backend's ``_SENTINEL = object()`` trick
+cannot work here.
+
+**Determinism**: engines cross the fork bit-for-bit (no pickling on fork
+platforms), each shard's learner keeps drawing only from its
+:func:`~repro.service.loadgen.shard_rng` stream, and batch composition
+depends only on the per-shard request order — so served cost totals are
+bit-identical to the thread backend and to the sequential harness (gated
+by experiment E14).
+
+**Failure**: a worker that raises keeps draining its request queue until
+the sentinel (its bounded queue must never stay full, or submitters would
+hang) and reports the error at drain; a worker that *dies* (kill -9,
+segfault) is detected by liveness polling — submits against its full queue
+raise a :class:`~repro.errors.ServiceError` naming the dead shard instead
+of blocking forever, and ``drain()`` reports it too.
+
+**Shutdown** is deterministic: sentinels flush every queue, workers flush
+their result queues before exiting, processes are joined with a timeout
+and terminated (then killed) if unresponsive — no orphans — and ``close()``
+unlinks every shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.permutation import Arrangement
+from repro.errors import ServiceError
+from repro.service.broker import ServeResult, WorkerStats, _QueueItem
+from repro.service.engine import ShardEngine, ShardReport
+from repro.service.shm import SharedArrangementMirror
+
+#: Liveness-polling interval for blocking queue operations against a worker
+#: process: every slice we re-check the process is still alive, so a dead
+#: worker turns a would-be-forever block into a ServiceError.
+_POLL_SECONDS = 0.05
+
+#: How long drain() waits for a worker process to exit after its sentinel
+#: before escalating to terminate() (and then kill()).
+_JOIN_SECONDS = 10.0
+
+
+def _worker_main(
+    engine: ShardEngine,
+    requests: "multiprocessing.queues.Queue",
+    results: "multiprocessing.queues.Queue",
+    mirror: SharedArrangementMirror,
+    batch_size: int,
+    batch_timeout: Optional[float],
+) -> None:
+    """One shard's serving loop, run inside the forked worker process.
+
+    Mirrors the thread worker's batching exactly; ships one message per
+    batch; publishes the arrangement after every revealing batch; always
+    ends with a ``("done", report, stats)`` message so the collector knows
+    a missing goodbye means the process died.
+    """
+    started_at_seconds = perf_counter()
+    busy_seconds = 0.0
+    queue_peak = 0
+    num_batches = 0
+    sentinel_seen = False
+
+    def collect_batch(first: Tuple) -> "Tuple[List[Tuple], bool]":
+        nonlocal sentinel_seen
+        batch = [first]
+        deadline = (
+            None if batch_timeout is None else perf_counter() + batch_timeout
+        )
+        while len(batch) < batch_size:
+            if deadline is None:
+                item = requests.get()
+            else:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    return batch, False
+                try:
+                    item = requests.get(timeout=remaining)
+                except queue.Empty:
+                    return batch, False
+            if item is None:
+                sentinel_seen = True
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    try:
+        while True:
+            item = requests.get()
+            if item is None:
+                sentinel_seen = True
+                break
+            try:
+                depth = requests.qsize() + 1
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                depth = 1
+            if depth > queue_peak:
+                queue_peak = depth
+            batch, saw_sentinel = collect_batch(item)
+            started = perf_counter()
+            records = engine.serve_batch([pair for _, pair, _ in batch])
+            finished = perf_counter()
+            service_seconds = finished - started
+            busy_seconds += service_seconds
+            num_batches += 1
+            served = [
+                ServeResult(
+                    request_index=index,
+                    pair=pair,
+                    shard=engine.shard_index,
+                    revealed=record.revealed,
+                    migration_swaps=record.migration_swaps,
+                    communication_cost=record.communication_cost,
+                    queue_seconds=started - enqueued_at,
+                    service_seconds=service_seconds,
+                    latency_seconds=finished - enqueued_at,
+                    batch_size=len(batch),
+                )
+                for (index, pair, enqueued_at), record in zip(batch, records)
+            ]
+            if any(record.revealed for record in records):
+                mirror.write(engine.arrangement_order_indices())
+            results.put(("results", served))
+            if saw_sentinel:
+                break
+    except BaseException as error:  # noqa: BLE001 - reported at drain()
+        results.put(("error", type(error).__name__, str(error)))
+        # Same obligation as the thread worker: a failed shard must keep
+        # its bounded queue moving until the sentinel, or every later
+        # submit() would block on a queue nobody will ever drain.
+        while not sentinel_seen:
+            if requests.get() is None:
+                break
+    finally:
+        stats = WorkerStats(
+            shard_index=engine.shard_index,
+            num_batches=num_batches,
+            queue_peak=queue_peak,
+            busy_seconds=busy_seconds,
+            lifetime_seconds=perf_counter() - started_at_seconds,
+        )
+        results.put(("done", engine.report(), stats))
+        mirror.close()  # drops the child's inherited mapping, never unlinks
+
+
+class _ResultCollector(threading.Thread):
+    """Drains one shard's result queue in the broker process.
+
+    Fires ``on_result`` for every served request, remembers the shard's
+    final report and stats from the worker's goodbye message, and — when
+    the queue goes quiet and the process is no longer alive — records the
+    death instead of waiting forever.
+    """
+
+    #: Cross-thread contract (enforced by THR001): single-writer fields the
+    #: collector publishes; the control thread reads them after ``join()``.
+    _shared = ("results", "report", "stats", "failure")
+
+    def __init__(
+        self,
+        shard_index: int,
+        results_queue: "multiprocessing.queues.Queue",
+        process: multiprocessing.Process,
+        on_result: Optional[Callable[[ServeResult], None]],
+    ) -> None:
+        super().__init__(
+            name=f"repro-serve-collect-{shard_index}", daemon=True
+        )
+        self._shard_index = shard_index
+        self._queue = results_queue
+        self._process = process
+        self._on_result = on_result
+        self.results: List[ServeResult] = []
+        self.report: Optional[ShardReport] = None
+        self.stats: Optional[WorkerStats] = None
+        self.failure: Optional[str] = None
+
+    def run(self) -> None:
+        while True:
+            try:
+                message = self._queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                if not self._process.is_alive():
+                    # The pipe is drained and the writer is gone: anything
+                    # flushed before death has already been delivered, so a
+                    # missing goodbye can only mean the process died hard.
+                    self.failure = (
+                        f"worker process died (exit code "
+                        f"{self._process.exitcode}) before finishing its drain"
+                    )
+                    return
+                continue
+            except Exception as error:  # noqa: BLE001 - truncated pickle etc.
+                self.failure = f"result channel broke: {error!r}"
+                return
+            kind = message[0]
+            if kind == "results":
+                for result in message[1]:
+                    self.results.append(result)
+                    if self._on_result is not None:
+                        self._on_result(result)
+            elif kind == "error":
+                self.failure = f"{message[1]}: {message[2]}"
+            else:  # "done"
+                self.report = message[1]
+                self.stats = message[2]
+                return
+
+
+class ProcessShardFleet:
+    """The process backend: forked shard workers behind bounded mp queues.
+
+    Implements the backend contract of
+    :class:`~repro.service.broker.ArrangementService` (see the thread
+    fleet's docstring).  The parent keeps a pristine copy of every engine —
+    only for node universes and pre-drain reports; authoritative serving
+    state lives in the workers and ships home with the drain.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ShardEngine],
+        batch_size: int,
+        batch_timeout: Optional[float],
+        queue_capacity: int,
+        on_result: Optional[Callable[[ServeResult], None]],
+    ) -> None:
+        self._engines = list(engines)
+        self._queue_capacity = queue_capacity
+        self._drain_started = False
+        self._reports: Optional[List[ShardReport]] = None
+        self._stats: Optional[Tuple[WorkerStats, ...]] = None
+        self._results: Optional[List[ServeResult]] = None
+        self._failures: List[str] = []
+        self._closed = False
+        self._mirrors: List[SharedArrangementMirror] = []
+        try:
+            for engine in self._engines:
+                mirror = SharedArrangementMirror(
+                    len(engine.nodes), engine.shard_index
+                )
+                mirror.write(engine.arrangement_order_indices())
+                self._mirrors.append(mirror)
+        except BaseException:
+            for mirror in self._mirrors:
+                mirror.close()
+            raise
+        self._request_queues = [
+            multiprocessing.Queue(maxsize=queue_capacity) for _ in self._engines
+        ]
+        self._result_queues = [
+            multiprocessing.Queue(maxsize=queue_capacity) for _ in self._engines
+        ]
+        self._processes = [
+            multiprocessing.Process(
+                target=_worker_main,
+                args=(
+                    engine,
+                    request_queue,
+                    result_queue,
+                    mirror,
+                    batch_size,
+                    batch_timeout,
+                ),
+                name=f"repro-serve-proc-{engine.shard_index}",
+                daemon=True,
+            )
+            for engine, request_queue, result_queue, mirror in zip(
+                self._engines,
+                self._request_queues,
+                self._result_queues,
+                self._mirrors,
+            )
+        ]
+        self._collectors = [
+            _ResultCollector(engine.shard_index, result_queue, process, on_result)
+            for engine, result_queue, process in zip(
+                self._engines, self._result_queues, self._processes
+            )
+        ]
+
+    def start(self) -> None:
+        # Fork first, then start collector threads: forking a process while
+        # our own helper threads are live would clone half-initialized
+        # thread state into every worker.
+        for process in self._processes:
+            process.start()
+        for collector in self._collectors:
+            collector.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _check_alive(self, shard: int) -> None:
+        process = self._processes[shard]
+        if process.pid is not None and not process.is_alive():
+            raise ServiceError(
+                f"shard {shard} worker process is dead "
+                f"(exit code {process.exitcode}); drain() has the details"
+            )
+
+    def submit(
+        self, shard: int, item: _QueueItem, timeout: Optional[float]
+    ) -> None:
+        message = (item.request_index, item.pair, item.enqueued_at)
+        deadline = None if timeout is None else perf_counter() + timeout
+        while True:
+            # Poll in slices so a worker that dies with a full queue turns
+            # into an error instead of an eternal block.
+            self._check_alive(shard)
+            if deadline is None:
+                slice_seconds = _POLL_SECONDS
+            else:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"shard {shard} applied backpressure for more than "
+                        f"{timeout}s (queue capacity {self._queue_capacity})"
+                    )
+                slice_seconds = min(_POLL_SECONDS, remaining)
+            try:
+                self._request_queues[shard].put(message, timeout=slice_seconds)
+                return
+            except queue.Full:
+                continue
+
+    def try_submit(self, shard: int, item: _QueueItem) -> bool:
+        self._check_alive(shard)
+        message = (item.request_index, item.pair, item.enqueued_at)
+        try:
+            self._request_queues[shard].put_nowait(message)
+        except queue.Full:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _send_sentinel(self, shard: int) -> None:
+        process = self._processes[shard]
+        while True:
+            if process.pid is not None and not process.is_alive():
+                return  # the collector records the death
+            try:
+                self._request_queues[shard].put(None, timeout=_POLL_SECONDS)
+                return
+            except queue.Full:
+                continue
+
+    def _reap(self) -> None:
+        """Join every worker, escalating to terminate/kill — no orphans."""
+        for process in self._processes:
+            if process.pid is None:
+                continue
+            process.join(timeout=_JOIN_SECONDS)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=1.0)
+
+    def drain(self) -> List[ServeResult]:
+        if not self._drain_started:
+            self._drain_started = True
+            for shard in range(len(self._engines)):
+                self._send_sentinel(shard)
+            for collector in self._collectors:
+                collector.join()
+            self._reap()
+            reports: List[ShardReport] = []
+            stats: List[WorkerStats] = []
+            results: List[ServeResult] = []
+            for shard, collector in enumerate(self._collectors):
+                results.extend(collector.results)
+                if collector.failure is not None:
+                    self._failures.append(
+                        f"shard {shard} failed: {collector.failure}"
+                    )
+                reports.append(
+                    collector.report
+                    if collector.report is not None
+                    else self._engines[shard].report()
+                )
+                stats.append(
+                    collector.stats
+                    if collector.stats is not None
+                    else WorkerStats(
+                        shard_index=shard,
+                        num_batches=0,
+                        queue_peak=0,
+                        busy_seconds=0.0,
+                        lifetime_seconds=0.0,
+                    )
+                )
+            results.sort(key=lambda result: result.request_index)
+            self._reports = reports
+            self._stats = tuple(stats)
+            self._results = results
+        if self._failures:
+            raise ServiceError("; ".join(self._failures))
+        assert self._results is not None
+        return self._results
+
+    def shard_reports(self) -> List[ShardReport]:
+        if self._reports is not None:
+            return list(self._reports)
+        return [engine.report() for engine in self._engines]
+
+    def worker_stats(self) -> "Tuple[WorkerStats, ...]":
+        if self._stats is not None:
+            return self._stats
+        return tuple(
+            WorkerStats(
+                shard_index=engine.shard_index,
+                num_batches=0,
+                queue_peak=0,
+                busy_seconds=0.0,
+                lifetime_seconds=0.0,
+            )
+            for engine in self._engines
+        )
+
+    def shard_arrangement(self, shard: int) -> Arrangement:
+        order, _ = self._mirrors[shard].read()
+        nodes = self._engines[shard].nodes
+        return Arrangement([nodes[node_index] for node_index in order])
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if process.pid is not None and process.is_alive():
+                process.terminate()
+        self._reap()
+        for request_queue in self._request_queues:
+            request_queue.cancel_join_thread()
+            request_queue.close()
+        for result_queue in self._result_queues:
+            result_queue.cancel_join_thread()
+            result_queue.close()
+        for mirror in self._mirrors:
+            mirror.close()

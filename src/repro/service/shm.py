@@ -1,0 +1,237 @@
+"""Shared-memory arrangement mirrors: zero-copy reads of live shard state.
+
+The process backend (:mod:`repro.service.procworker`) gives each shard
+worker its own interpreter, so the broker can no longer peek at a shard's
+:class:`~repro.core.permutation.MutableArrangement` through a shared heap.
+Instead every shard publishes its order/position arrays — they are flat int
+arrays — into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment, and the broker reads them in place.  No pickling, no request/reply
+round trip, no copy of anything but the two ``n``-word arrays themselves.
+
+Segment layout (int64 words, native endianness)::
+
+    word 0          sequence   (seqlock: odd while a write is in progress)
+    word 1          num_nodes
+    words 2..2+n    order      (position -> shard-local node index)
+    words 2+n..2+2n position   (shard-local node index -> position)
+
+Torn reads are prevented by a single-writer seqlock: the worker increments
+``sequence`` to an odd value before touching the arrays and to the next
+even value after, and a reader retries until it observes the same even
+sequence on both sides of its copy.  Individual int64 stores through a
+``memoryview`` are not guaranteed atomic, which is exactly why the protocol
+never trusts a snapshot taken across a sequence change.
+
+Ownership is fork-shaped: the parent (broker) creates the segment, writes
+the initial arrangement, and forks workers that inherit the *same mapping*
+— child processes never attach by name, so the CPython resource tracker
+never double-registers the segment (attaching registers a second unlink;
+see the ``__setstate__`` fallback for spawn-based platforms).  Only the
+creating process unlinks, in :meth:`SharedArrangementMirror.close`, and a
+``weakref.finalize`` backstop unlinks on garbage collection or interpreter
+exit if ``close()`` was never called.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Bytes per segment word (int64).
+_WORD_BYTES = 8
+
+#: Words before the order array: ``[sequence, num_nodes]``.
+_HEADER_WORDS = 2
+
+#: How many times a reader retries a torn snapshot before giving up.  Each
+#: failed attempt sleeps briefly, so the cap also bounds how long a reader
+#: can spin against a writer that died mid-update (odd sequence forever).
+_READ_ATTEMPTS = 2000
+
+#: Per-process monotonically increasing suffix for segment names: unique
+#: without ambient randomness (DET001 — no uuid4 in library code).
+_segment_counter = itertools.count()
+
+
+def _release_segment(
+    segment: shared_memory.SharedMemory,
+    words: memoryview,
+    owner_pid: int,
+) -> None:
+    """Detach (and, in the creating process, destroy) one segment.
+
+    Module-level so ``weakref.finalize`` holds no reference back to the
+    mirror object, and pid-guarded so a forked child that inherited the
+    mirror can never unlink a segment its parent is still serving from.
+    """
+    try:
+        words.release()
+    except BufferError:  # pragma: no cover - exported buffers still alive
+        pass
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - exported buffers still alive
+        return
+    if owner_pid == os.getpid():
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class SharedArrangementMirror:
+    """One shard's order/position arrays in a shared-memory segment.
+
+    The broker process creates the mirror (``name=None``) and owns the
+    segment's lifetime; the shard worker inherits it across ``fork`` and is
+    the only writer.  ``name`` is the spawn-compatibility attach path and is
+    not used on fork platforms.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        shard_index: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ServiceError(
+                f"a shared arrangement mirror needs at least one node, "
+                f"got {num_nodes}"
+            )
+        self._num_nodes = num_nodes
+        self._shard_index = shard_index
+        size_bytes = (_HEADER_WORDS + 2 * num_nodes) * _WORD_BYTES
+        if name is None:
+            segment = self._create_segment(shard_index, size_bytes)
+            self._owner_pid = os.getpid()
+        else:
+            segment = shared_memory.SharedMemory(name=name)
+            self._owner_pid = -1  # attached, never the destroyer
+            self._unregister_attach(segment)
+        self._segment = segment
+        self._words = segment.buf.cast("q")
+        if name is None:
+            self._words[0] = 0
+            self._words[1] = num_nodes
+        self._finalizer = weakref.finalize(
+            self, _release_segment, segment, self._words, self._owner_pid
+        )
+
+    @staticmethod
+    def _create_segment(
+        shard_index: int, size_bytes: int
+    ) -> shared_memory.SharedMemory:
+        """Create a fresh segment under a deterministic, collision-safe name."""
+        while True:
+            candidate = (
+                f"repro-shm-{os.getpid()}-{next(_segment_counter)}-{shard_index}"
+            )
+            try:
+                return shared_memory.SharedMemory(
+                    name=candidate, create=True, size=size_bytes
+                )
+            except FileExistsError:  # pragma: no cover - stale segment reuse
+                continue
+
+    @staticmethod
+    def _unregister_attach(segment: shared_memory.SharedMemory) -> None:
+        """Undo the resource tracker's attach-side registration.
+
+        CPython registers a segment with the resource tracker on *attach*
+        as well as on create, so an attached process exiting would unlink a
+        segment the owner is still using.  Only the creating process may
+        destroy the segment; everyone else unregisters immediately.  A
+        same-process attach (the creator pid is embedded in the name) keeps
+        the registration: it is the *creator's*, shared per process, and
+        removing it would make the owner's later unlink double-unregister.
+        """
+        creator_pid = segment.name.split("-")[2:3]
+        if creator_pid == [str(os.getpid())]:
+            return
+        try:  # pragma: no cover - spawn-platform fallback only
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # noqa: BLE001 - tracker layout is version-specific
+            pass
+
+    # ------------------------------------------------------------------
+    # The seqlock protocol
+    # ------------------------------------------------------------------
+    def write(self, order: List[int]) -> None:
+        """Publish a new arrangement (single writer: the shard worker).
+
+        ``order`` maps position to shard-local node index; the inverse
+        position array is derived here so the two can never disagree.
+        """
+        if len(order) != self._num_nodes:
+            raise ServiceError(
+                f"mirror for shard {self._shard_index} holds "
+                f"{self._num_nodes} nodes; cannot publish an order of "
+                f"{len(order)}"
+            )
+        words = self._words
+        sequence = words[0] + 1
+        words[0] = sequence  # odd: readers will retry
+        base = _HEADER_WORDS
+        offset = base + self._num_nodes
+        for position, node_index in enumerate(order):
+            words[base + position] = node_index
+            words[offset + node_index] = position
+        words[0] = sequence + 1  # even: snapshot is consistent again
+
+    def read(self) -> "Tuple[List[int], List[int]]":
+        """A consistent ``(order, position)`` snapshot (any process, lock-free)."""
+        words = self._words
+        base = _HEADER_WORDS
+        n = self._num_nodes
+        for _ in range(_READ_ATTEMPTS):
+            before = words[0]
+            if before % 2 == 0:
+                order = list(words[base : base + n])
+                position = list(words[base + n : base + 2 * n])
+                if words[0] == before:
+                    return order, position
+            time.sleep(0.0005)  # writer mid-update; let it finish
+        raise ServiceError(
+            f"shard {self._shard_index}: shared arrangement stayed "
+            "write-locked; the worker likely died mid-publish"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The segment's filesystem name (``/dev/shm/<name>`` on Linux)."""
+        return self._segment.name
+
+    @property
+    def num_nodes(self) -> int:
+        """How many nodes the mirrored arrangement covers."""
+        return self._num_nodes
+
+    def close(self) -> None:
+        """Detach, and in the creating process destroy, the segment.
+
+        Idempotent.  In a forked worker this only drops the inherited
+        mapping; the parent keeps serving reads and unlinks on its own
+        ``close()``.
+        """
+        self._finalizer()
+
+    def __getstate__(self) -> "Tuple[int, int, str]":
+        # Spawn-platform fallback: ship (size, shard, name) and reattach.
+        # On fork platforms workers inherit the mapping and never pickle.
+        return (self._num_nodes, self._shard_index, self._segment.name)
+
+    def __setstate__(self, state: "Tuple[int, int, str]") -> None:
+        num_nodes, shard_index, name = state
+        self.__init__(num_nodes, shard_index, name=name)

@@ -434,6 +434,37 @@ class TestTHR002:
         )
         assert report.clean
 
+    def test_fires_on_unbounded_multiprocessing_queue(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/bad.py": (
+                    "import multiprocessing\n"
+                    "import multiprocessing as mp\n"
+                    "requests = multiprocessing.Queue()\n"
+                    "results = mp.JoinableQueue()\n"
+                    "events = mp.SimpleQueue()\n"
+                )
+            },
+            rules=["THR002"],
+        )
+        assert len(report.findings) == 3
+        assert rules_fired(report) == ["THR002"]
+
+    def test_silent_on_bounded_multiprocessing_queue(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/service/good.py": (
+                    "import multiprocessing\n"
+                    "def build(capacity: int) -> multiprocessing.Queue:\n"
+                    "    return multiprocessing.Queue(maxsize=capacity)\n"
+                )
+            },
+            rules=["THR002"],
+        )
+        assert report.clean
+
 
 # ----------------------------------------------------------------------
 # API001 — exported functions carry full annotations

@@ -310,6 +310,49 @@ class TestServeAndLoadgenCommands:
         with pytest.raises(SystemExit):
             main(["loadgen", "--scenario", "no-such-scenario", "--no-store"])
 
+    def test_serve_process_backend(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--scenario",
+                "zipf-tenants",
+                "--shards",
+                "2",
+                "--backend",
+                "process",
+                "--nodes",
+                "16",
+                "--requests",
+                "150",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "backend=process" in output
+        assert "queue peak" in output
+
+    def test_loadgen_backend_env_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "process")
+        exit_code = main(
+            [
+                "loadgen",
+                "--scenario",
+                "zipf-tenants",
+                "--nodes",
+                "16",
+                "--requests",
+                "150",
+                "--no-store",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "backend=process" in output
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scenario", "zipf-tenants", "--backend", "fiber"])
+
 
 class TestExportBandsCommand:
     def test_export_bands_writes_csv_files(self, capsys, tmp_path):

@@ -11,10 +11,19 @@ The load-bearing guarantees:
   controller fed the same batch boundaries.
 * **Partitioning** — component-aligned, deterministic, total.
 * **Backpressure** — bounded queues reject/block explicitly.
+* **Backend equivalence** — the process-backed fleet (one forked worker
+  per shard, arrangements published through shared memory) serves the same
+  costs bit for bit as the thread-backed fleet, applies the same
+  backpressure, names its dead shard instead of hanging, and leaves no
+  shared-memory segments or orphan processes behind after ``close()``.
 """
 
+import glob
+import os
 import random
+import signal
 import threading
+import time
 
 import pytest
 
@@ -24,13 +33,16 @@ from repro.core.simulator import run_online
 from repro.errors import ServiceError
 from repro.graphs.reveal import GraphKind
 from repro.service import (
+    BACKENDS,
     ArrangementService,
     ShardEngine,
+    SharedArrangementMirror,
     build_reveal_service,
     build_traffic_service,
     discover_stream_partition,
     partition_components,
     percentile,
+    resolve_backend,
     reveal_partition,
     run_scenario_loadgen,
     shard_rng,
@@ -42,7 +54,7 @@ from repro.vnet.topology import LinearDatacenter
 from repro.workloads.registry import get_scenario
 
 
-def _serve_stream(scenario_name, nodes, requests, seed, shards, batch):
+def _serve_stream(scenario_name, nodes, requests, seed, shards, batch, backend=None):
     return run_scenario_loadgen(
         get_scenario(scenario_name),
         num_nodes=nodes,
@@ -51,6 +63,7 @@ def _serve_stream(scenario_name, nodes, requests, seed, shards, batch):
         num_shards=shards,
         batch_size=batch,
         queue_capacity=requests,
+        backend=backend,
     )
 
 
@@ -148,8 +161,9 @@ class TestServingDeterminism:
 # Offline equivalence (the E14 anchors)
 # ----------------------------------------------------------------------
 class TestOfflineEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("batch", [1, 4])
-    def test_reveal_serving_matches_run_online(self, batch):
+    def test_reveal_serving_matches_run_online(self, batch, backend):
         # E2-sized instance: the uniform-cliques workload at n=32.
         scenario = get_scenario("uniform-cliques")
         sequence = scenario.reveal_sequences(32, 0)[0]
@@ -160,22 +174,30 @@ class TestOfflineEquivalence:
             RandomizedCliqueLearner(), instance, rng=shard_rng(0, 0)
         )
         service = build_reveal_service(
-            instance, num_shards=1, seed=0, batch_size=batch
+            instance, num_shards=1, seed=0, batch_size=batch, backend=backend
         ).start()
-        for step in instance.steps:
-            service.submit((step.u, step.v))
-        results = service.drain()
+        try:
+            for step in instance.steps:
+                service.submit((step.u, step.v))
+            results = service.drain()
+        finally:
+            service.close()
         assert sum(r.migration_swaps for r in results) == offline.total_cost
         report = service.shard_reports()[0]
         assert report.migration_swaps == offline.total_cost
         assert report.num_reveals == instance.num_steps
-        # The learner's phase split survives serving unchanged.
-        engine_ledger = service._engines[0].ledger
-        assert engine_ledger.total_moving_cost == offline.ledger.total_moving_cost
-        assert (
-            engine_ledger.total_rearranging_cost
-            == offline.ledger.total_rearranging_cost
-        )
+        if backend == "thread":
+            # The learner's phase split survives serving unchanged (the
+            # process backend's engines live in the child, so the parent
+            # checks the report, not the engine object).
+            engine_ledger = service._engines[0].ledger
+            assert (
+                engine_ledger.total_moving_cost == offline.ledger.total_moving_cost
+            )
+            assert (
+                engine_ledger.total_rearranging_cost
+                == offline.ledger.total_rearranging_cost
+            )
 
     @pytest.mark.parametrize("batch", [1, 16])
     def test_traffic_serving_matches_run_stream(self, batch):
@@ -465,3 +487,319 @@ class TestShardEngine:
             thread.join()
         for left, right in zip(sequential, concurrent):
             assert left.report().total_cost == right.report().total_cost
+
+
+# ----------------------------------------------------------------------
+# Process backend: bit-identity, backpressure, failure, cleanup
+# ----------------------------------------------------------------------
+def _cost_outcome(result):
+    """The deterministic slice of a ServeResult (timings excluded)."""
+    return (
+        result.request_index,
+        result.pair,
+        result.shard,
+        result.revealed,
+        result.migration_swaps,
+        result.communication_cost,
+        result.batch_size,
+    )
+
+
+class TestProcessBackend:
+    def _engine(self, nodes=(0, 1, 2, 3)):
+        return ShardEngine(
+            shard_index=0,
+            nodes=nodes,
+            kind=GraphKind.CLIQUES,
+            learner_factory=RandomizedCliqueLearner,
+            rng=random.Random(0),
+            datacenter=LinearDatacenter(len(nodes)),
+        )
+
+    def _partition(self):
+        return partition_components([[0, 1, 2, 3]], [0, 1, 2, 3], 1)
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_backends_serve_identical_outcomes(self, shards):
+        # Same scenario, seed, shards and batch ⇒ the thread- and
+        # process-backed fleets produce identical per-request outcomes,
+        # request by request, not just equal totals.
+        reports = {
+            backend: _serve_stream("zipf-tenants", 24, 300, 7, shards, 4, backend)
+            for backend in BACKENDS
+        }
+        thread_outcomes = [_cost_outcome(r) for r in reports["thread"].results]
+        process_outcomes = [_cost_outcome(r) for r in reports["process"].results]
+        assert thread_outcomes == process_outcomes
+        assert (
+            reports["thread"].summary.total_cost
+            == reports["process"].summary.total_cost
+        )
+
+    def test_sequential_thread_process_totals_agree(self):
+        # The 1-shard offline controller is the sequential reference; both
+        # concurrent backends must reproduce its totals bit for bit.
+        scenario = get_scenario("zipf-tenants")
+        stream = scenario.request_stream(24, 400, 3)
+        datacenter = LinearDatacenter(stream.num_nodes)
+        controller = DemandAwareController(datacenter, RandomizedCliqueLearner)
+        offline = controller.run_stream(stream, rng=shard_rng(3, 0), batch_size=8)
+        for backend in BACKENDS:
+            report = _serve_stream("zipf-tenants", 24, 400, 3, 1, 8, backend)
+            assert report.summary.total_cost == offline.total_cost
+            assert report.backend == backend
+
+    def test_process_try_submit_reports_backpressure(self):
+        service = ArrangementService(
+            [self._engine()],
+            self._partition(),
+            queue_capacity=2,
+            backend="process",
+        )
+        try:
+            # Workers not started: the bounded request pipe fills and the
+            # third submission is rejected, exactly like the thread backend.
+            service._started = True
+            assert service.try_submit((0, 1)) is not None
+            assert service.try_submit((0, 2)) is not None
+            time.sleep(0.1)  # let the mp feeder thread settle the queue size
+            assert service.try_submit((0, 3)) is None
+        finally:
+            service._started = False
+            service.close()
+
+    def test_process_submit_timeout_raises_service_error(self):
+        service = ArrangementService(
+            [self._engine()],
+            self._partition(),
+            queue_capacity=1,
+            backend="process",
+        )
+        try:
+            service._started = True
+            service.submit((0, 1))
+            time.sleep(0.1)
+            with pytest.raises(ServiceError, match="backpressure"):
+                service.submit((0, 2), timeout=0.2)
+        finally:
+            service._started = False
+            service.close()
+
+    def test_crashed_worker_surfaces_at_drain(self):
+        engine = self._engine()
+
+        def explode(pairs):
+            raise RuntimeError("shard died in the child")
+
+        # Instance attributes cross the fork, so the child's serve path
+        # raises; the parent must get a ServiceError naming shard 0.
+        engine.serve_batch = explode
+        service = ArrangementService(
+            [engine], self._partition(), backend="process"
+        ).start()
+        try:
+            service.submit((0, 1))
+            with pytest.raises(ServiceError, match="shard 0.*shard died in the child"):
+                service.drain()
+        finally:
+            service.close()
+
+    def test_crashed_worker_does_not_deadlock_producers(self):
+        engine = self._engine()
+
+        def explode(pairs):
+            raise RuntimeError("shard died early")
+
+        engine.serve_batch = explode
+        service = ArrangementService(
+            [engine], self._partition(), queue_capacity=2, backend="process"
+        ).start()
+        try:
+            # The failed child keeps draining its bounded pipe until the
+            # sentinel, so submits far beyond capacity still complete.
+            for _ in range(20):
+                service.submit((0, 1), timeout=5.0)
+            with pytest.raises(ServiceError, match="shard died early"):
+                service.drain()
+        finally:
+            service.close()
+
+    def test_killed_worker_raises_instead_of_hanging(self):
+        service = ArrangementService(
+            [self._engine()], self._partition(), queue_capacity=1, backend="process"
+        ).start()
+        try:
+            process = service._fleet._processes[0]
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=10.0)
+            deadline = time.monotonic() + 10.0
+            with pytest.raises(ServiceError, match="shard 0"):
+                # The queue may absorb one pending slot; keep submitting
+                # until liveness polling notices the corpse.
+                while time.monotonic() < deadline:
+                    service.submit((0, 1), timeout=1.0)
+                raise AssertionError("dead worker never surfaced")
+            with pytest.raises(ServiceError, match="shard 0"):
+                service.drain()
+        finally:
+            service.close()
+        assert not service._fleet._processes[0].is_alive()
+
+    def test_close_leaves_no_shm_and_no_orphans(self):
+        report = None
+        service = build_traffic_service(
+            get_scenario("zipf-tenants").request_stream(16, 50, 0),
+            num_shards=2,
+            backend="process",
+        )
+        names = [mirror.name for mirror in service._fleet._mirrors]
+        assert names  # the fleet actually created shared-memory mirrors
+        for name in names:
+            assert os.path.exists(f"/dev/shm/{name}")
+        with service:
+            service.start()
+            for pair in get_scenario("zipf-tenants").request_stream(16, 50, 0):
+                service.submit(pair)
+        # Context exit drained and closed: segments unlinked, workers reaped.
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+        assert all(not p.is_alive() for p in service._fleet._processes)
+
+    def test_no_repro_shm_segments_leak_across_a_run(self):
+        before = set(glob.glob("/dev/shm/repro-shm-*"))
+        _serve_stream("uniform-cliques", 16, 100, 0, 2, 4, "process")
+        after = set(glob.glob("/dev/shm/repro-shm-*"))
+        assert after <= before
+
+    def test_shard_arrangement_matches_thread_backend(self):
+        # The parent's zero-copy view of each shard's arrangement (read
+        # from shared memory) must equal the arrangement the thread
+        # backend's engines hold after the identical workload.
+        arrangements = {}
+        for backend in BACKENDS:
+            service = build_traffic_service(
+                get_scenario("zipf-tenants").request_stream(24, 200, 5),
+                num_shards=2,
+                seed=5,
+                batch_size=4,
+                backend=backend,
+            )
+            try:
+                service.start()
+                for pair in get_scenario("zipf-tenants").request_stream(24, 200, 5):
+                    service.submit(pair)
+                service.drain()
+                arrangements[backend] = [
+                    service.shard_arrangement(shard).order
+                    for shard in range(service.num_shards)
+                ]
+            finally:
+                service.close()
+        assert arrangements["thread"] == arrangements["process"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_stats_reach_the_summary(self, backend):
+        report = _serve_stream("zipf-tenants", 16, 100, 0, 2, 4, backend)
+        summary = report.summary
+        assert summary.backend == backend
+        assert len(summary.shard_stats) == 2
+        for stats in summary.shard_stats:
+            assert stats.num_batches > 0
+            assert stats.queue_peak >= 1
+            assert 0.0 <= stats.busy_fraction <= 1.0
+        assert summary.max_queue_peak >= 1
+        assert f"backend={backend}" in summary.to_text()
+        assert "queue peak" in summary.to_text()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arrangement mirror
+# ----------------------------------------------------------------------
+class TestSharedArrangementMirror:
+    def test_write_read_roundtrip(self):
+        mirror = SharedArrangementMirror(num_nodes=5)
+        try:
+            mirror.write([3, 1, 4, 0, 2])
+            order, position = mirror.read()
+            assert order == [3, 1, 4, 0, 2]
+            # position is the inverse permutation of order.
+            assert [order[p] for p in ([position[i] for i in range(5)])] == [
+                0,
+                1,
+                2,
+                3,
+                4,
+            ]
+        finally:
+            mirror.close()
+
+    def test_attached_reader_sees_writes(self):
+        owner = SharedArrangementMirror(num_nodes=4)
+        try:
+            owner.write([2, 0, 3, 1])
+            reader = SharedArrangementMirror(num_nodes=4, name=owner.name)
+            try:
+                order, _ = reader.read()
+                assert order == [2, 0, 3, 1]
+                owner.write([0, 1, 2, 3])
+                order, _ = reader.read()
+                assert order == [0, 1, 2, 3]
+            finally:
+                reader.close()
+        finally:
+            owner.close()
+
+    def test_close_unlinks_the_segment(self):
+        mirror = SharedArrangementMirror(num_nodes=3)
+        name = mirror.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        mirror.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_wrong_length_write_rejected(self):
+        mirror = SharedArrangementMirror(num_nodes=3)
+        try:
+            with pytest.raises(ServiceError):
+                mirror.write([0, 1])
+        finally:
+            mirror.close()
+
+
+# ----------------------------------------------------------------------
+# Backend selection (explicit argument and REPRO_SERVICE_BACKEND)
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_explicit_backend_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_env_backend_applies_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "process")
+        assert resolve_backend() == "process"
+        assert resolve_backend(None) == "process"
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_BACKEND", raising=False)
+        assert resolve_backend() == "thread"
+
+    def test_invalid_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_BACKEND", "greenlet")
+        with pytest.raises(ServiceError, match="REPRO_SERVICE_BACKEND"):
+            resolve_backend()
+
+    def test_invalid_explicit_backend_rejected(self):
+        with pytest.raises(ServiceError, match="backend"):
+            resolve_backend("fiber")
+
+    def test_service_rejects_unknown_backend(self):
+        engine = ShardEngine(
+            shard_index=0,
+            nodes=(0, 1, 2, 3),
+            kind=GraphKind.CLIQUES,
+            learner_factory=RandomizedCliqueLearner,
+            rng=random.Random(0),
+            datacenter=LinearDatacenter(4),
+        )
+        partition = partition_components([[0, 1, 2, 3]], [0, 1, 2, 3], 1)
+        with pytest.raises(ServiceError, match="backend"):
+            ArrangementService([engine], partition, backend="fiber")
