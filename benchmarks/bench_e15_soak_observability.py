@@ -1,0 +1,46 @@
+"""Benchmark E15 — soak serving: flat memory and bounded histogram error.
+
+Soaks the serving stack on both worker backends with per-request retention
+off, then re-runs a smaller retained configuration to audit the default
+histogram summaries.  The wall-clock columns (throughput, elapsed) are
+machine measurements; the acceptance findings are exact gates:
+
+* broker RSS stays within ``1.10×`` of the warm-up mark while the served
+  request count grows 100× (skipped only where ``/proc`` is missing);
+* the histogram p50/p95/p99 bound the exact retained percentiles within
+  one bucket width, on both backends;
+* histograms of the deterministic per-request costs carry bit-identical
+  counts across the thread and process backends.
+"""
+
+from repro.experiments.suite_obs import run_e15_soak_observability
+from repro.obs import resident_bytes
+from repro.service.broker import BACKENDS
+
+
+def test_e15_soak_observability(run_experiment):
+    result = run_experiment(run_e15_soak_observability)
+    table = result.tables[0]
+    # Every checkpoint row carries monotone progress for its backend.
+    for backend in BACKENDS:
+        requests = [
+            row[table.columns.index("requests")]
+            for row in table.rows
+            if row[table.columns.index("backend")] == backend
+        ]
+        assert requests == sorted(requests)
+        assert requests[-1] > 0
+        assert result.findings[f"soak throughput {backend} (req/s)"] > 0
+    # The flat-memory gate (measured only where /proc exists).
+    if resident_bytes() is not None:
+        for backend in BACKENDS:
+            growth = result.findings[f"rss growth {backend} (x)"]
+            assert growth <= 1.10, (
+                f"{backend} backend RSS grew x{growth:.3f} while requests "
+                "grew 100x — the O(buckets) memory claim failed"
+            )
+    # Histogram percentiles bound the exact ones within one bucket width.
+    assert result.findings["histogram bound violations"] == 0.0
+    assert result.findings["worst percentile bucket width (ms)"] > 0.0
+    # Cost aggregation is bit-identical across backends.
+    assert result.findings["max cross-backend count deviation"] == 0.0

@@ -1,0 +1,74 @@
+"""Benchmark the observability overhead of the serving hot path.
+
+The histogram/span instrumentation rides inside every served batch, so it
+must be practically free: this gate drives the same scenario through the
+same deployment twice — once with only the always-on histogram aggregation
+(the O(1)-memory default), once with the full observability surface folded
+in (span tracing at 5%, a live stats reporter) — and asserts the fully
+instrumented run keeps at least 95% of the baseline throughput.
+
+The two sides run as interleaved best-of-four pairs — alternating keeps a
+scheduler hiccup or frequency shift from landing on only one side — and
+each run is long enough (20k requests) that worker startup does not color
+the wall-clock ratio.  The spread across repeats is printed alongside the
+verdict.
+"""
+
+from repro.service.loadgen import run_scenario_loadgen
+from repro.workloads.registry import get_scenario
+
+#: The ISSUE's acceptance bound: instrumentation may cost at most 5%.
+MIN_THROUGHPUT_RATIO = 0.95
+
+REPEATS = 4
+NUM_NODES = 48
+NUM_REQUESTS = 20_000
+
+
+def one_throughput(**overrides):
+    scenario = get_scenario("zipf-tenants")
+    report = run_scenario_loadgen(
+        scenario,
+        num_nodes=NUM_NODES,
+        num_requests=NUM_REQUESTS,
+        seed=0,
+        num_shards=2,
+        batch_size=8,
+        queue_capacity=NUM_REQUESTS,
+        retain_requests=False,
+        **overrides,
+    )
+    assert report.summary.num_requests == NUM_REQUESTS
+    return report.summary.throughput
+
+
+def test_instrumented_loadgen_within_five_percent_of_baseline():
+    emitted = []
+    baseline_runs, instrumented_runs = [], []
+    for repeat in range(REPEATS):
+        baseline_runs.append(one_throughput())
+        instrumented_runs.append(
+            one_throughput(
+                span_rate=0.05,
+                stats_interval=0.5,
+                stats_emit=emitted.append,
+            )
+        )
+    baseline = max(baseline_runs)
+    instrumented = max(instrumented_runs)
+    ratio = instrumented / baseline
+    print(
+        f"\nbaseline     : {baseline:,.0f} req/s (runs: "
+        + ", ".join(f"{t:,.0f}" for t in baseline_runs)
+        + ")"
+    )
+    print(
+        f"instrumented : {instrumented:,.0f} req/s (runs: "
+        + ", ".join(f"{t:,.0f}" for t in instrumented_runs)
+        + f"), ratio x{ratio:.3f}"
+    )
+    assert emitted, "the stats reporter never emitted a line"
+    assert ratio >= MIN_THROUGHPUT_RATIO, (
+        f"observability overhead exceeded the {1 - MIN_THROUGHPUT_RATIO:.0%} "
+        f"budget: {baseline:,.0f} -> {instrumented:,.0f} req/s (x{ratio:.3f})"
+    )

@@ -98,13 +98,21 @@ from repro.minla import (
     is_minla_of_lines,
     linear_arrangement_cost,
 )
+from repro.obs import (
+    FixedBucketHistogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    SpanTrace,
+)
 from repro.runstore import RunRecord, RunStore
 from repro.service import (
     ArrangementService,
+    FleetSnapshot,
     ServiceSummary,
     build_reveal_service,
     build_traffic_service,
     run_scenario_loadgen,
+    run_scenario_soak,
 )
 from repro.telemetry import CostTrace, TraceEvent, TraceRecorder
 from repro.workloads import (
@@ -131,7 +139,12 @@ __all__ = [
     "EmbeddingError",
     "ExperimentError",
     "Finding",
+    "FixedBucketHistogram",
+    "FleetSnapshot",
     "GraphKind",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "SpanTrace",
     "GreedyClosestLearner",
     "GreedyOrientationLineLearner",
     "InfeasibleArrangementError",
@@ -158,6 +171,7 @@ __all__ = [
     "build_reveal_service",
     "build_traffic_service",
     "run_scenario_loadgen",
+    "run_scenario_soak",
     "SimulationResult",
     "SolverError",
     "TraceEvent",

@@ -22,6 +22,7 @@ from repro.analysis.rules_determinism import (
     UnseededRandomnessRule,
     WallClockTaintRule,
 )
+from repro.analysis.rules_obs import MonotonicClockSeamRule
 from repro.analysis.rules_threading import LockDisciplineRule, UnboundedQueueRule
 from repro.analysis.suppress import (
     RULE_MISSING_REASON,
@@ -41,6 +42,7 @@ def default_rules() -> List[Rule]:
         LockDisciplineRule(),
         UnboundedQueueRule(),
         PublicAnnotationsRule(),
+        MonotonicClockSeamRule(),
     ]
 
 

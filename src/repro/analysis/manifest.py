@@ -25,6 +25,7 @@ DETERMINISTIC_MODULES: Tuple[str, ...] = (
     "repro.dynamic_minla",
     "repro.graphs",
     "repro.minla",
+    "repro.obs",
     "repro.service",
     "repro.telemetry",
     "repro.vnet",
@@ -39,6 +40,15 @@ DETERMINISTIC_MODULES: Tuple[str, ...] = (
 #: (``repro.service.procworker``, ``repro.service.shm``), so new serving
 #: modules are under both gates the moment they are created.
 THREADED_MODULES: Tuple[str, ...] = ("repro.service",)
+
+#: Dotted modules allowed to read the monotonic clock directly.  OBS001
+#: flags ``time.monotonic()`` / ``time.perf_counter()`` (and their ``_ns``
+#: variants) everywhere else: timing must flow through the
+#: :mod:`repro.obs.clock` seam so tests can substitute a
+#: :class:`~repro.obs.clock.ManualClock` and so every latency number in
+#: the tree answers to one clock policy.  This is an exact-module list,
+#: not a prefix list — the seam is deliberately one file wide.
+CLOCK_SEAM_MODULES: Tuple[str, ...] = ("repro.obs.clock",)
 
 
 def module_matches(module: str, prefixes: Tuple[str, ...]) -> bool:
@@ -60,3 +70,8 @@ def is_deterministic_module(module: str) -> bool:
 def is_threaded_module(module: str) -> bool:
     """Whether the thread-discipline rules apply to ``module``."""
     return module_matches(module, THREADED_MODULES)
+
+
+def is_clock_seam_module(module: str) -> bool:
+    """Whether ``module`` is the sanctioned monotonic-clock reader."""
+    return module in CLOCK_SEAM_MODULES

@@ -1,0 +1,87 @@
+"""Observability rules: the monotonic-clock seam.
+
+* **OBS001** — every monotonic-clock reading in the tree must flow
+  through :func:`repro.obs.clock.now`.  Direct ``time.monotonic()`` /
+  ``time.perf_counter()`` calls (and their ``_ns`` variants, and bare
+  names bound by ``from time import perf_counter``) are flagged outside
+  the one-file seam listed in
+  :data:`~repro.analysis.manifest.CLOCK_SEAM_MODULES`.  The seam is what
+  lets tests drive latency histograms and span traces with a
+  :class:`~repro.obs.clock.ManualClock`, and what keeps "which clock do
+  we time with" a one-line policy decision instead of a tree-wide grep.
+
+DET002 polices where clock-derived *values* may flow (never into cost
+accounting); OBS001 polices where clock *reads* may happen at all.  Both
+reuse the same detection tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.manifest import is_clock_seam_module
+from repro.analysis.model import SourceModule
+from repro.analysis.rulebase import Rule, call_name
+
+#: Dotted callee names that read the monotonic clock.  Narrower than
+#: DET002's ``_CLOCK_CALLS``: wall-time reads (``time.time``,
+#: ``datetime.now``) are not latency measurements and have their own
+#: legitimate uses (run-store timestamps), so OBS001 leaves them to
+#: DET002's taint tracking.
+_MONOTONIC_CALLS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: The same functions when imported bare (``from time import perf_counter``).
+_MONOTONIC_BARE_NAMES = frozenset(
+    {"monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+
+class MonotonicClockSeamRule(Rule):
+    """OBS001: monotonic-clock reads go through ``repro.obs.clock`` only."""
+
+    rule_id = "OBS001"
+    title = "monotonic clock read outside the obs clock seam"
+    rationale = (
+        "timing must flow through repro.obs.clock.now() so tests can "
+        "substitute a manual clock and the tree keeps a single clock "
+        "policy; direct time.monotonic()/perf_counter() calls bypass it"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if is_clock_seam_module(module.module):
+            return
+        bare_imports = self._monotonic_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name in _MONOTONIC_CALLS or name in bare_imports:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {name}() call bypasses the clock seam; import "
+                    "now from repro.obs.clock (the one sanctioned "
+                    "monotonic-clock reader) instead",
+                )
+
+    @staticmethod
+    def _monotonic_imports(tree: ast.Module) -> Set[str]:
+        """Bare names bound to monotonic clocks by ``from time import ...``."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _MONOTONIC_BARE_NAMES:
+                        names.add(alias.asname or alias.name)
+        return names

@@ -19,7 +19,7 @@ The CLI makes the common workflows available without writing Python:
     the worst node, harmonic-budget utilization, component statistics.
 
 ``python -m repro experiments``
-    Run the E1–E14 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
+    Run the E1–E15 suite and regenerate ``EXPERIMENTS.md`` (thin wrapper
     around :mod:`repro.experiments.suite`).
 
 ``python -m repro scenarios``
@@ -42,7 +42,15 @@ The CLI makes the common workflows available without writing Python:
     arrivals (``--mode open --rate R``), a closed-loop concurrency window
     (``--mode closed --concurrency C``) or a full-speed replay (the
     default).  Reports throughput and p50/p95/p99 latency and archives the
-    summary in the run store (``--no-store`` to opt out).
+    summary in the run store (``--no-store`` to opt out).  By default the
+    percentiles come from the fleet's fixed-bucket histograms at O(1)
+    memory; ``--retain-requests`` keeps every result for exact
+    percentiles.  ``--soak --duration S`` (or ``--max-requests N``)
+    streams the scenario in cycles indefinitely, checkpointing RSS and
+    tail latency.  Both serve and loadgen accept ``--stats-interval N``
+    (live one-line fleet snapshots), ``--trace-sample-rate``/
+    ``--trace-out`` (sampled span traces as JSONL) and ``--metrics-out``/
+    ``--metrics-jsonl`` (Prometheus-text / JSONL metrics exports).
 
 ``python -m repro runs``
     Work with the persistent run archive (:mod:`repro.runstore`):
@@ -346,6 +354,26 @@ def _resolve_serving_workload(arguments: argparse.Namespace):
     return scenario, num_nodes, num_requests
 
 
+def _write_observability_exports(arguments, snapshot, worker_stats, span_traces) -> None:
+    """Write the ``--metrics-out``/``--metrics-jsonl``/``--trace-out`` files."""
+    from repro.obs import write_metrics_jsonl, write_prometheus_text, write_spans_jsonl
+    from repro.service.observation import fleet_metrics
+
+    metrics = fleet_metrics(snapshot, worker_stats)
+    if arguments.metrics_out is not None:
+        write_prometheus_text(arguments.metrics_out, metrics)
+        print(f"wrote Prometheus-text metrics to {arguments.metrics_out}")
+    if arguments.metrics_jsonl is not None:
+        write_metrics_jsonl(arguments.metrics_jsonl, metrics)
+        print(f"wrote metrics JSONL to {arguments.metrics_jsonl}")
+    if arguments.trace_out is not None:
+        write_spans_jsonl(arguments.trace_out, span_traces)
+        print(
+            f"wrote {len(span_traces)} sampled span trace(s) to "
+            f"{arguments.trace_out}"
+        )
+
+
 def _drive_scenario(arguments: argparse.Namespace, mode: str):
     """Boot a deployment for the CLI arguments and drive it in ``mode``."""
     from repro.service import run_scenario_loadgen
@@ -370,6 +398,9 @@ def _drive_scenario(arguments: argparse.Namespace, mode: str):
         rate=getattr(arguments, "rate", None),
         concurrency=getattr(arguments, "concurrency", 32),
         backend=arguments.backend,
+        retain_requests=arguments.retain_requests,
+        span_rate=arguments.trace_sample_rate,
+        stats_interval=arguments.stats_interval,
     )
     print(
         f"{scenario.name} ({scenario.kind_label}): n={num_nodes}, "
@@ -382,6 +413,9 @@ def _drive_scenario(arguments: argparse.Namespace, mode: str):
         f"shard {shard}: {count}" for shard, count in report.shard_requests.items()
     )
     print(f"shard balance: {balance}")
+    _write_observability_exports(
+        arguments, report.snapshot, report.summary.shard_stats, report.span_traces
+    )
     return report
 
 
@@ -391,36 +425,106 @@ def command_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def command_loadgen(arguments: argparse.Namespace) -> int:
-    """The ``loadgen`` sub-command: paced load against a fresh deployment."""
+def _summary_tables(summary, title: str):
+    """The run-store tables of one serving summary (histogram included)."""
+    tables = [summary.to_table(title)]
+    histogram_table = summary.latency_histogram_table(f"{title}: latency histogram")
+    if histogram_table is not None:
+        tables.append(histogram_table)
+    return tuple(tables)
+
+
+def _archive_serving_run(arguments, experiment_id: str, title: str, scenario: str,
+                         summary, extra_findings=None) -> None:
+    """Append one serving/soak summary to the persistent run store."""
     from repro.runstore import RunRecord, RunStore
     from repro.telemetry import get_backend
 
+    findings = dict(summary.findings())
+    findings.update(extra_findings or {})
+    store = RunStore(arguments.store)
+    run_id = store.append(
+        RunRecord(
+            experiment_id=experiment_id,
+            title=title,
+            scenario=scenario,
+            scale=arguments.scale,
+            seed=arguments.seed,
+            backend=get_backend().name,
+            jobs=arguments.shards,
+            wall_time_seconds=summary.wall_seconds,
+            tables=_summary_tables(summary, title),
+            findings=findings,
+        )
+    )
+    print(
+        f"archived run {run_id} in {store.root} "
+        "(inspect with python -m repro runs list)"
+    )
+
+
+def _run_soak(arguments: argparse.Namespace) -> int:
+    """The ``loadgen --soak`` path: stream in cycles at O(1) memory."""
+    from repro.service.loadgen import run_scenario_soak
+
+    scenario, num_nodes, num_requests = _resolve_serving_workload(arguments)
+    batch_timeout = (
+        arguments.batch_timeout_ms / 1_000.0
+        if arguments.batch_timeout_ms is not None
+        else None
+    )
+    soak = run_scenario_soak(
+        scenario,
+        num_nodes=num_nodes,
+        num_requests=num_requests,
+        seed=arguments.seed,
+        num_shards=arguments.shards,
+        learner=arguments.algorithm,
+        batch_size=arguments.batch,
+        batch_timeout=batch_timeout,
+        queue_capacity=arguments.queue_capacity,
+        backend=arguments.backend,
+        duration_seconds=arguments.duration,
+        max_requests=arguments.max_requests,
+        span_rate=arguments.trace_sample_rate,
+        stats_interval=arguments.stats_interval,
+    )
+    print(soak.to_text())
+    _write_observability_exports(
+        arguments, soak.snapshot, soak.summary.shard_stats, soak.span_traces
+    )
+    if not arguments.no_store:
+        extra = {"soak requests": float(soak.num_requests)}
+        growth = soak.rss_growth()
+        if growth is not None:
+            extra["rss growth factor"] = growth
+        _archive_serving_run(
+            arguments,
+            experiment_id="SOAK",
+            title=f"soak {soak.scenario} ({soak.backend})",
+            scenario=soak.scenario,
+            summary=soak.summary,
+            extra_findings=extra,
+        )
+    return 0
+
+
+def command_loadgen(arguments: argparse.Namespace) -> int:
+    """The ``loadgen`` sub-command: paced load against a fresh deployment."""
+    if arguments.soak:
+        return _run_soak(arguments)
+    if arguments.duration is not None or arguments.max_requests is not None:
+        raise ReproError(
+            "--duration/--max-requests are soak horizons; add --soak"
+        )
     report = _drive_scenario(arguments, mode=arguments.mode)
     if not arguments.no_store:
-        summary = report.summary
-        store = RunStore(arguments.store)
-        run_id = store.append(
-            RunRecord(
-                experiment_id="SERVE",
-                title=f"loadgen {report.scenario} ({report.mode})",
-                scenario=report.scenario,
-                scale=arguments.scale,
-                seed=arguments.seed,
-                backend=get_backend().name,
-                jobs=arguments.shards,
-                wall_time_seconds=summary.wall_seconds,
-                tables=(
-                    summary.to_table(
-                        f"loadgen {report.scenario}: mode={report.mode}"
-                    ),
-                ),
-                findings=summary.findings(),
-            )
-        )
-        print(
-            f"archived run {run_id} in {store.root} "
-            "(inspect with python -m repro runs list)"
+        _archive_serving_run(
+            arguments,
+            experiment_id="SERVE",
+            title=f"loadgen {report.scenario} ({report.mode})",
+            scenario=report.scenario,
+            summary=report.summary,
         )
     return 0
 
@@ -662,6 +766,48 @@ def build_parser() -> argparse.ArgumentParser:
             "shard with shared-memory arrangements "
             "(default: REPRO_SERVICE_BACKEND, else thread)",
         )
+        parser.add_argument(
+            "--stats-interval",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="print a live one-line fleet snapshot (throughput, "
+            "histogram p50/p95/p99, queue peak, busy fraction) every "
+            "SECONDS while the run drives",
+        )
+        parser.add_argument(
+            "--retain-requests",
+            action="store_true",
+            help="keep every per-request result for exact percentiles "
+            "(O(requests) memory; default: O(1) fixed-bucket histograms)",
+        )
+        parser.add_argument(
+            "--trace-sample-rate",
+            type=float,
+            default=0.0,
+            metavar="RATE",
+            help="head-sample this fraction of requests (seeded, "
+            "deterministic) into per-request span traces",
+        )
+        parser.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write the sampled span traces as JSONL to PATH",
+        )
+        parser.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the final fleet metrics in Prometheus text format "
+            "to PATH",
+        )
+        parser.add_argument(
+            "--metrics-jsonl",
+            default=None,
+            metavar="PATH",
+            help="write the final fleet metrics as JSONL to PATH",
+        )
 
     serve = subparsers.add_parser(
         "serve",
@@ -687,6 +833,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--concurrency", type=int, default=32,
                          help="closed-loop outstanding-request window")
     loadgen.add_argument(
+        "--soak", action="store_true",
+        help="stream the scenario in cycles at O(1) memory until a "
+        "--duration/--max-requests horizon is reached",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="soak horizon: stop submitting after this much wall time",
+    )
+    loadgen.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="soak horizon: stop after submitting N requests",
+    )
+    loadgen.add_argument(
         "--store",
         default=None,
         help="run-archive directory (default: REPRO_RUNSTORE, else .repro-runs)",
@@ -697,7 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.set_defaults(handler=command_loadgen)
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E14 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E15 experiment suite")
     experiments.add_argument("--scale", choices=["smoke", "bench", "full"], default="bench")
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument(

@@ -77,6 +77,16 @@ class AnalysisError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """An observability primitive was mis-configured or misused.
+
+    Raised by :mod:`repro.obs` when histogram bucket edges are not strictly
+    increasing, when histograms over different edge sets are merged, when a
+    recorded value is not a finite non-negative number, or when a sampler
+    rate lies outside ``[0, 1]``.
+    """
+
+
 class ServiceError(ReproError):
     """An online serving operation failed or was mis-configured.
 

@@ -213,13 +213,12 @@ def _timed_experiment(
     experiment_id: str, scale: "ExperimentScale", seed: int
 ) -> "Tuple[ExperimentResult, float]":
     """Run one registered experiment under a wall-clock measurement."""
-    import time
-
     from repro.experiments.suite import ALL_EXPERIMENTS
+    from repro.obs.clock import now as monotonic_now
 
-    start = time.perf_counter()
+    start = monotonic_now()
     result = ALL_EXPERIMENTS[experiment_id](scale, seed)
-    return result, time.perf_counter() - start
+    return result, monotonic_now() - start
 
 
 def run_experiments_timed(

@@ -1,6 +1,6 @@
 """The complete experiment suite and the ``EXPERIMENTS.md`` report generator.
 
-``ALL_EXPERIMENTS`` maps experiment ids (E1–E14, as indexed in ``DESIGN.md``)
+``ALL_EXPERIMENTS`` maps experiment ids (E1–E15, as indexed in ``DESIGN.md``)
 to the functions implementing them; :func:`run_all` executes any subset at a
 given scale, and :func:`write_experiments_markdown` regenerates the
 paper-versus-measured record in ``EXPERIMENTS.md`` together with per-table
@@ -49,6 +49,7 @@ from repro.experiments.suite_invariants import (
     run_e7_lemma10_probability,
     run_e8_action_probabilities,
 )
+from repro.experiments.suite_obs import run_e15_soak_observability
 from repro.experiments.suite_service import (
     run_e13_service_latency,
     run_e14_serving_equivalence,
@@ -76,6 +77,7 @@ ALL_EXPERIMENTS: Dict[str, ExperimentFunction] = {
     "E12": run_e12_datacenter_vnet,
     "E13": run_e13_service_latency,
     "E14": run_e14_serving_equivalence,
+    "E15": run_e15_soak_observability,
 }
 
 
@@ -213,6 +215,21 @@ def _verdict(result: ExperimentResult) -> "tuple[bool, str]":
                 "served cost totals are bit-identical to the offline batch "
                 "harness on both backends for every scenario, view and "
                 "batch size"
+            )
+        if result.experiment_id == "E15":
+            ok = (
+                result.findings["histogram bound violations"] == 0.0
+                and result.findings["max cross-backend count deviation"] == 0.0
+                and all(
+                    result.findings[f"rss growth {backend} (x)"] <= 1.10
+                    for backend in ("thread", "process")
+                )
+            )
+            return ok, (
+                "RSS stays within 10% of warm-up while served requests grow "
+                "100×, histogram percentiles bound the exact ones within "
+                "one bucket, and cost-count aggregation is bit-identical "
+                "across backends"
             )
     except Exception:  # pragma: no cover - defensive: a malformed table is a failure
         return False, "verdict could not be computed"

@@ -1,0 +1,70 @@
+"""Deterministic observability: metrics, spans, exporters, the clock seam.
+
+The serving stack (:mod:`repro.service`) measures itself through this
+package instead of keeping per-request state: shard workers aggregate into
+fixed-bucket histograms (O(buckets) memory, exactly mergeable across
+shards and processes), sampled requests leave reproducible span traces,
+and every monotonic-clock read flows through the single seam in
+:mod:`repro.obs.clock` (enforced tree-wide by the OBS001 analysis rule).
+See ``DESIGN.md`` ("Observability subsystem") for the bucket-edge policy,
+the span lifecycle and the sampling determinism story.
+"""
+
+from repro.obs.clock import Clock, ManualClock, MonotonicClock, get_clock, now, set_clock
+from repro.obs.export import (
+    metrics_jsonl_lines,
+    prometheus_text,
+    resident_bytes,
+    write_metrics_jsonl,
+    write_prometheus_text,
+)
+from repro.obs.registry import (
+    LATENCY_BUCKET_EDGES,
+    Counter,
+    FixedBucketHistogram,
+    Gauge,
+    HistogramSnapshot,
+    MetricsRegistry,
+    log_bucket_edges,
+    merge_histograms,
+)
+from repro.obs.spans import (
+    SPAN_NAMES,
+    Span,
+    SpanCollector,
+    SpanSampler,
+    SpanTrace,
+    request_trace,
+    spans_jsonl_lines,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "FixedBucketHistogram",
+    "Gauge",
+    "HistogramSnapshot",
+    "LATENCY_BUCKET_EDGES",
+    "ManualClock",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "SPAN_NAMES",
+    "Span",
+    "SpanCollector",
+    "SpanSampler",
+    "SpanTrace",
+    "get_clock",
+    "log_bucket_edges",
+    "merge_histograms",
+    "metrics_jsonl_lines",
+    "now",
+    "prometheus_text",
+    "request_trace",
+    "resident_bytes",
+    "set_clock",
+    "spans_jsonl_lines",
+    "write_metrics_jsonl",
+    "write_prometheus_text",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,307 @@
+"""Per-request span traces: seeded head-sampling, bounded retention, JSONL.
+
+A sampled request's life is recorded as five spans —
+
+``ingress`` (the submission instant) → ``queue`` (enqueue to batch opening)
+→ ``batch`` (micro-batch fill) → ``engine`` (the rearrangement pass) →
+``reply`` (engine finish to result handoff)
+
+— all timed through the :mod:`repro.obs.clock` seam.  The sampling decision
+is *head-based and seeded*: whether request ``i`` is traced depends only on
+``(seed, i)`` (a keyed hash, not the global RNG), so two runs of the same
+workload trace the same requests, on either worker backend, and tracing
+never perturbs the serving RNG streams.  Retention is bounded
+(``max_traces``), so tracing keeps the soak path at O(1) memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ObsError
+
+#: The ordered span names of one request's lifecycle.
+SPAN_NAMES: Tuple[str, ...] = ("ingress", "queue", "batch", "engine", "reply")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of a request's life, in monotonic seconds."""
+
+    name: str
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass(frozen=True)
+class SpanTrace:
+    """Every span of one sampled request, in lifecycle order."""
+
+    request_index: int
+    shard: int
+    spans: Tuple[Span, ...]
+
+    @property
+    def latency_seconds(self) -> float:
+        """Ingress to reply — the same number the latency histogram sees."""
+        return self.spans[-1].end_seconds - self.spans[0].start_seconds
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "request_index": self.request_index,
+            "shard": self.shard,
+            "spans": [
+                {
+                    "name": span.name,
+                    "start_s": span.start_seconds,
+                    "duration_s": span.duration_seconds,
+                }
+                for span in self.spans
+            ],
+        }
+
+
+def request_trace(
+    request_index: int,
+    shard: int,
+    enqueued_at: float,
+    opened_at: float,
+    engine_started_at: float,
+    engine_finished_at: float,
+    replied_at: float,
+) -> SpanTrace:
+    """Assemble the canonical five-span trace from a batch's timestamps.
+
+    Both worker backends call this with the same five readings, so traces
+    have one shape everywhere: ``ingress`` is the zero-length submission
+    mark, ``queue`` runs to the batch opening, ``batch`` covers the
+    micro-batch fill, ``engine`` the rearrangement pass, and ``reply`` the
+    handoff of the served batch.
+    """
+    return SpanTrace(
+        request_index=request_index,
+        shard=shard,
+        spans=(
+            Span("ingress", enqueued_at, enqueued_at),
+            Span("queue", enqueued_at, opened_at),
+            Span("batch", opened_at, engine_started_at),
+            Span("engine", engine_started_at, engine_finished_at),
+            Span("reply", engine_finished_at, replied_at),
+        ),
+    )
+
+
+class SpanSampler:
+    """The deterministic head-sampling decision: trace request ``i`` or not.
+
+    The decision compares an 8-bit BLAKE2b lane keyed by ``(seed, index)``
+    against ``rate`` — a pure function of the two, independent of platform
+    hash randomization and of every serving RNG stream.  Because the
+    decision sits on the per-request hot path, the hash is amortized:
+    one 64-byte digest of ``f"{seed}|span|{index // 64}"`` covers 64
+    consecutive indices (one byte each), mapped to hit flags in a single
+    C-level ``bytes.translate`` and cached — request indices arrive in
+    runs, so the steady-state cost is a 64th of a hash per request and
+    the skip-ahead scan (:meth:`next_sampled`) is a ``bytes.find`` (the
+    bench gate in ``benchmarks/bench_obs.py`` rides on this).  The cache
+    is worker-local (:class:`SpanCollector` clones its sampler) so shards
+    with interleaved index streams never thrash each other's block.
+    """
+
+    #: Indices per cached decision block (one 64-byte digest).
+    BLOCK = 64
+
+    def __init__(self, seed: object, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ObsError(f"span sample rate must lie in [0, 1], got {rate}")
+        self._seed = seed
+        self.rate = float(rate)
+        threshold = self.rate * 256.0
+        # Maps a digest byte to \x01 when it samples, so a whole block's
+        # decisions are one translate() and the scan is one find().
+        self._table = bytes(
+            1 if byte < threshold else 0 for byte in range(256)
+        )
+        # (block index, 64 hit flags) — one reference, assigned whole, so
+        # even a sampler shared across threads never exposes a torn pair
+        # (any thread at worst recomputes the same pure-function block).
+        self._block: Tuple[int, bytes] = (-1, b"")
+
+    def clone(self) -> "SpanSampler":
+        """A sampler with the same decisions but its own block cache."""
+        return SpanSampler(self._seed, self.rate)
+
+    def _decide_block(self, block_index: int) -> bytes:
+        digest = blake2b(
+            f"{self._seed}|span|{block_index}".encode("utf-8"),
+            digest_size=64,
+        ).digest()
+        return digest.translate(self._table)
+
+    def sampled(self, request_index: int) -> bool:
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        block_index, hits = self._block
+        if request_index >> 6 != block_index:
+            block_index = request_index >> 6
+            hits = self._decide_block(block_index)
+            self._block = (block_index, hits)
+        return hits[request_index & 63] == 1
+
+    def next_sampled(self, start: int) -> int:
+        """The smallest sampled index ``>= start`` (the skip-ahead scan).
+
+        Exactly consistent with :meth:`sampled` — it walks the same cached
+        decision blocks — but lets a monotone caller leap over every
+        unsampled index with one integer comparison instead of one call
+        per request (see :attr:`SpanCollector.next_interesting`).  The
+        scan always terminates: any positive rate samples digest byte 0,
+        which turns up within a few 64-index blocks.
+        """
+        if self.rate >= 1.0:
+            return start
+        if self.rate <= 0.0:
+            raise ObsError("next_sampled() is undefined at rate 0.0")
+        index = start
+        while True:
+            block_index, hits = self._block
+            if index >> 6 != block_index:
+                block_index = index >> 6
+                hits = self._decide_block(block_index)
+                self._block = (block_index, hits)
+            lane = hits.find(1, index & 63)
+            if lane >= 0:
+                return (block_index << 6) + lane
+            index = (block_index + 1) << 6
+
+
+class SpanCollector:
+    """Worker-local retention of sampled traces, bounded by ``max_traces``.
+
+    Single-writer, like the shard metrics: the worker asks :meth:`wants`
+    before recording (so unsampled requests pay only the sampling check)
+    and records the sampled ones until the cap — per-shard request order
+    is deterministic in replay mode, so even the set that survives the cap
+    is reproducible.  Two things keep tracing off the serving critical
+    path (the ``bench_obs.py`` overhead gate rides on both):
+
+    * :attr:`next_interesting` lets a worker with monotone request
+      indices skip every unsampled request with one integer comparison —
+      only indices at or past it need a :meth:`wants` call;
+    * the hot path (:meth:`record_raw`) appends a plain timestamp tuple,
+      and :class:`SpanTrace` objects are only materialized when
+      :meth:`traces` is read.
+    """
+
+    #: ``next_interesting`` once nothing further can be traced (rate 0 or
+    #: the retention cap reached): past every real request index.
+    NEVER = 1 << 62
+
+    def __init__(self, sampler: SpanSampler, max_traces: int = 256) -> None:
+        if max_traces < 1:
+            raise ObsError(f"max_traces must be positive, got {max_traces}")
+        # Own copy: shard index streams interleave, so collectors sharing
+        # one sampler would thrash its decision-block cache.
+        self._sampler = sampler.clone()
+        self._max_traces = max_traces
+        self._raw: List[Tuple[int, int, float, float, float, float, float]] = []
+        rate = self._sampler.rate
+        #: The smallest request index a monotone caller still needs to ask
+        #: :meth:`wants` about; indices below it are guaranteed unsampled.
+        self.next_interesting: int = (
+            self.NEVER if rate <= 0.0 else self._sampler.next_sampled(0)
+        )
+
+    def wants(self, request_index: int) -> bool:
+        """Whether this request should be traced (sampled and under cap)."""
+        if len(self._raw) >= self._max_traces:
+            self.next_interesting = self.NEVER
+            return False
+        rate = self._sampler.rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        ahead = self.next_interesting
+        if request_index == ahead:
+            self.next_interesting = self._sampler.next_sampled(request_index + 1)
+            return True
+        if request_index > ahead:
+            ahead = self._sampler.next_sampled(request_index)
+            if request_index == ahead:
+                self.next_interesting = self._sampler.next_sampled(
+                    request_index + 1
+                )
+                return True
+            self.next_interesting = ahead
+            return False
+        # An out-of-order probe (tests, replays): answer exactly without
+        # disturbing the skip-ahead pointer.
+        return self._sampler.sampled(request_index)
+
+    def record_raw(
+        self,
+        request_index: int,
+        shard: int,
+        enqueued_at: float,
+        opened_at: float,
+        engine_started_at: float,
+        engine_finished_at: float,
+        replied_at: float,
+    ) -> None:
+        """Retain one sampled request's five lifecycle timestamps."""
+        if len(self._raw) < self._max_traces:
+            self._raw.append(
+                (
+                    request_index,
+                    shard,
+                    enqueued_at,
+                    opened_at,
+                    engine_started_at,
+                    engine_finished_at,
+                    replied_at,
+                )
+            )
+
+    def record(self, trace: SpanTrace) -> None:
+        """Retain an already-built trace (the cold, test-facing path)."""
+        self.record_raw(
+            trace.request_index,
+            trace.shard,
+            trace.spans[0].start_seconds,
+            trace.spans[1].end_seconds,
+            trace.spans[2].end_seconds,
+            trace.spans[3].end_seconds,
+            trace.spans[4].end_seconds,
+        )
+
+    def traces(self) -> Tuple[SpanTrace, ...]:
+        """The retained traces, sorted by request index."""
+        return tuple(
+            request_trace(*raw) for raw in sorted(self._raw)
+        )
+
+
+def spans_jsonl_lines(traces: Iterable[SpanTrace]) -> List[str]:
+    """One compact JSON document per trace (the JSONL emission format)."""
+    return [
+        json.dumps(trace.to_json(), separators=(",", ":")) for trace in traces
+    ]
+
+
+def write_spans_jsonl(path: str, traces: Iterable[SpanTrace]) -> int:
+    """Write traces to ``path`` as JSONL; returns how many were written."""
+    lines = spans_jsonl_lines(traces)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

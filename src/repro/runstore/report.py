@@ -15,6 +15,12 @@ Three consumers:
   backend, jobs) and flags cost and wall-clock regressions beyond a
   configurable tolerance; the CLI turns flagged regressions into a non-zero
   exit code so a CI job can gate on it.
+
+Archived serving runs (``SERVE`` from ``repro loadgen``, ``SOAK`` from
+``repro loadgen --soak``) get dedicated treatment in both reports: their
+throughput and p50/p99 findings are banded per configuration across
+invocations (drift, not seeds) and compared *direction-aware* — falling
+throughput and rising tail latency are the regressions.
 """
 
 from __future__ import annotations
@@ -35,6 +41,25 @@ from repro.runstore.store import RunStore, RunSummary, StoredRun
 #: Populations smaller than this get no variance bands (a band over one or
 #: two seeds would overstate how much the archive knows).
 DEFAULT_MIN_SEEDS = 3
+
+#: Experiment ids of archived serving runs (``repro loadgen`` / ``repro
+#: loadgen --soak``).  Unlike E1–E12 these accumulate one entry per
+#: invocation of the *same* configuration — their findings are wall-clock
+#: measurements — so ``runs report`` bands them across invocations (drift)
+#: and ``runs compare`` gates them direction-aware.
+SERVING_EXPERIMENTS = ("SERVE", "SOAK")
+
+#: The serving findings worth banding/gating, with the direction in which
+#: a change is a *regression* (throughput falling, tails rising).
+SERVING_DRIFT_METRICS = (
+    ("throughput req/s", "higher-better"),
+    ("latency p50 ms", "lower-better"),
+    ("latency p99 ms", "lower-better"),
+)
+
+#: Serving runs of one configuration needed before the report draws its
+#: drift band (a "band" over one invocation is just the value).
+MIN_SERVING_RUNS = 2
 
 
 # ----------------------------------------------------------------------
@@ -73,6 +98,14 @@ def store_report(
     ]
     for run in runs:
         lines.append(f"  {describe_run(run)}")
+    serving_lines = _serving_drift_lines(store, experiment_id)
+    if serving_lines:
+        lines.append("")
+        lines.append(
+            "serving drift bands (SERVE/SOAK configurations with >= "
+            f"{MIN_SERVING_RUNS} archived invocations):"
+        )
+        lines.extend(serving_lines)
     populations = store.trace_populations(experiment_id)
     banded = {
         key: samples
@@ -99,6 +132,50 @@ def store_report(
         lines.append(f"    {variance_band_chart(band)}")
         lines.append(f"    {slopes.summary()}")
     return "\n".join(lines)
+
+
+def _serving_drift_lines(
+    store: RunStore, experiment_id: Optional[str] = None
+) -> List[str]:
+    """Per-configuration throughput / tail-latency drift of serving runs.
+
+    Groups archived SERVE/SOAK runs by configuration (a serving config is
+    re-archived on every invocation — its findings are measurements) and,
+    for each configuration with :data:`MIN_SERVING_RUNS` or more
+    invocations, renders mean/min/max and relative spread for every
+    :data:`SERVING_DRIFT_METRICS` entry the runs carry.
+    """
+    populations: Dict[str, List[StoredRun]] = {}
+    for serving_id in SERVING_EXPERIMENTS:
+        if experiment_id is not None and experiment_id != serving_id:
+            continue
+        for run in store.list_runs(serving_id):
+            populations.setdefault(_config_label(run), []).append(run)
+    lines: List[str] = []
+    for label in sorted(populations):
+        runs = populations[label]
+        if len(runs) < MIN_SERVING_RUNS:
+            continue
+        metric_lines: List[str] = []
+        for metric, direction in SERVING_DRIFT_METRICS:
+            values = [
+                run.findings[metric] for run in runs if metric in run.findings
+            ]
+            if not values:
+                continue
+            center = mean(values)
+            spread = (
+                (max(values) - min(values)) / center if center > 0 else 0.0
+            )
+            metric_lines.append(
+                f"    {metric} ({direction}): mean={center:.2f} "
+                f"[{min(values):.2f}, {max(values):.2f}] "
+                f"spread={spread:.1%} over {len(values)} run(s)"
+            )
+        if metric_lines:
+            lines.append(f"  {label}:")
+            lines.extend(metric_lines)
+    return lines
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +332,22 @@ def _classify(ratio: float, tolerance: float) -> str:
     return "ok"
 
 
+def _classify_directional(ratio: float, tolerance: float, direction: str) -> str:
+    """Classify a candidate/baseline ratio given which direction is bad.
+
+    ``lower-better`` metrics (latency) regress when the ratio rises, like
+    costs and wall time; ``higher-better`` metrics (throughput) regress
+    when it falls, so the verdicts flip.
+    """
+    verdict = _classify(ratio, tolerance)
+    if direction == "higher-better":
+        if verdict == "regression":
+            return "improvement"
+        if verdict == "improvement":
+            return "regression"
+    return verdict
+
+
 def _group_costs(run: StoredRun) -> Dict[str, float]:
     """Mean total trace cost per workload group of one stored run."""
     by_group: Dict[str, List[float]] = {}
@@ -329,6 +422,28 @@ def compare_stores(
                     status=_classify(ratio, tolerance),
                 )
             )
+        if base.experiment_id in SERVING_EXPERIMENTS:
+            # Serving findings are measurements with a direction: falling
+            # throughput and rising tails are the regressions, however the
+            # raw ratio points.
+            for metric, direction in SERVING_DRIFT_METRICS:
+                base_value = base.findings.get(metric)
+                cand_value = cand.findings.get(metric)
+                if base_value is None or cand_value is None:
+                    continue
+                ratio = cand_value / base_value if base_value > 0 else (
+                    1.0 if cand_value == 0 else float("inf")
+                )
+                findings.append(
+                    RegressionFinding(
+                        config=label,
+                        metric=metric,
+                        baseline=base_value,
+                        candidate=cand_value,
+                        ratio=ratio,
+                        status=_classify_directional(ratio, tolerance, direction),
+                    )
+                )
         if base.mean_timing is not None and cand.mean_timing is not None:
             ratio = cand.mean_timing / base.mean_timing if base.mean_timing > 0 else (
                 1.0 if cand.mean_timing == 0 else float("inf")

@@ -8,9 +8,16 @@ of two interchangeable backends — ``thread`` (one thread per shard, shared
 heap) or ``process`` (one forked interpreter per shard, bounded
 multiprocessing queues, shared-memory arrangement mirrors) — selected via
 ``backend=`` / ``--backend`` / ``REPRO_SERVICE_BACKEND``; served costs are
-bit-identical across backends.  See ``DESIGN.md`` ("Service subsystem")
-for the shard/batch/backpressure model, the backend matrix and the
-determinism guarantees, and experiments E13/E14 for the measurements.
+bit-identical across backends.  Every worker aggregates its latency and
+queue-wait observations into :mod:`repro.obs` fixed-bucket histograms
+(:mod:`repro.service.observation`), so the default serving path runs at
+O(buckets) memory — per-request retention and exact percentiles are the
+opt-in (``retain_results=True`` / ``--retain-requests``), and
+:func:`run_scenario_soak` streams scenarios in cycles indefinitely on the
+same guarantee.  See ``DESIGN.md`` ("Service subsystem" and "Observability
+subsystem") for the shard/batch/backpressure model, the backend matrix and
+the determinism guarantees, and experiments E13/E14/E15 for the
+measurements.
 """
 
 from repro.service.broker import (
@@ -24,15 +31,31 @@ from repro.service.loadgen import (
     LEARNERS,
     MODES,
     LoadReport,
+    SoakCheckpoint,
+    SoakReport,
     build_reveal_service,
     build_traffic_service,
     drive_service,
     learner_factory,
     resolve_backend,
     run_scenario_loadgen,
+    run_scenario_soak,
     shard_rng,
 )
-from repro.service.metrics import ServiceSummary, percentile, summarize_results
+from repro.service.metrics import (
+    ServiceSummary,
+    percentile,
+    summarize_results,
+    summarize_snapshot,
+)
+from repro.service.observation import (
+    FleetSnapshot,
+    ShardMetrics,
+    ShardMetricsSnapshot,
+    StatsReporter,
+    fleet_metrics,
+    format_stats_line,
+)
 from repro.service.partition import (
     ShardPartition,
     discover_stream_partition,
@@ -44,6 +67,7 @@ from repro.service.shm import SharedArrangementMirror
 __all__ = [
     "ArrangementService",
     "BACKENDS",
+    "FleetSnapshot",
     "LEARNERS",
     "LoadReport",
     "MODES",
@@ -51,20 +75,29 @@ __all__ = [
     "ServeResult",
     "ServiceSummary",
     "ShardEngine",
+    "ShardMetrics",
+    "ShardMetricsSnapshot",
     "ShardPartition",
     "ShardReport",
     "SharedArrangementMirror",
+    "SoakCheckpoint",
+    "SoakReport",
+    "StatsReporter",
     "WorkerStats",
     "build_reveal_service",
     "build_traffic_service",
     "discover_stream_partition",
     "drive_service",
+    "fleet_metrics",
+    "format_stats_line",
     "learner_factory",
     "partition_components",
     "percentile",
     "resolve_backend",
     "reveal_partition",
     "run_scenario_loadgen",
+    "run_scenario_soak",
     "shard_rng",
     "summarize_results",
+    "summarize_snapshot",
 ]

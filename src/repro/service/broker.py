@@ -45,12 +45,18 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.permutation import Arrangement
 from repro.errors import ServiceError
+from repro.obs.clock import now as monotonic_now
+from repro.obs.spans import SpanCollector, SpanSampler, SpanTrace
 from repro.service.engine import ShardEngine, ShardReport
+from repro.service.observation import (
+    FleetSnapshot,
+    ShardMetrics,
+    ShardMetricsSnapshot,
+)
 from repro.service.partition import ShardPartition
 
 Node = Hashable
@@ -138,6 +144,9 @@ class _ShardWorker(threading.Thread):
         batch_size: int,
         batch_timeout: Optional[float],
         on_result: Optional[Callable[[ServeResult], None]],
+        metrics: ShardMetrics,
+        spans: Optional[SpanCollector] = None,
+        retain_results: bool = True,
     ) -> None:
         super().__init__(
             name=f"repro-serve-shard-{engine.shard_index}", daemon=True
@@ -147,6 +156,9 @@ class _ShardWorker(threading.Thread):
         self._batch_size = batch_size
         self._batch_timeout = batch_timeout
         self._on_result = on_result
+        self._retain_results = retain_results
+        self.metrics = metrics
+        self.spans = spans
         self._sentinel_seen = False
         self.results: List[ServeResult] = []
         self.error: Optional[BaseException] = None
@@ -156,7 +168,7 @@ class _ShardWorker(threading.Thread):
         self._finished_at_seconds: Optional[float] = None
 
     def run(self) -> None:
-        self._started_at_seconds = perf_counter()
+        self._started_at_seconds = monotonic_now()
         try:
             self._serve_forever()
         except BaseException as error:  # noqa: BLE001 - reported at drain()
@@ -170,7 +182,7 @@ class _ShardWorker(threading.Thread):
                 if self._queue.get() is _SENTINEL:
                     break
         finally:
-            self._finished_at_seconds = perf_counter()
+            self._finished_at_seconds = monotonic_now()
 
     def stats(self) -> WorkerStats:
         """The worker's utilization counters (final once the thread joined)."""
@@ -179,7 +191,7 @@ class _ShardWorker(threading.Thread):
         if started is None:
             lifetime_seconds = 0.0
         elif finished is None:
-            lifetime_seconds = perf_counter() - started
+            lifetime_seconds = monotonic_now() - started
         else:
             lifetime_seconds = finished - started
         return WorkerStats(
@@ -194,13 +206,15 @@ class _ShardWorker(threading.Thread):
         """Pull up to ``batch_size`` items; returns ``(batch, saw_sentinel)``."""
         batch = [first]
         deadline = (
-            None if self._batch_timeout is None else perf_counter() + self._batch_timeout
+            None
+            if self._batch_timeout is None
+            else monotonic_now() + self._batch_timeout
         )
         while len(batch) < self._batch_size:
             if deadline is None:
                 item = self._queue.get()
             else:
-                remaining = deadline - perf_counter()
+                remaining = deadline - monotonic_now()
                 if remaining <= 0:
                     return batch, False
                 try:
@@ -223,34 +237,63 @@ class _ShardWorker(threading.Thread):
             self.queue_peak = depth
 
     def _serve_forever(self) -> None:
+        build_results = self._retain_results or self._on_result is not None
         while True:
             item = self._queue.get()
             if item is _SENTINEL:
                 self._sentinel_seen = True
                 return
             self._observe_depth()
+            opened = monotonic_now()
             batch, saw_sentinel = self._collect_batch(item)
-            started = perf_counter()
+            started = monotonic_now()
             records = self._engine.serve_batch([entry.pair for entry in batch])
-            finished = perf_counter()
+            finished = monotonic_now()
             service_seconds = finished - started
             self.busy_seconds += service_seconds
-            for entry, record in zip(batch, records):
-                result = ServeResult(
-                    request_index=entry.request_index,
-                    pair=entry.pair,
-                    shard=self._engine.shard_index,
-                    revealed=record.revealed,
-                    migration_swaps=record.migration_swaps,
-                    communication_cost=record.communication_cost,
-                    queue_seconds=started - entry.enqueued_at,
-                    service_seconds=service_seconds,
-                    latency_seconds=finished - entry.enqueued_at,
-                    batch_size=len(batch),
-                )
-                self.results.append(result)
-                if self._on_result is not None:
-                    self._on_result(result)
+            self.metrics.observe_batch(
+                queue_seconds=[started - entry.enqueued_at for entry in batch],
+                latency_seconds=[
+                    finished - entry.enqueued_at for entry in batch
+                ],
+                num_reveals=sum(1 for record in records if record.revealed),
+            )
+            if build_results:
+                for entry, record in zip(batch, records):
+                    result = ServeResult(
+                        request_index=entry.request_index,
+                        pair=entry.pair,
+                        shard=self._engine.shard_index,
+                        revealed=record.revealed,
+                        migration_swaps=record.migration_swaps,
+                        communication_cost=record.communication_cost,
+                        queue_seconds=started - entry.enqueued_at,
+                        service_seconds=service_seconds,
+                        latency_seconds=finished - entry.enqueued_at,
+                        batch_size=len(batch),
+                    )
+                    if self._retain_results:
+                        self.results.append(result)
+                    if self._on_result is not None:
+                        self._on_result(result)
+            if self.spans is not None:
+                replied = monotonic_now()
+                spans = self.spans
+                for entry in batch:
+                    # Per-shard indices are monotone, so one integer
+                    # compare skips every unsampled request.
+                    if entry.request_index >= spans.next_interesting and spans.wants(
+                        entry.request_index
+                    ):
+                        spans.record_raw(
+                            entry.request_index,
+                            self._engine.shard_index,
+                            entry.enqueued_at,
+                            opened,
+                            started,
+                            finished,
+                            replied,
+                        )
             if saw_sentinel:
                 return
 
@@ -273,14 +316,32 @@ class _ThreadFleet:
         batch_timeout: Optional[float],
         queue_capacity: int,
         on_result: Optional[Callable[[ServeResult], None]],
+        retain_results: bool = True,
+        span_sampler: Optional[SpanSampler] = None,
+        span_max: int = 256,
+        metrics_interval: Optional[float] = None,
     ) -> None:
+        del metrics_interval  # threads share the heap: snapshots are free
         self._engines = list(engines)
         self._queue_capacity = queue_capacity
         self._queues: List["queue.Queue"] = [
             queue.Queue(maxsize=queue_capacity) for _ in engines
         ]
         self._workers = [
-            _ShardWorker(engine, shard_queue, batch_size, batch_timeout, on_result)
+            _ShardWorker(
+                engine,
+                shard_queue,
+                batch_size,
+                batch_timeout,
+                on_result,
+                metrics=ShardMetrics(engine.shard_index),
+                spans=(
+                    None
+                    if span_sampler is None or span_sampler.rate <= 0.0
+                    else SpanCollector(span_sampler, span_max)
+                ),
+                retain_results=retain_results,
+            )
             for engine, shard_queue in zip(self._engines, self._queues)
         ]
         self._drain_started = False
@@ -331,6 +392,21 @@ class _ThreadFleet:
     def worker_stats(self) -> "Tuple[WorkerStats, ...]":
         return tuple(worker.stats() for worker in self._workers)
 
+    def metrics_snapshots(self) -> "Tuple[ShardMetricsSnapshot, ...]":
+        # Threads share the heap: snapshots read the live single-writer
+        # aggregates directly, before or after the drain.
+        return tuple(worker.metrics.snapshot() for worker in self._workers)
+
+    def span_traces(self) -> "Tuple[SpanTrace, ...]":
+        traces = [
+            trace
+            for worker in self._workers
+            if worker.spans is not None
+            for trace in worker.spans.traces()
+        ]
+        traces.sort(key=lambda trace: trace.request_index)
+        return tuple(traces)
+
     def shard_arrangement(self, shard: int) -> Arrangement:
         return self._engines[shard].current_arrangement
 
@@ -362,6 +438,17 @@ class ArrangementService:
     request — the hook closed-loop load generators use to release their
     concurrency tokens; under the process backend it runs in a per-shard
     collector thread of the *submitting* process, not in the worker.
+
+    **Observability** (:mod:`repro.obs`): every worker aggregates into
+    per-shard fixed-bucket histograms regardless of configuration — read
+    them with :meth:`metrics_snapshots` / :meth:`fleet_snapshot`.
+    ``retain_results=False`` additionally drops the per-request
+    :class:`ServeResult` lists, making a deployment O(1) memory in the
+    request count (the soak mode); :meth:`drain` then returns ``[]``.
+    ``span_rate``/``span_seed``/``span_max`` turn on deterministic
+    head-sampled span tracing (:mod:`repro.obs.spans`);
+    ``metrics_interval`` makes process-backend workers ship periodic
+    metrics snapshots for live introspection (threads are always live).
     """
 
     #: Cross-thread contract (enforced by THR001): attributes written
@@ -377,6 +464,11 @@ class ArrangementService:
         queue_capacity: int = 1024,
         on_result: Optional[Callable[[ServeResult], None]] = None,
         backend: str = "thread",
+        retain_results: bool = True,
+        span_rate: float = 0.0,
+        span_seed: object = 0,
+        span_max: int = 256,
+        metrics_interval: Optional[float] = None,
     ) -> None:
         if not engines:
             raise ServiceError("the service needs at least one shard engine")
@@ -400,22 +492,48 @@ class ArrangementService:
                 f"unknown service backend {backend!r}; "
                 f"choose one of {list(BACKENDS)}"
             )
+        if metrics_interval is not None and metrics_interval <= 0:
+            raise ServiceError(
+                f"metrics interval must be positive (or None), "
+                f"got {metrics_interval}"
+            )
+        # Validates span_rate/span_max up front, for both backends.
+        span_sampler = SpanSampler(span_seed, span_rate)
+        if span_max < 1:
+            raise ServiceError(f"span_max must be positive, got {span_max}")
         self._engines = list(engines)
         self._partition = partition
         self.backend = backend
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
         self.queue_capacity = queue_capacity
+        self.retain_results = retain_results
         if backend == "process":
             # Imported lazily: procworker imports this module's dataclasses.
             from repro.service.procworker import ProcessShardFleet
 
             self._fleet = ProcessShardFleet(
-                self._engines, batch_size, batch_timeout, queue_capacity, on_result
+                self._engines,
+                batch_size,
+                batch_timeout,
+                queue_capacity,
+                on_result,
+                retain_results=retain_results,
+                span_sampler=span_sampler,
+                span_max=span_max,
+                metrics_interval=metrics_interval,
             )
         else:
             self._fleet = _ThreadFleet(
-                self._engines, batch_size, batch_timeout, queue_capacity, on_result
+                self._engines,
+                batch_size,
+                batch_timeout,
+                queue_capacity,
+                on_result,
+                retain_results=retain_results,
+                span_sampler=span_sampler,
+                span_max=span_max,
+                metrics_interval=metrics_interval,
             )
         self._submit_lock = threading.Lock()
         self._next_index = 0
@@ -492,13 +610,17 @@ class ArrangementService:
         also surfaces here as a :class:`ServiceError` naming the shard.
         """
         shard, index = self._route(pair)
-        self._fleet.submit(shard, _QueueItem(index, pair, perf_counter()), timeout)
+        self._fleet.submit(
+            shard, _QueueItem(index, pair, monotonic_now()), timeout
+        )
         return index
 
     def try_submit(self, pair: Request) -> Optional[int]:
         """Enqueue one request or return ``None`` when the shard queue is full."""
         shard, index = self._route(pair)
-        if not self._fleet.try_submit(shard, _QueueItem(index, pair, perf_counter())):
+        if not self._fleet.try_submit(
+            shard, _QueueItem(index, pair, monotonic_now())
+        ):
             return None
         return index
 
@@ -511,7 +633,10 @@ class ArrangementService:
         Pending requests (including partial final micro-batches) are served
         before the workers exit.  Results come back in submission order.  A
         worker that died re-raises its failure here as a
-        :class:`ServiceError`.
+        :class:`ServiceError`.  With ``retain_results=False`` (the O(1)
+        memory mode) no per-request results were kept: drain still flushes
+        and stops everything, but returns an empty list — read
+        :meth:`fleet_snapshot` instead.
         """
         if not self._started:
             raise ServiceError("the service was never started")
@@ -530,6 +655,24 @@ class ArrangementService:
     def worker_stats(self) -> "Tuple[WorkerStats, ...]":
         """Per-shard :class:`WorkerStats`, in shard order (final after drain)."""
         return self._fleet.worker_stats()
+
+    def metrics_snapshots(self) -> "Tuple[ShardMetricsSnapshot, ...]":
+        """Per-shard O(buckets) metrics snapshots, in shard order.
+
+        Thread backend: live reads of the single-writer aggregates.
+        Process backend: the freshest snapshot each worker shipped — exact
+        after :meth:`drain`; mid-run freshness is bounded by the service's
+        ``metrics_interval`` (empty snapshots before the first ship).
+        """
+        return self._fleet.metrics_snapshots()
+
+    def fleet_snapshot(self) -> FleetSnapshot:
+        """The merged fleet view of :meth:`metrics_snapshots`."""
+        return FleetSnapshot.merge_shards(self.metrics_snapshots())
+
+    def span_traces(self) -> "Tuple[SpanTrace, ...]":
+        """Sampled per-request span traces, by request index (final after drain)."""
+        return self._fleet.span_traces()
 
     def shard_arrangement(self, shard: int) -> Arrangement:
         """One shard's current served arrangement.

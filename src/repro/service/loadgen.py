@@ -36,8 +36,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from threading import BoundedSemaphore
-from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.det import DeterministicClosestLearner
 from repro.core.instance import OnlineMinLAInstance
@@ -47,9 +46,17 @@ from repro.core.rand_lines import MoveSmallerLineLearner, RandomizedLineLearner
 from repro.envconfig import read_env_choice
 from repro.errors import ServiceError
 from repro.graphs.reveal import GraphKind
+from repro.obs.clock import now as monotonic_now
+from repro.obs.export import resident_bytes
+from repro.obs.spans import SpanTrace
 from repro.service.broker import BACKENDS, ArrangementService, Request, ServeResult
 from repro.service.engine import ShardEngine
-from repro.service.metrics import ServiceSummary, summarize_results
+from repro.service.metrics import (
+    ServiceSummary,
+    summarize_results,
+    summarize_snapshot,
+)
+from repro.service.observation import FleetSnapshot, StatsReporter
 from repro.service.partition import (
     ShardPartition,
     discover_stream_partition,
@@ -140,6 +147,11 @@ def build_traffic_service(
     trace_every: Optional[int] = None,
     on_result: Optional[Callable[[ServeResult], None]] = None,
     backend: Optional[str] = None,
+    retain_results: bool = True,
+    span_rate: float = 0.0,
+    span_seed: Optional[object] = None,
+    span_max: int = 256,
+    metrics_interval: Optional[float] = None,
 ) -> ArrangementService:
     """Deploy a stream-serving service (not yet started).
 
@@ -148,6 +160,11 @@ def build_traffic_service(
     pass (:func:`~repro.service.partition.discover_stream_partition`); pass
     one explicitly to reuse it across deployments of the same workload.
     ``backend`` picks the worker runtime (see :func:`resolve_backend`).
+    The observability knobs (``retain_results`` / ``span_rate`` /
+    ``metrics_interval``) pass straight through to
+    :class:`~repro.service.broker.ArrangementService`; ``span_seed``
+    defaults to the serving ``seed`` so traces are reproducible without
+    extra configuration.
     """
     if stream.kind is None:
         raise ServiceError(
@@ -177,6 +194,11 @@ def build_traffic_service(
         queue_capacity=queue_capacity,
         on_result=on_result,
         backend=resolve_backend(backend),
+        retain_results=retain_results,
+        span_rate=span_rate,
+        span_seed=seed if span_seed is None else span_seed,
+        span_max=span_max,
+        metrics_interval=metrics_interval,
     )
 
 
@@ -190,13 +212,19 @@ def build_reveal_service(
     queue_capacity: int = 1024,
     on_result: Optional[Callable[[ServeResult], None]] = None,
     backend: Optional[str] = None,
+    retain_results: bool = True,
+    span_rate: float = 0.0,
+    span_seed: Optional[int] = None,
+    span_max: int = 256,
+    metrics_interval: Optional[float] = None,
 ) -> ArrangementService:
     """Deploy a reveal-serving service over one online MinLA instance.
 
     At one shard the single engine sees exactly the instance's node
     universe, initial arrangement and (via :func:`shard_rng` ``(seed, 0)``)
     random stream, so feeding the instance's steps in order serves a run
-    bit-identical to :func:`repro.core.simulator.run_online`.
+    bit-identical to :func:`repro.core.simulator.run_online`.  The
+    observability knobs mirror :func:`build_traffic_service`.
     """
     partition = reveal_partition(instance.sequence, num_shards)
     engines = [
@@ -221,6 +249,11 @@ def build_reveal_service(
         queue_capacity=queue_capacity,
         on_result=on_result,
         backend=resolve_backend(backend),
+        retain_results=retain_results,
+        span_rate=span_rate,
+        span_seed=seed if span_seed is None else span_seed,
+        span_max=span_max,
+        metrics_interval=metrics_interval,
     )
 
 
@@ -236,10 +269,16 @@ class LoadReport:
     seed: int
     summary: ServiceSummary
     results: Sequence[ServeResult] = field(repr=False)
+    """Per-request results — empty when the run did not retain them
+    (``retain_requests=False``, the O(1) memory default of the CLI)."""
     shard_requests: Dict[int, int] = field(default_factory=dict)
     """Requests served per shard (the partition balance actually achieved)."""
     backend: str = "thread"
     """The worker backend that served the run."""
+    snapshot: Optional[FleetSnapshot] = None
+    """The fleet's merged O(buckets) metrics (always present on new runs)."""
+    span_traces: "Tuple[SpanTrace, ...]" = ()
+    """Sampled per-request span traces (empty unless ``span_rate > 0``)."""
 
 
 def drive_service(
@@ -261,7 +300,7 @@ def drive_service(
     """
     if mode not in MODES:
         raise ServiceError(f"unknown loadgen mode {mode!r}; choose one of {list(MODES)}")
-    started = perf_counter()
+    started = monotonic_now()
     if mode == "open":
         if rate is None or rate <= 0:
             raise ServiceError("open-loop load generation needs a positive --rate")
@@ -269,7 +308,7 @@ def drive_service(
         next_arrival = started
         for pair in requests:
             next_arrival += arrival_rng.expovariate(rate)
-            delay = next_arrival - perf_counter()
+            delay = next_arrival - monotonic_now()
             if delay > 0:
                 time.sleep(delay)
             service.submit(pair)
@@ -286,7 +325,7 @@ def drive_service(
         for pair in requests:
             service.submit(pair)
     results = service.drain()
-    return results, perf_counter() - started
+    return results, monotonic_now() - started
 
 
 def run_scenario_loadgen(
@@ -303,6 +342,10 @@ def run_scenario_loadgen(
     rate: Optional[float] = None,
     concurrency: int = 32,
     backend: Optional[str] = None,
+    retain_requests: bool = True,
+    span_rate: float = 0.0,
+    stats_interval: Optional[float] = None,
+    stats_emit: Callable[[str], None] = print,
 ) -> LoadReport:
     """Replay one registered scenario through a fresh deployment, end to end.
 
@@ -311,6 +354,13 @@ def run_scenario_loadgen(
     :func:`resolve_backend`), drives it in the requested mode, drains it,
     releases the backend, and reduces the run to a
     :class:`~repro.service.metrics.ServiceSummary`.
+
+    ``retain_requests=True`` keeps every :class:`ServeResult` and computes
+    exact nearest-rank percentiles (O(requests) memory — the audit path);
+    ``False`` serves at O(1) memory and summarizes from the fleet
+    histograms instead.  ``span_rate`` samples reproducible span traces,
+    and ``stats_interval`` prints a live one-line fleet snapshot (through
+    ``stats_emit``) every that-many seconds while the run drives.
     """
     if mode not in MODES:
         raise ServiceError(f"unknown loadgen mode {mode!r}; choose one of {list(MODES)}")
@@ -344,9 +394,16 @@ def run_scenario_loadgen(
         queue_capacity=queue_capacity,
         on_result=on_result,
         backend=backend,
+        retain_results=retain_requests,
+        span_rate=span_rate,
+        metrics_interval=stats_interval,
     )
+    reporter: Optional[StatsReporter] = None
     try:
         service.start()
+        if stats_interval is not None:
+            reporter = StatsReporter(service, stats_interval, emit=stats_emit)
+            reporter.start()
         results, wall_seconds = drive_service(
             service,
             stream,
@@ -356,21 +413,43 @@ def run_scenario_loadgen(
             seed=seed,
             window=window,
         )
-        summary = summarize_results(
-            results,
-            service.shard_reports(),
-            wall_seconds,
-            batch_size,
-            backend=backend,
-            worker_stats=service.worker_stats(),
-        )
+        if reporter is not None:
+            reporter.stop()
+            reporter = None
+        snapshot = service.fleet_snapshot()
+        if retain_requests:
+            summary = summarize_results(
+                results,
+                service.shard_reports(),
+                wall_seconds,
+                batch_size,
+                backend=backend,
+                worker_stats=service.worker_stats(),
+            )
+        else:
+            summary = summarize_snapshot(
+                snapshot,
+                service.shard_reports(),
+                wall_seconds,
+                batch_size,
+                backend=backend,
+                worker_stats=service.worker_stats(),
+            )
+        span_traces = service.span_traces()
     finally:
+        if reporter is not None:
+            reporter.stop()
         # Backend resources (worker processes, shared-memory segments) must
         # never outlive the run, even when driving it raised.
         service.close()
-    shard_requests: Dict[int, int] = {}
-    for result in results:
-        shard_requests[result.shard] = shard_requests.get(result.shard, 0) + 1
+    if retain_requests:
+        shard_requests: Dict[int, int] = {}
+        for result in results:
+            shard_requests[result.shard] = (
+                shard_requests.get(result.shard, 0) + 1
+            )
+    else:
+        shard_requests = snapshot.shard_request_counts()
     return LoadReport(
         scenario=scenario.name,
         mode=mode,
@@ -379,4 +458,276 @@ def run_scenario_loadgen(
         results=tuple(results),
         shard_requests=dict(sorted(shard_requests.items())),
         backend=backend,
+        snapshot=snapshot,
+        span_traces=span_traces,
+    )
+
+
+# ----------------------------------------------------------------------
+# Soak mode: stream indefinitely at O(1) memory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoakCheckpoint:
+    """One mid-soak observation: progress, tail latency, resident memory."""
+
+    requests_submitted: int
+    elapsed_seconds: float
+    throughput: float
+    """Submission rate so far (requests / elapsed)."""
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+    """Fleet-histogram percentiles at this instant (None before any ship
+    from a process-backend worker)."""
+    rss_bytes: Optional[int]
+    """Broker-process resident set size (None off-Linux)."""
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Everything one soak run produced — O(buckets), never O(requests)."""
+
+    scenario: str
+    seed: int
+    backend: str
+    num_requests: int
+    wall_seconds: float
+    summary: ServiceSummary
+    snapshot: FleetSnapshot
+    checkpoints: "Tuple[SoakCheckpoint, ...]"
+    shard_requests: Dict[int, int] = field(default_factory=dict)
+    span_traces: "Tuple[SpanTrace, ...]" = ()
+
+    #: RSS growth above this factor (final / first checkpoint) is reported
+    #: as not flat.  The first checkpoint doubles as the warm-up mark.
+    FLAT_RSS_FACTOR = 1.10
+
+    def rss_growth(self) -> Optional[float]:
+        """Final-over-first checkpoint RSS ratio (None without /proc)."""
+        measured = [
+            checkpoint.rss_bytes
+            for checkpoint in self.checkpoints
+            if checkpoint.rss_bytes is not None
+        ]
+        if len(measured) < 2 or measured[0] <= 0:
+            return None
+        return measured[-1] / measured[0]
+
+    def memory_flat(self) -> Optional[bool]:
+        """Whether RSS stayed within ``FLAT_RSS_FACTOR`` after warm-up."""
+        growth = self.rss_growth()
+        if growth is None:
+            return None
+        return growth <= self.FLAT_RSS_FACTOR
+
+    def to_text(self) -> str:
+        """The soak addendum ``repro loadgen --soak`` prints."""
+        lines = [
+            f"soak {self.scenario}: {self.num_requests} requests in "
+            f"{self.wall_seconds:.1f} s, backend={self.backend}"
+        ]
+        for checkpoint in self.checkpoints:
+            rss = (
+                "-"
+                if checkpoint.rss_bytes is None
+                else f"{checkpoint.rss_bytes / 1e6:.1f}MB"
+            )
+            p99 = (
+                "-" if checkpoint.p99_ms is None else f"{checkpoint.p99_ms:.2f}"
+            )
+            lines.append(
+                f"  checkpoint req={checkpoint.requests_submitted} "
+                f"t={checkpoint.elapsed_seconds:.1f}s "
+                f"rate={checkpoint.throughput:,.1f}/s p99={p99}ms rss={rss}"
+            )
+        growth = self.rss_growth()
+        if growth is None:
+            lines.append("rss: unavailable (no /proc)")
+        else:
+            flat = "(flat)" if self.memory_flat() else "(growing)"
+            first = next(
+                checkpoint.rss_bytes
+                for checkpoint in self.checkpoints
+                if checkpoint.rss_bytes is not None
+            )
+            lines.append(
+                f"rss first={first / 1e6:.1f}MB growth=x{growth:.3f} {flat}"
+            )
+        lines.append(self.summary.to_text())
+        return "\n".join(lines)
+
+
+def _soak_checkpoint(
+    service: ArrangementService, submitted: int, elapsed: float
+) -> SoakCheckpoint:
+    snapshot = service.fleet_snapshot()
+    p50 = snapshot.latency.percentile(0.50)
+    p99 = snapshot.latency.percentile(0.99)
+    return SoakCheckpoint(
+        requests_submitted=submitted,
+        elapsed_seconds=elapsed,
+        throughput=submitted / elapsed if elapsed > 0 else 0.0,
+        p50_ms=None if p50 is None else p50 * 1_000.0,
+        p99_ms=None if p99 is None else p99 * 1_000.0,
+        rss_bytes=resident_bytes(),
+    )
+
+
+def run_scenario_soak(
+    scenario: Scenario,
+    num_nodes: int,
+    num_requests: int,
+    seed: int = 0,
+    num_shards: int = 1,
+    learner: str = "rand",
+    batch_size: int = 1,
+    batch_timeout: Optional[float] = None,
+    queue_capacity: int = 1024,
+    backend: Optional[str] = None,
+    duration_seconds: Optional[float] = None,
+    max_requests: Optional[int] = None,
+    checkpoint_requests: Optional[Sequence[int]] = None,
+    span_rate: float = 0.0,
+    stats_interval: Optional[float] = None,
+    stats_emit: Callable[[str], None] = print,
+) -> SoakReport:
+    """Stream a scenario's requests in cycles until time or count runs out.
+
+    The soak loop re-iterates the scenario's lazy
+    :class:`~repro.workloads.base.RequestStream` (same node universe, same
+    partition) over and over, submitting in replay mode, with retention
+    off — so memory is O(shards × buckets) no matter how many requests
+    flow (the E15 claim).  Stop conditions: ``duration_seconds`` wall
+    time, ``max_requests`` submissions, or both (first wins).
+
+    Checkpoints — RSS, throughput-so-far, live histogram tails — are
+    captured at each count in ``checkpoint_requests`` (when given) or at
+    fixed fractions of the configured horizon, plus always once at the
+    end; the first checkpoint doubles as the warm-up mark RSS growth is
+    judged against.
+    """
+    if duration_seconds is None and max_requests is None:
+        raise ServiceError(
+            "a soak run needs a horizon: --duration seconds, "
+            "--max-requests, or both"
+        )
+    if duration_seconds is not None and duration_seconds <= 0:
+        raise ServiceError(
+            f"soak duration must be positive, got {duration_seconds}"
+        )
+    if max_requests is not None and max_requests < 1:
+        raise ServiceError(
+            f"soak max requests must be positive, got {max_requests}"
+        )
+    backend = resolve_backend(backend)
+    stream = scenario.request_stream(num_nodes, num_requests, seed)
+    marks: List[int] = sorted(
+        set(checkpoint_requests or [])
+    )
+    if not marks and max_requests is not None:
+        marks = sorted(
+            {
+                max(max_requests // 100, 1),
+                max(max_requests // 10, 1),
+            }
+        )
+    time_fractions = (
+        [0.1, 0.4, 0.7] if duration_seconds is not None and not marks else []
+    )
+    service = build_traffic_service(
+        stream,
+        num_shards=num_shards,
+        learner=learner,
+        seed=seed,
+        batch_size=batch_size,
+        batch_timeout=batch_timeout,
+        queue_capacity=queue_capacity,
+        backend=backend,
+        retain_results=False,
+        span_rate=span_rate,
+        metrics_interval=(
+            stats_interval if stats_interval is not None else 0.5
+        ),
+    )
+    reporter: Optional[StatsReporter] = None
+    checkpoints: List[SoakCheckpoint] = []
+    submitted = 0
+    try:
+        service.start()
+        if stats_interval is not None:
+            reporter = StatsReporter(service, stats_interval, emit=stats_emit)
+            reporter.start()
+        started = monotonic_now()
+        deadline = (
+            None if duration_seconds is None else started + duration_seconds
+        )
+        # Cursors into the (tiny, fixed) checkpoint schedules — the lists
+        # themselves are never mutated while the soak drives.
+        mark_cursor = 0
+        fraction_cursor = 0
+        soaking = True
+        while soaking:
+            cycle_submitted = 0
+            for request in stream:
+                service.submit(request)
+                submitted += 1
+                cycle_submitted += 1
+                elapsed = monotonic_now() - started
+                if mark_cursor < len(marks) and submitted >= marks[mark_cursor]:
+                    mark_cursor += 1
+                    checkpoints.append(
+                        _soak_checkpoint(service, submitted, elapsed)
+                    )
+                if (
+                    fraction_cursor < len(time_fractions)
+                    and duration_seconds is not None
+                    and elapsed
+                    >= time_fractions[fraction_cursor] * duration_seconds
+                ):
+                    fraction_cursor += 1
+                    checkpoints.append(
+                        _soak_checkpoint(service, submitted, elapsed)
+                    )
+                if max_requests is not None and submitted >= max_requests:
+                    soaking = False
+                    break
+                if deadline is not None and monotonic_now() >= deadline:
+                    soaking = False
+                    break
+            if cycle_submitted == 0:
+                # An empty stream would spin forever; stop and report the
+                # zero-request summary ("no requests served") instead.
+                soaking = False
+        service.drain()
+        wall_seconds = monotonic_now() - started
+        checkpoints.append(
+            _soak_checkpoint(service, submitted, wall_seconds)
+        )
+        if reporter is not None:
+            reporter.stop()
+            reporter = None
+        snapshot = service.fleet_snapshot()
+        summary = summarize_snapshot(
+            snapshot,
+            service.shard_reports(),
+            max(wall_seconds, 1e-9),
+            batch_size,
+            backend=backend,
+            worker_stats=service.worker_stats(),
+        )
+        span_traces = service.span_traces()
+    finally:
+        if reporter is not None:
+            reporter.stop()
+        service.close()
+    return SoakReport(
+        scenario=scenario.name,
+        seed=seed,
+        backend=backend,
+        num_requests=submitted,
+        wall_seconds=wall_seconds,
+        summary=summary,
+        snapshot=snapshot,
+        checkpoints=tuple(checkpoints),
+        shard_requests=snapshot.shard_request_counts(),
+        span_traces=span_traces,
     )

@@ -9,27 +9,45 @@ cost totals aggregated from the shard engines.
 Percentiles use the nearest-rank method on the sorted sample (the smallest
 value with cumulative frequency ≥ p), so a percentile is always an actually
 observed latency, never an interpolation artefact.
+
+Since the observability rework there are two summary paths: the exact one
+above (:func:`summarize_results`, needs ``retain_results=True``) and the
+O(buckets) histogram path (:func:`summarize_snapshot`, the default for
+loadgen and the only option for soak runs) whose quantiles are fixed-bucket
+upper edges bounding the exact values within one bucket width.  A summary
+records which path produced it in ``latency_source``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
 from repro.experiments.tables import ResultTable
+from repro.obs.registry import HistogramSnapshot
 from repro.service.broker import ServeResult, WorkerStats
 from repro.service.engine import ShardReport
+from repro.service.observation import FleetSnapshot
 
 #: The latency quantiles every summary reports.
 QUANTILES = (0.50, 0.95, 0.99)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in ``(0, 1]``)."""
+    """Nearest-rank percentile of ``values`` (``q`` in ``(0, 1]``).
+
+    An empty sample *raises* — a percentile of nothing is not ``0.0``, and
+    silently returning one would fabricate a perfect latency out of an
+    idle run.  Callers that can legitimately see zero served requests
+    (the soak/loadgen summaries) check first and surface
+    "no requests served" instead.
+    """
     if not values:
-        raise ServiceError("percentile() needs a non-empty sample")
+        raise ServiceError(
+            "percentile() needs a non-empty sample (no requests served?)"
+        )
     if not 0.0 < q <= 1.0:
         raise ServiceError(f"percentile q must lie in (0, 1], got {q}")
     ordered = sorted(values)
@@ -63,6 +81,15 @@ class ServiceSummary:
     """Which worker backend served the run (``thread`` or ``process``)."""
     shard_stats: "Tuple[WorkerStats, ...]" = field(default_factory=tuple)
     """Per-shard queue-depth high-water marks and busy fractions."""
+    latency_source: str = "exact"
+    """Where the quantiles came from: ``exact`` (retained per-request
+    samples, nearest-rank) or ``histogram`` (fixed-bucket upper edges —
+    each bounds its exact counterpart within one bucket width)."""
+    latency_histogram: Optional[HistogramSnapshot] = None
+    queue_histogram: Optional[HistogramSnapshot] = None
+    """The fleet-merged histograms behind a ``histogram``-sourced summary
+    (kept so archives and exporters can band full distributions, not just
+    three quantiles)."""
 
     @property
     def max_queue_peak(self) -> int:
@@ -80,8 +107,6 @@ class ServiceSummary:
 
     def to_text(self) -> str:
         """The multi-line human summary ``repro serve``/``loadgen`` print."""
-        latency = self.latency_ms
-        queue = self.queue_ms
         worker_line = f"workers    : backend={self.backend}"
         if self.shard_stats:
             per_shard = "; ".join(
@@ -90,6 +115,25 @@ class ServiceSummary:
                 for stats in self.shard_stats
             )
             worker_line = f"{worker_line}; {per_shard}"
+        cost_line = (
+            f"served cost: migration={self.migration_cost:.1f} "
+            f"communication={self.communication_cost:.1f} "
+            f"total={self.total_cost:.1f} (reveals={self.num_reveals})"
+        )
+        if self.num_requests == 0:
+            return "\n".join(
+                [
+                    f"no requests served on {self.num_shards} shard(s) in "
+                    f"{self.wall_seconds:.2f} s — nothing to summarize",
+                    worker_line,
+                    cost_line,
+                ]
+            )
+        latency = self.latency_ms
+        queue = self.queue_ms
+        source = "" if self.latency_source == "exact" else (
+            f" [{self.latency_source}]"
+        )
         return "\n".join(
             [
                 f"served {self.num_requests} requests on {self.num_shards} "
@@ -97,15 +141,13 @@ class ServiceSummary:
                 f"{self.throughput:,.1f} req/s",
                 f"latency ms : p50={latency['p50']:.3f} p95={latency['p95']:.3f} "
                 f"p99={latency['p99']:.3f} mean={latency['mean']:.3f} "
-                f"max={latency['max']:.3f}",
+                f"max={latency['max']:.3f}{source}",
                 f"queue ms   : p50={queue['p50']:.3f} p95={queue['p95']:.3f} "
                 f"p99={queue['p99']:.3f}",
                 f"batches    : {self.num_batches} served "
                 f"(configured size {self.batch_size}, mean {self.mean_batch:.2f})",
                 worker_line,
-                f"served cost: migration={self.migration_cost:.1f} "
-                f"communication={self.communication_cost:.1f} "
-                f"total={self.total_cost:.1f} (reveals={self.num_reveals})",
+                cost_line,
             ]
         )
 
@@ -136,9 +178,9 @@ class ServiceSummary:
             self.num_shards,
             self.batch_size,
             self.throughput,
-            self.latency_ms["p50"],
-            self.latency_ms["p95"],
-            self.latency_ms["p99"],
+            self.latency_ms.get("p50", math.nan),
+            self.latency_ms.get("p95", math.nan),
+            self.latency_ms.get("p99", math.nan),
             self.max_queue_peak,
             self.mean_busy_fraction * 100.0,
             self.migration_cost,
@@ -150,15 +192,59 @@ class ServiceSummary:
 
     def findings(self) -> Dict[str, float]:
         """Headline scalars (what loadgen archives as run-store findings)."""
-        return {
+        findings = {
             "throughput req/s": self.throughput,
-            "latency p50 ms": self.latency_ms["p50"],
-            "latency p95 ms": self.latency_ms["p95"],
-            "latency p99 ms": self.latency_ms["p99"],
             "max shard queue peak": float(self.max_queue_peak),
             "mean worker busy fraction": self.mean_busy_fraction,
             "served total cost": self.total_cost,
         }
+        if self.num_requests > 0:
+            # An idle run has no latency distribution: archiving 0.0 here
+            # would band a fake perfect tail into runs report/compare.
+            findings["latency p50 ms"] = self.latency_ms["p50"]
+            findings["latency p95 ms"] = self.latency_ms["p95"]
+            findings["latency p99 ms"] = self.latency_ms["p99"]
+        return findings
+
+    def latency_histogram_table(self, title: str) -> Optional[ResultTable]:
+        """The latency histogram as an archivable bucket table.
+
+        ``None`` for exact-sourced summaries (they carry no histogram).
+        Only occupied buckets get rows, so the table stays compact while
+        the archive keeps the full distribution — what lets
+        ``runs report``/``runs compare`` band tail drift across commits.
+        """
+        if self.latency_histogram is None:
+            return None
+        table = ResultTable(
+            title=title,
+            columns=["le ms", "count", "cumulative"],
+        )
+        cumulative = 0
+        edges = list(self.latency_histogram.edges) + [math.inf]
+        for edge, count in zip(edges, self.latency_histogram.counts):
+            cumulative += count
+            if count > 0:
+                table.add_row(edge * 1_000.0, count, cumulative)
+        return table
+
+
+def _histogram_quantile_map(histogram: HistogramSnapshot) -> Dict[str, float]:
+    """The quantile map of a fleet histogram, in milliseconds.
+
+    ``p50``/``p95``/``p99`` are bucket upper edges (each bounds the exact
+    nearest-rank value within one bucket width); ``mean`` and ``max`` are
+    exact, because the histogram tracks the sum and extremes on the side.
+    """
+    summary = {}
+    for q in QUANTILES:
+        value = histogram.percentile(q)
+        assert value is not None  # callers check num_requests first
+        summary[f"p{int(q * 100)}"] = value * 1_000.0
+    assert histogram.mean is not None and histogram.max is not None
+    summary["mean"] = histogram.mean * 1_000.0
+    summary["max"] = histogram.max * 1_000.0
+    return summary
 
 
 def _quantile_map(seconds: List[float]) -> Dict[str, float]:
@@ -211,4 +297,55 @@ def summarize_results(
         shard_stats=tuple(
             sorted(worker_stats, key=lambda stats: stats.shard_index)
         ),
+    )
+
+
+def summarize_snapshot(
+    snapshot: FleetSnapshot,
+    shard_reports: Sequence[ShardReport],
+    wall_seconds: float,
+    batch_size: int,
+    backend: str = "thread",
+    worker_stats: Sequence[WorkerStats] = (),
+) -> ServiceSummary:
+    """Reduce a fleet metrics snapshot to a :class:`ServiceSummary`.
+
+    The histogram-sourced twin of :func:`summarize_results`: everything
+    comes from the O(buckets) per-shard aggregates, so it works for runs
+    that retained no per-request results (the default loadgen path and
+    the soak mode).  Quantiles are bucket upper edges; a run that served
+    nothing yields a summary whose ``to_text()`` says "no requests
+    served" instead of fabricating zeros.
+    """
+    if wall_seconds <= 0:
+        raise ServiceError(f"wall_seconds must be positive, got {wall_seconds}")
+    served = snapshot.num_requests
+    num_batches = sum(report.num_batches for report in shard_reports)
+    return ServiceSummary(
+        num_requests=served,
+        num_shards=len(shard_reports),
+        batch_size=batch_size,
+        wall_seconds=wall_seconds,
+        throughput=served / wall_seconds,
+        latency_ms=(
+            _histogram_quantile_map(snapshot.latency) if served else {}
+        ),
+        queue_ms=(
+            _histogram_quantile_map(snapshot.queue_wait) if served else {}
+        ),
+        num_reveals=sum(report.num_reveals for report in shard_reports),
+        num_batches=num_batches,
+        mean_batch=served / max(num_batches, 1),
+        migration_cost=sum(report.migration_cost for report in shard_reports),
+        communication_cost=sum(
+            report.communication_cost for report in shard_reports
+        ),
+        total_cost=sum(report.total_cost for report in shard_reports),
+        backend=backend,
+        shard_stats=tuple(
+            sorted(worker_stats, key=lambda stats: stats.shard_index)
+        ),
+        latency_source="histogram",
+        latency_histogram=snapshot.latency,
+        queue_histogram=snapshot.queue_wait,
     )

@@ -14,8 +14,11 @@ per shard.  The moving parts, per shard:
   publishing each revealing batch's arrangement into the shard's
   :class:`~repro.service.shm.SharedArrangementMirror`,
 * a bounded result queue carrying one ``("results", [...])`` message per
-  served batch (amortized IPC), then ``("error", ...)`` on engine failure
-  and finally ``("done", report, stats)``,
+  served batch (amortized IPC — skipped entirely in the non-retained O(1)
+  memory mode when no ``on_result`` hook needs them), periodic
+  ``("metrics", snapshot)`` ships for live introspection, then
+  ``("error", ...)`` on engine failure and finally
+  ``("done", report, stats, metrics, spans)``,
 * a collector thread in the broker process that drains the result queue,
   fires ``on_result`` hooks, and notices a worker that died without saying
   goodbye.
@@ -49,13 +52,15 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
-from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.permutation import Arrangement
 from repro.errors import ServiceError
+from repro.obs.clock import now as monotonic_now
+from repro.obs.spans import SpanCollector, SpanSampler, SpanTrace
 from repro.service.broker import ServeResult, WorkerStats, _QueueItem
 from repro.service.engine import ShardEngine, ShardReport
+from repro.service.observation import ShardMetrics, ShardMetricsSnapshot
 from repro.service.shm import SharedArrangementMirror
 
 #: Liveness-polling interval for blocking queue operations against a worker
@@ -75,31 +80,46 @@ def _worker_main(
     mirror: SharedArrangementMirror,
     batch_size: int,
     batch_timeout: Optional[float],
+    ship_results: bool = True,
+    span_sampler: Optional[SpanSampler] = None,
+    span_max: int = 256,
+    metrics_interval: Optional[float] = None,
 ) -> None:
     """One shard's serving loop, run inside the forked worker process.
 
-    Mirrors the thread worker's batching exactly; ships one message per
-    batch; publishes the arrangement after every revealing batch; always
-    ends with a ``("done", report, stats)`` message so the collector knows
-    a missing goodbye means the process died.
+    Mirrors the thread worker's batching exactly; publishes the
+    arrangement after every revealing batch; aggregates into a local
+    :class:`ShardMetrics` and (with ``ship_results=False``, the O(1)
+    memory mode) ships *no* per-batch result messages — only periodic
+    ``("metrics", snapshot)`` messages every ``metrics_interval`` seconds
+    for live introspection.  Always ends with a
+    ``("done", report, stats, metrics, spans)`` goodbye so the collector
+    knows a missing one means the process died.
     """
-    started_at_seconds = perf_counter()
+    started_at_seconds = monotonic_now()
     busy_seconds = 0.0
     queue_peak = 0
     num_batches = 0
     sentinel_seen = False
+    metrics = ShardMetrics(engine.shard_index)
+    spans = (
+        None
+        if span_sampler is None or span_sampler.rate <= 0.0
+        else SpanCollector(span_sampler, span_max)
+    )
+    last_shipped_at = started_at_seconds
 
     def collect_batch(first: Tuple) -> "Tuple[List[Tuple], bool]":
         nonlocal sentinel_seen
         batch = [first]
         deadline = (
-            None if batch_timeout is None else perf_counter() + batch_timeout
+            None if batch_timeout is None else monotonic_now() + batch_timeout
         )
         while len(batch) < batch_size:
             if deadline is None:
                 item = requests.get()
             else:
-                remaining = deadline - perf_counter()
+                remaining = deadline - monotonic_now()
                 if remaining <= 0:
                     return batch, False
                 try:
@@ -124,31 +144,64 @@ def _worker_main(
                 depth = 1
             if depth > queue_peak:
                 queue_peak = depth
+            opened = monotonic_now()
             batch, saw_sentinel = collect_batch(item)
-            started = perf_counter()
+            started = monotonic_now()
             records = engine.serve_batch([pair for _, pair, _ in batch])
-            finished = perf_counter()
+            finished = monotonic_now()
             service_seconds = finished - started
             busy_seconds += service_seconds
             num_batches += 1
-            served = [
-                ServeResult(
-                    request_index=index,
-                    pair=pair,
-                    shard=engine.shard_index,
-                    revealed=record.revealed,
-                    migration_swaps=record.migration_swaps,
-                    communication_cost=record.communication_cost,
-                    queue_seconds=started - enqueued_at,
-                    service_seconds=service_seconds,
-                    latency_seconds=finished - enqueued_at,
-                    batch_size=len(batch),
-                )
-                for (index, pair, enqueued_at), record in zip(batch, records)
-            ]
+            metrics.observe_batch(
+                queue_seconds=[
+                    started - enqueued_at for _, _, enqueued_at in batch
+                ],
+                latency_seconds=[
+                    finished - enqueued_at for _, _, enqueued_at in batch
+                ],
+                num_reveals=sum(1 for record in records if record.revealed),
+            )
             if any(record.revealed for record in records):
                 mirror.write(engine.arrangement_order_indices())
-            results.put(("results", served))
+            if ship_results:
+                served = [
+                    ServeResult(
+                        request_index=index,
+                        pair=pair,
+                        shard=engine.shard_index,
+                        revealed=record.revealed,
+                        migration_swaps=record.migration_swaps,
+                        communication_cost=record.communication_cost,
+                        queue_seconds=started - enqueued_at,
+                        service_seconds=service_seconds,
+                        latency_seconds=finished - enqueued_at,
+                        batch_size=len(batch),
+                    )
+                    for (index, pair, enqueued_at), record in zip(
+                        batch, records
+                    )
+                ]
+                results.put(("results", served))
+            if spans is not None:
+                replied = monotonic_now()
+                for index, _, enqueued_at in batch:
+                    # Per-shard indices are monotone, so one integer
+                    # compare skips every unsampled request.
+                    if index >= spans.next_interesting and spans.wants(index):
+                        spans.record_raw(
+                            index,
+                            engine.shard_index,
+                            enqueued_at,
+                            opened,
+                            started,
+                            finished,
+                            replied,
+                        )
+            if metrics_interval is not None:
+                shipped_at = monotonic_now()
+                if shipped_at - last_shipped_at >= metrics_interval:
+                    last_shipped_at = shipped_at
+                    results.put(("metrics", metrics.snapshot()))
             if saw_sentinel:
                 break
     except BaseException as error:  # noqa: BLE001 - reported at drain()
@@ -165,9 +218,17 @@ def _worker_main(
             num_batches=num_batches,
             queue_peak=queue_peak,
             busy_seconds=busy_seconds,
-            lifetime_seconds=perf_counter() - started_at_seconds,
+            lifetime_seconds=monotonic_now() - started_at_seconds,
         )
-        results.put(("done", engine.report(), stats))
+        results.put(
+            (
+                "done",
+                engine.report(),
+                stats,
+                metrics.snapshot(),
+                () if spans is None else spans.traces(),
+            )
+        )
         mirror.close()  # drops the child's inherited mapping, never unlinks
 
 
@@ -181,8 +242,10 @@ class _ResultCollector(threading.Thread):
     """
 
     #: Cross-thread contract (enforced by THR001): single-writer fields the
-    #: collector publishes; the control thread reads them after ``join()``.
-    _shared = ("results", "report", "stats", "failure")
+    #: collector publishes; the control thread reads them after ``join()``
+    #: (``live_metrics`` is also read mid-run by the stats reporter — a
+    #: single reference assignment, atomic under the GIL).
+    _shared = ("results", "report", "stats", "failure", "metrics", "spans", "live_metrics")
 
     def __init__(
         self,
@@ -190,18 +253,23 @@ class _ResultCollector(threading.Thread):
         results_queue: "multiprocessing.queues.Queue",
         process: multiprocessing.Process,
         on_result: Optional[Callable[[ServeResult], None]],
+        retain_results: bool = True,
     ) -> None:
         super().__init__(
             name=f"repro-serve-collect-{shard_index}", daemon=True
         )
-        self._shard_index = shard_index
+        self.shard_index = shard_index
         self._queue = results_queue
         self._process = process
         self._on_result = on_result
+        self._retain_results = retain_results
         self.results: List[ServeResult] = []
         self.report: Optional[ShardReport] = None
         self.stats: Optional[WorkerStats] = None
         self.failure: Optional[str] = None
+        self.metrics: Optional[ShardMetricsSnapshot] = None
+        self.spans: "Tuple[SpanTrace, ...]" = ()
+        self.live_metrics: Optional[ShardMetricsSnapshot] = None
 
     def run(self) -> None:
         while True:
@@ -224,14 +292,19 @@ class _ResultCollector(threading.Thread):
             kind = message[0]
             if kind == "results":
                 for result in message[1]:
-                    self.results.append(result)
+                    if self._retain_results:
+                        self.results.append(result)
                     if self._on_result is not None:
                         self._on_result(result)
+            elif kind == "metrics":
+                self.live_metrics = message[1]
             elif kind == "error":
                 self.failure = f"{message[1]}: {message[2]}"
             else:  # "done"
                 self.report = message[1]
                 self.stats = message[2]
+                self.metrics = message[3]
+                self.spans = tuple(message[4])
                 return
 
 
@@ -252,6 +325,10 @@ class ProcessShardFleet:
         batch_timeout: Optional[float],
         queue_capacity: int,
         on_result: Optional[Callable[[ServeResult], None]],
+        retain_results: bool = True,
+        span_sampler: Optional[SpanSampler] = None,
+        span_max: int = 256,
+        metrics_interval: Optional[float] = None,
     ) -> None:
         self._engines = list(engines)
         self._queue_capacity = queue_capacity
@@ -279,6 +356,9 @@ class ProcessShardFleet:
         self._result_queues = [
             multiprocessing.Queue(maxsize=queue_capacity) for _ in self._engines
         ]
+        # Per-request results only cross the process boundary when someone
+        # will consume them: the drain (retention) or an on_result hook.
+        ship_results = retain_results or on_result is not None
         self._processes = [
             multiprocessing.Process(
                 target=_worker_main,
@@ -289,6 +369,10 @@ class ProcessShardFleet:
                     mirror,
                     batch_size,
                     batch_timeout,
+                    ship_results,
+                    span_sampler,
+                    span_max,
+                    metrics_interval,
                 ),
                 name=f"repro-serve-proc-{engine.shard_index}",
                 daemon=True,
@@ -301,7 +385,13 @@ class ProcessShardFleet:
             )
         ]
         self._collectors = [
-            _ResultCollector(engine.shard_index, result_queue, process, on_result)
+            _ResultCollector(
+                engine.shard_index,
+                result_queue,
+                process,
+                on_result,
+                retain_results=retain_results,
+            )
             for engine, result_queue, process in zip(
                 self._engines, self._result_queues, self._processes
             )
@@ -331,7 +421,7 @@ class ProcessShardFleet:
         self, shard: int, item: _QueueItem, timeout: Optional[float]
     ) -> None:
         message = (item.request_index, item.pair, item.enqueued_at)
-        deadline = None if timeout is None else perf_counter() + timeout
+        deadline = None if timeout is None else monotonic_now() + timeout
         while True:
             # Poll in slices so a worker that dies with a full queue turns
             # into an error instead of an eternal block.
@@ -339,7 +429,7 @@ class ProcessShardFleet:
             if deadline is None:
                 slice_seconds = _POLL_SECONDS
             else:
-                remaining = deadline - perf_counter()
+                remaining = deadline - monotonic_now()
                 if remaining <= 0:
                     raise ServiceError(
                         f"shard {shard} applied backpressure for more than "
@@ -448,6 +538,31 @@ class ProcessShardFleet:
             )
             for engine in self._engines
         )
+
+    def metrics_snapshots(self) -> "Tuple[ShardMetricsSnapshot, ...]":
+        # Final snapshots arrive with the goodbye message; before that the
+        # freshest periodic ("metrics", ...) ship stands in (workers only
+        # send those when the fleet was built with a metrics_interval).
+        snapshots = []
+        for collector in self._collectors:
+            if collector.metrics is not None:
+                snapshots.append(collector.metrics)
+            elif collector.live_metrics is not None:
+                snapshots.append(collector.live_metrics)
+            else:
+                snapshots.append(
+                    ShardMetricsSnapshot.empty(collector.shard_index)
+                )
+        return tuple(snapshots)
+
+    def span_traces(self) -> "Tuple[SpanTrace, ...]":
+        traces = [
+            trace
+            for collector in self._collectors
+            for trace in collector.spans
+        ]
+        traces.sort(key=lambda trace: trace.request_index)
+        return tuple(traces)
 
     def shard_arrangement(self, shard: int) -> Arrangement:
         order, _ = self._mirrors[shard].read()

@@ -533,6 +533,87 @@ class TestAPI001:
 
 
 # ----------------------------------------------------------------------
+# OBS001 — monotonic clock reads outside the obs clock seam
+# ----------------------------------------------------------------------
+class TestOBS001:
+    def test_fires_on_direct_monotonic_calls(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "import time\n"
+                    "def measure():\n"
+                    "    started = time.perf_counter()\n"
+                    "    return time.monotonic() - started\n"
+                )
+            },
+            rules=["OBS001"],
+        )
+        assert rules_fired(report) == ["OBS001"]
+        assert len(report.findings) == 2
+        assert "clock seam" in report.findings[0].message
+
+    def test_fires_on_bare_and_aliased_imports(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "from time import perf_counter as tick\n"
+                    "def measure():\n"
+                    "    return tick()\n"
+                )
+            },
+            rules=["OBS001"],
+        )
+        assert rules_fired(report) == ["OBS001"]
+
+    def test_silent_on_wall_clock_reads(self, tmp_path):
+        # Wall time is not a latency measurement; DET002's taint tracking
+        # owns it. OBS001 polices only the monotonic family.
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            },
+            rules=["OBS001"],
+        )
+        assert report.clean
+
+    def test_silent_inside_the_seam_module(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/obs/clock.py": (
+                    "from time import perf_counter as _read_monotonic\n"
+                    "def now():\n"
+                    "    return _read_monotonic()\n"
+                )
+            },
+            rules=["OBS001"],
+        )
+        assert report.clean
+
+    def test_silent_when_timing_through_the_seam(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "from repro.obs.clock import now\n"
+                    "def measure():\n"
+                    "    started = now()\n"
+                    "    return now() - started\n"
+                )
+            },
+            rules=["OBS001"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions: waivers silence findings, and are themselves policed
 # ----------------------------------------------------------------------
 BAD_SET_LOOP = (

@@ -129,7 +129,7 @@ class TestRunnerHelpers:
 
 class TestSuiteRegistry:
     def test_registry_covers_design_md_index(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ExperimentError):
