@@ -18,7 +18,7 @@ from repro.analysis.checker import analyze_project
 from repro.analysis.model import load_project
 
 SRC_TREE = Path(repro.__file__).resolve().parent
-MAX_SECONDS = 2.0
+MAX_SECONDS = 4.0
 ROUNDS = 3
 
 

@@ -22,16 +22,27 @@ not mint new entries — it *appends a timing sample* to the existing one, so
 repeated benchmark invocations accumulate a real performance trajectory
 (inspect it with ``python -m repro runs list``, gate on it with
 ``python -m repro runs compare``).
+
+The session also writes a machine-readable ``BENCH_summary.json``
+(location from ``REPRO_BENCH_SUMMARY``): per-bench median seconds plus the
+work counters each bench performed.  CI uploads it as an artifact, so
+successive PRs accumulate a perf trajectory that pairs every timing with
+the deterministic work behind it — a timing shift without a counter shift
+is machine noise; a counter shift is a semantic change.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
 from repro.experiments.parallel import JOBS_ENV_VAR
 from repro.experiments.runner import ExperimentResult, ExperimentScale
+from repro.obs.profile import work_delta, work_snapshot
 from repro.runstore.store import RunStore, run_record_from_result
 
 
@@ -87,13 +98,47 @@ def _measured_seconds(benchmark) -> "float | None":
         return None
 
 
+def _median_seconds(benchmark) -> "float | None":
+    """The benchmark's median wall time, if the plugin exposed its stats."""
+    try:
+        return float(benchmark.stats.stats.median)
+    except AttributeError:
+        return None
+
+
+#: ``bench name -> {median_seconds, work}`` accumulated over the session,
+#: flushed to ``BENCH_summary.json`` at session finish.
+_bench_summary: Dict[str, Dict] = {}
+
+
+def _summary_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_SUMMARY", "BENCH_summary.json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable per-bench summary for the CI artifact."""
+    if not _bench_summary:
+        return
+    payload = {
+        "scale": _selected_scale().value,
+        "jobs": _selected_jobs(),
+        "benches": {name: _bench_summary[name] for name in sorted(_bench_summary)},
+    }
+    path = _summary_path()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path} ({len(_bench_summary)} bench(es))")
+
+
 @pytest.fixture
-def run_experiment(benchmark, bench_scale, bench_jobs, bench_store, monkeypatch):
+def run_experiment(
+    benchmark, bench_scale, bench_jobs, bench_store, monkeypatch, request
+):
     """Run an experiment function once under benchmark timing and print its tables.
 
-    The result (and its timing) is archived in the run store, so successive
-    benchmark invocations build the longitudinal perf trajectory the
-    ``runs compare`` regression gate reads.
+    The result (and its timing, and its work counters) is archived in the
+    run store, so successive benchmark invocations build the longitudinal
+    perf trajectory the ``runs compare`` regression gate reads; the same
+    numbers land in ``BENCH_summary.json`` for the CI artifact.
     """
 
     def runner(experiment_function, seed: int = 0) -> ExperimentResult:
@@ -103,9 +148,11 @@ def run_experiment(benchmark, bench_scale, bench_jobs, bench_store, monkeypatch)
         # too, so bench timings land on the same content-addressed runs.
         autodiscover_scenarios()
         monkeypatch.setenv(JOBS_ENV_VAR, str(bench_jobs))
+        work_before = work_snapshot()
         result = benchmark.pedantic(
             experiment_function, args=(bench_scale, seed), rounds=1, iterations=1
         )
+        work = work_delta(work_before, work_snapshot())
         print()
         print(result.to_ascii())
         bench_store.append(
@@ -115,8 +162,14 @@ def run_experiment(benchmark, bench_scale, bench_jobs, bench_store, monkeypatch)
                 seed=seed,
                 jobs=bench_jobs,
                 wall_time_seconds=_measured_seconds(benchmark),
+                work=work,
             )
         )
+        _bench_summary[request.node.name] = {
+            "experiment": result.experiment_id,
+            "median_seconds": _median_seconds(benchmark),
+            "work": work,
+        }
         return result
 
     return runner

@@ -22,7 +22,7 @@ from repro.analysis.rules_determinism import (
     UnseededRandomnessRule,
     WallClockTaintRule,
 )
-from repro.analysis.rules_obs import MonotonicClockSeamRule
+from repro.analysis.rules_obs import MonotonicClockSeamRule, ZoneTimingSeamRule
 from repro.analysis.rules_threading import LockDisciplineRule, UnboundedQueueRule
 from repro.analysis.suppress import (
     RULE_MISSING_REASON,
@@ -43,6 +43,7 @@ def default_rules() -> List[Rule]:
         UnboundedQueueRule(),
         PublicAnnotationsRule(),
         MonotonicClockSeamRule(),
+        ZoneTimingSeamRule(),
     ]
 
 

@@ -50,6 +50,21 @@ THREADED_MODULES: Tuple[str, ...] = ("repro.service",)
 #: not a prefix list — the seam is deliberately one file wide.
 CLOCK_SEAM_MODULES: Tuple[str, ...] = ("repro.obs.clock",)
 
+#: Dotted module prefixes allowed to compute durations from manually
+#: paired clock reads (``end - start``).  OBS002 flags the pattern
+#: everywhere else: ad-hoc duration math belongs in a
+#: ``profile_zone(...)`` block (:mod:`repro.obs.profile`), where it
+#: aggregates into mergeable histograms and answers to the manual clock in
+#: tests.  The observability layer itself and the experiment-timing
+#: harness are the sanctioned exceptions — they *implement* the seam.
+#: Per-request latency measurement in the serving layer carries per-line
+#: ``# repro: allow[obs002]`` waivers instead, keeping each remaining
+#: pairing a reviewed decision.
+ZONE_TIMING_EXEMPT_MODULES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.experiments.parallel",
+)
+
 
 def module_matches(module: str, prefixes: Tuple[str, ...]) -> bool:
     """Whether ``module`` falls under any manifest prefix.
@@ -75,3 +90,8 @@ def is_threaded_module(module: str) -> bool:
 def is_clock_seam_module(module: str) -> bool:
     """Whether ``module`` is the sanctioned monotonic-clock reader."""
     return module in CLOCK_SEAM_MODULES
+
+
+def is_zone_timing_exempt_module(module: str) -> bool:
+    """Whether OBS002 (paired clock reads for durations) skips ``module``."""
+    return module_matches(module, ZONE_TIMING_EXEMPT_MODULES)

@@ -10,20 +10,39 @@
   :class:`~repro.obs.clock.ManualClock`, and what keeps "which clock do
   we time with" a one-line policy decision instead of a tree-wide grep.
 
+* **OBS002** — duration measurement belongs in ``profile_zone(...)``
+  blocks, not in manually paired clock reads.  The rule flags
+  ``end - start`` subtractions where *both* operands are clock readings
+  (a direct call, a local assigned straight from one, or an attribute
+  assigned straight from one anywhere in the module), outside the
+  :data:`~repro.analysis.manifest.ZONE_TIMING_EXEMPT_MODULES` prefixes.
+  Deliberately conservative: ``deadline - now()`` where ``deadline`` was
+  computed as ``now() + timeout`` does not flag (the deadline is derived,
+  not a raw reading), and taint never propagates name-to-name — so the
+  findings stay high-precision and each surviving pairing is either a
+  zone candidate or a reviewed per-line waiver.
+
 DET002 polices where clock-derived *values* may flow (never into cost
-accounting); OBS001 polices where clock *reads* may happen at all.  Both
-reuse the same detection tables.
+accounting); OBS001 polices where clock *reads* may happen at all; OBS002
+polices how readings may be *combined*.  All three reuse the same
+detection tables.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import Iterator, List, Set, Tuple
 
 from repro.analysis.findings import Finding
-from repro.analysis.manifest import is_clock_seam_module
+from repro.analysis.manifest import is_clock_seam_module, is_zone_timing_exempt_module
 from repro.analysis.model import SourceModule
-from repro.analysis.rulebase import Rule, call_name
+from repro.analysis.rulebase import (
+    Rule,
+    call_name,
+    dotted_name,
+    scope_statements,
+    scopes,
+)
 
 #: Dotted callee names that read the monotonic clock.  Narrower than
 #: DET002's ``_CLOCK_CALLS``: wall-time reads (``time.time``,
@@ -85,3 +104,159 @@ class MonotonicClockSeamRule(Rule):
                     if alias.name in _MONOTONIC_BARE_NAMES:
                         names.add(alias.asname or alias.name)
         return names
+
+
+class ZoneTimingSeamRule(Rule):
+    """OBS002: durations come from profile zones, not paired clock reads."""
+
+    rule_id = "OBS002"
+    title = "manually paired clock reads used for a duration"
+    rationale = (
+        "subtracting two clock readings re-implements what "
+        "profile_zone(...) already does with mergeable histograms and "
+        "ManualClock testability; wrap the timed block in a zone (or add "
+        "a reviewed allow[obs002] waiver for per-request latency paths)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if is_zone_timing_exempt_module(module.module):
+            return
+        call_names = self._clock_call_names(module.tree)
+        if not call_names:
+            return
+        tainted_attrs = self._tainted_attributes(module.tree, call_names)
+        # scope_statements() re-walks compound statements' bodies, so one
+        # subtraction can be visited more than once; report each site once.
+        seen: Set[Tuple[int, int]] = set()
+        for scope in scopes(module.tree):
+            tainted: Set[str] = set()
+            for statement in scope_statements(scope):
+                for found in self._flag_pairings(
+                    module, statement, call_names, tainted, tainted_attrs
+                ):
+                    key = (found.line, found.column)
+                    if key not in seen:
+                        seen.add(key)
+                        yield found
+                self._absorb_taint(statement, call_names, tainted)
+
+    # ------------------------------------------------------------------
+    # Detection tables
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clock_call_names(tree: ast.Module) -> Set[str]:
+        """Every callee name that reads a clock in this module.
+
+        The sanctioned reader (``repro.obs.clock.now``, however aliased)
+        counts too: OBS002 is about *pairing* readings, which is just as
+        unmergeable through the seam as around it.
+        """
+        names: Set[str] = set(_MONOTONIC_CALLS)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _MONOTONIC_BARE_NAMES:
+                        names.add(alias.asname or alias.name)
+            elif node.module == "repro.obs.clock":
+                for alias in node.names:
+                    if alias.name == "now":
+                        names.add(alias.asname or alias.name)
+        return names
+
+    @staticmethod
+    def _tainted_attributes(tree: ast.Module, call_names: Set[str]) -> Set[str]:
+        """Attributes assigned directly from a clock call, module-wide.
+
+        Attributes cross method boundaries (``self._started_at`` is set in
+        ``__init__`` and subtracted in a reporting method), so unlike local
+        names they are collected over the whole module up front.
+        """
+        tainted: Set[str] = set()
+        for node in ast.walk(tree):
+            value, targets = ZoneTimingSeamRule._assignment(node)
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            name = call_name(value)
+            if name is None or name not in call_names:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    dotted = dotted_name(target)
+                    if dotted is not None:
+                        tainted.add(dotted)
+        return tainted
+
+    @staticmethod
+    def _assignment(node: ast.AST) -> "Tuple[ast.AST, List[ast.AST]]":
+        """The ``(value, targets)`` of an assignment statement, else ``(None, [])``."""
+        if isinstance(node, ast.Assign):
+            return node.value, list(node.targets)
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return node.value, [node.target]
+        return None, []
+
+    # ------------------------------------------------------------------
+    # Per-scope walk
+    # ------------------------------------------------------------------
+    def _flag_pairings(
+        self,
+        module: SourceModule,
+        statement: ast.stmt,
+        call_names: Set[str],
+        tainted: Set[str],
+        tainted_attrs: Set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(statement):
+            if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Sub):
+                continue
+            if self._is_clock_reading(
+                node.left, call_names, tainted, tainted_attrs
+            ) and self._is_clock_reading(
+                node.right, call_names, tainted, tainted_attrs
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "duration computed by subtracting two clock readings; "
+                    "wrap the timed block in profile_zone(...) from "
+                    "repro.obs.profile instead of pairing reads by hand",
+                )
+
+    @staticmethod
+    def _is_clock_reading(
+        node: ast.AST,
+        call_names: Set[str],
+        tainted: Set[str],
+        tainted_attrs: Set[str],
+    ) -> bool:
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            return name is not None and name in call_names
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            return dotted is not None and dotted in tainted_attrs
+        return False
+
+    @classmethod
+    def _absorb_taint(
+        cls, statement: ast.stmt, call_names: Set[str], tainted: Set[str]
+    ) -> None:
+        """Mark local names assigned directly from a clock call.
+
+        Direct assignment only — no name-to-name propagation — so derived
+        values (``deadline = now() + timeout``) stay untainted and the
+        rule's findings stay reviewable one by one.
+        """
+        value, targets = cls._assignment(statement)
+        if value is None or not isinstance(value, ast.Call):
+            return
+        name = call_name(value)
+        if name is None or name not in call_names:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                tainted.add(target.id)

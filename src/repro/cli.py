@@ -52,6 +52,17 @@ The CLI makes the common workflows available without writing Python:
     ``--trace-out`` (sampled span traces as JSONL) and ``--metrics-out``/
     ``--metrics-jsonl`` (Prometheus-text / JSONL metrics exports).
 
+``python -m repro perf``
+    The perf trajectory workflow (:mod:`repro.obs.profile`): ``perf run``
+    executes one experiment (or replays one scenario) under the
+    hierarchical zone profiler and prints the zone table plus the run's
+    deterministic work counters (``--format json`` for machines,
+    ``--flame PATH`` for a collapsed-stack flamegraph/speedscope export);
+    experiment runs archive their counters and profile snapshot in the run
+    store.  ``perf diff`` compares two archived runs: work counters are
+    gated at exactly zero drift (non-zero exit code), wall time is
+    reported as a ratio.
+
 ``python -m repro runs``
     Work with the persistent run archive (:mod:`repro.runstore`):
     ``runs list`` and ``runs show`` inspect stored runs, ``runs report``
@@ -547,6 +558,187 @@ def command_experiments(arguments: argparse.Namespace) -> int:
     return experiments_suite.main(forwarded)
 
 
+def _perf_payload(label, arguments, snapshot, work, run_ids):
+    """The machine-readable ``perf run --format json`` document."""
+    return {
+        "target": label,
+        "scale": arguments.scale,
+        "seed": arguments.seed,
+        "jobs": arguments.jobs,
+        "wall_seconds": snapshot.total_seconds(),
+        "work": dict(sorted(work.items())),
+        "zones": snapshot.to_json(),
+        "archived_runs": list(run_ids),
+    }
+
+
+def _perf_run(arguments: argparse.Namespace) -> int:
+    """The ``perf run`` action: profile one experiment or scenario."""
+    import json as json_module
+
+    from repro.experiments.runner import ExperimentScale
+    from repro.experiments.suite import ALL_EXPERIMENTS
+    from repro.obs.profile import (
+        profile_zone,
+        profiling,
+        render_zone_table,
+        work_delta,
+        work_snapshot,
+    )
+
+    if not arguments.target:
+        raise ReproError("perf run needs an experiment id or scenario name")
+    experiment_id = (
+        arguments.target.upper()
+        if arguments.target.upper() in ALL_EXPERIMENTS
+        else None
+    )
+    run_ids: List[str] = []
+    before = work_snapshot()
+    with profiling() as session:
+        if experiment_id is not None:
+            from repro.experiments.suite import run_all
+            from repro.runstore import RunStore
+
+            store = None if arguments.no_store else RunStore(arguments.store)
+            preexisting = set(store.run_ids()) if store is not None else set()
+            run_all(
+                ExperimentScale(arguments.scale),
+                seed=arguments.seed,
+                only=[experiment_id],
+                jobs=arguments.jobs,
+                store=store,
+            )
+            if store is not None:
+                run_ids = sorted(set(store.run_ids()) - preexisting)
+            label = experiment_id
+        else:
+            from repro.service import run_scenario_loadgen
+            from repro.workloads import get_scenario
+
+            scenario = get_scenario(arguments.target)
+            params = scenario.default_params(arguments.scale)
+            with profile_zone("serve.replay"):
+                run_scenario_loadgen(
+                    scenario,
+                    num_nodes=params.num_nodes,
+                    num_requests=params.num_requests,
+                    seed=arguments.seed,
+                    num_shards=arguments.jobs or 1,
+                    batch_size=8,
+                    queue_capacity=params.num_requests,
+                )
+            label = scenario.name
+    work = work_delta(before, work_snapshot())
+    snapshot = session.snapshot()
+
+    if arguments.flame is not None:
+        lines = snapshot.collapsed_stack_lines()
+        with open(arguments.flame, "w") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+
+    if arguments.format == "json":
+        print(
+            json_module.dumps(
+                _perf_payload(label, arguments, snapshot, work, run_ids),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"perf run {label}: scale={arguments.scale} seed={arguments.seed} "
+            f"jobs={arguments.jobs or 1}"
+        )
+        print()
+        print(render_zone_table(snapshot))
+        print()
+        print("work counters (deterministic):")
+        for name in sorted(work):
+            print(f"  {name:<40} {work[name]}")
+        if run_ids:
+            print()
+            print(
+                f"archived {len(run_ids)} run(s) with counters and profile "
+                "(inspect with python -m repro runs list, python -m repro perf diff)"
+            )
+    if arguments.flame is not None and arguments.format != "json":
+        print(f"wrote collapsed-stack flame data to {arguments.flame}")
+    return 0
+
+
+def _perf_diff(arguments: argparse.Namespace) -> int:
+    """The ``perf diff`` action: exact counter gate between two stored runs."""
+    from repro.obs.profile import merge_profiles
+    from repro.runstore import RunStore
+    from repro.runstore.report import describe_run
+
+    if not arguments.target or not arguments.run_b:
+        raise ReproError("perf diff needs two run ids (see runs list)")
+    store = RunStore(arguments.store)
+    run_a = store.get(arguments.target)
+    run_b = store.get(arguments.run_b)
+    print(f"A: {describe_run(run_a)}")
+    print(f"B: {describe_run(run_b)}")
+
+    drifted: List[str] = []
+    if run_a.work or run_b.work:
+        print()
+        print("work counters (deterministic; any difference is drift):")
+        for name in sorted(set(run_a.work) | set(run_b.work)):
+            a_value = run_a.work.get(name, 0)
+            b_value = run_b.work.get(name, 0)
+            marker = ""
+            if a_value != b_value:
+                drifted.append(name)
+                marker = f"  DRIFT ({b_value - a_value:+d})"
+            print(f"  {name:<40} {a_value:>12} {b_value:>12}{marker}")
+    else:
+        print("neither run archived work counters")
+
+    if run_a.mean_timing is not None and run_b.mean_timing is not None:
+        ratio = (
+            run_b.mean_timing / run_a.mean_timing
+            if run_a.mean_timing > 0
+            else float("inf")
+        )
+        print()
+        print(
+            f"wall time: {run_a.mean_timing:.3f}s -> {run_b.mean_timing:.3f}s "
+            f"(x{ratio:.3f}; timing is banded, not gated)"
+        )
+
+    if run_a.profiles and run_b.profiles:
+        profile_a = merge_profiles(run_a.profiles)
+        profile_b = merge_profiles(run_b.profiles)
+        paths = sorted(
+            {zone.path for zone in profile_a.zones}
+            | {zone.path for zone in profile_b.zones}
+        )
+        print()
+        print("zone cumulative seconds (mean over archived snapshots):")
+        for path in paths:
+            zone_a = profile_a.zone(*path)
+            zone_b = profile_b.zone(*path)
+            a_seconds = zone_a.cumulative_seconds.sum if zone_a else 0.0
+            b_seconds = zone_b.cumulative_seconds.sum if zone_b else 0.0
+            indent = "  " * len(path)
+            print(f"  {indent}{path[-1]:<30} {a_seconds:>10.4f} {b_seconds:>10.4f}")
+
+    if drifted:
+        print()
+        print(f"counter drift on {len(drifted)} counter(s): {', '.join(drifted)}")
+        return 1
+    return 0
+
+
+def command_perf(arguments: argparse.Namespace) -> int:
+    """The ``perf`` sub-command (work counters + zone profiler workflow)."""
+    if arguments.action == "run":
+        return _perf_run(arguments)
+    return _perf_diff(arguments)
+
+
 def command_runs(arguments: argparse.Namespace) -> int:
     """The ``runs`` sub-command (persistent run archive)."""
     from pathlib import Path
@@ -878,6 +1070,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store", action="store_true", help="do not archive this invocation's runs"
     )
     experiments.set_defaults(handler=command_experiments)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="profile a run: zone profiler plus deterministic work counters",
+    )
+    perf.add_argument(
+        "action",
+        choices=["run", "diff"],
+        help="profile one experiment/scenario, or diff two archived runs",
+    )
+    perf.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. E2) or scenario name for 'run'; "
+        "baseline run id for 'diff'",
+    )
+    perf.add_argument(
+        "run_b",
+        nargs="?",
+        default=None,
+        help="second run id for 'diff'",
+    )
+    perf.add_argument(
+        "--scale", choices=["smoke", "bench", "full"], default="smoke"
+    )
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (experiments) or shards (scenarios); "
+        "counters are bit-identical for every value",
+    )
+    perf.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="zone table + counters as text (default) or one JSON document",
+    )
+    perf.add_argument(
+        "--flame",
+        default=None,
+        metavar="PATH",
+        help="write the profile as collapsed stacks (flamegraph.pl / "
+        "speedscope compatible) to PATH",
+    )
+    perf.add_argument(
+        "--store",
+        default=None,
+        help="run-archive directory (default: REPRO_RUNSTORE, else .repro-runs)",
+    )
+    perf.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not archive this invocation's counters and profile",
+    )
+    perf.set_defaults(handler=command_perf)
 
     runs = subparsers.add_parser(
         "runs",

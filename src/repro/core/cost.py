@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.permutation import Arrangement
 from repro.graphs.reveal import RevealStep
+from repro.obs.profile import count_work as _count_work
 from repro.telemetry.trace import CostTrace
 
 
@@ -66,8 +67,11 @@ class CostLedger:
     records: List[UpdateRecord] = field(default_factory=list)
 
     def add(self, record: UpdateRecord) -> None:
-        """Append one update record."""
+        """Append one update record (charging the per-phase work counters)."""
         self.records.append(record)
+        _count_work("core.cost.updates")
+        _count_work("core.cost.moving_swaps", record.moving_cost)
+        _count_work("core.cost.rearranging_swaps", record.rearranging_cost)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -35,6 +35,7 @@ import random
 from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ArrangementError
+from repro.obs.profile import count_work as _count_work
 from repro.telemetry import backends as _backends
 
 Node = Hashable
@@ -327,6 +328,8 @@ class Arrangement:
         else:
             raise ArrangementError("block and target overlap in positions")
         cost = len(block) * len(between)
+        _count_work("core.permutation.slides")
+        _count_work("core.permutation.swaps", cost)
         return Arrangement(new_order), cost
 
     def reverse_block(self, block: Iterable[Node]) -> Tuple["Arrangement", int]:
@@ -340,7 +343,10 @@ class Arrangement:
         order = list(self._order)
         order[lo : hi + 1] = reversed(order[lo : hi + 1])
         size = hi - lo + 1
-        return Arrangement(order), size * (size - 1) // 2
+        cost = size * (size - 1) // 2
+        _count_work("core.permutation.reversals")
+        _count_work("core.permutation.swaps", cost)
+        return Arrangement(order), cost
 
     def rewrite_block(self, new_block_order: Sequence[Node]) -> Tuple["Arrangement", int]:
         """Replace the internal order of a contiguous block of nodes.
@@ -357,6 +363,8 @@ class Arrangement:
         cost = count_inversions([target_positions[node] for node in current])
         order = list(self._order)
         order[lo : hi + 1] = new_block_order
+        _count_work("core.permutation.rewrites")
+        _count_work("core.permutation.swaps", cost)
         return Arrangement(order), cost
 
     def move_block_to_index(
@@ -378,6 +386,8 @@ class Arrangement:
         moved = list(self._order[lo : hi + 1])
         new_order = others[:new_leftmost_index] + moved + others[new_leftmost_index:]
         cost = size * abs(new_leftmost_index - lo)
+        _count_work("core.permutation.moves")
+        _count_work("core.permutation.swaps", cost)
         return Arrangement(new_order), cost
 
 
@@ -564,7 +574,10 @@ class MutableArrangement:
             self._reindex(t_hi + 1, b_hi)
         else:
             raise ArrangementError("block and target overlap in positions")
-        return len(block) * len(between)
+        cost = len(block) * len(between)
+        _count_work("core.permutation.slides")
+        _count_work("core.permutation.swaps", cost)
+        return cost
 
     def reverse_block(self, block: Iterable[Node]) -> int:
         """Reverse a contiguous ``block`` in place; returns ``C(|block|, 2)`` swaps."""
@@ -575,7 +588,10 @@ class MutableArrangement:
         self._order[lo : hi + 1] = segment
         self._reindex(lo, hi)
         size = hi - lo + 1
-        return size * (size - 1) // 2
+        cost = size * (size - 1) // 2
+        _count_work("core.permutation.reversals")
+        _count_work("core.permutation.swaps", cost)
+        return cost
 
     def rewrite_block(self, new_block_order: Sequence[Node]) -> int:
         """Replace the internal order of a contiguous block of nodes, in place.
@@ -589,6 +605,8 @@ class MutableArrangement:
         index_of = self._index_of
         self._order[lo : hi + 1] = [index_of[node] for node in new_block_order]
         self._reindex(lo, hi)
+        _count_work("core.permutation.rewrites")
+        _count_work("core.permutation.swaps", cost)
         return cost
 
     def set_block_order(self, new_block_order: Sequence[Node]) -> None:
@@ -604,6 +622,7 @@ class MutableArrangement:
         index_of = self._index_of
         self._order[lo : hi + 1] = [index_of[node] for node in new_block_order]
         self._reindex(lo, hi)
+        _count_work("core.permutation.rewrites")
 
     def block_inversions(
         self, new_block_order: Sequence[Node], lo: int = -1, hi: int = -1
@@ -640,7 +659,10 @@ class MutableArrangement:
             between = order[hi + 1 : new_leftmost_index + size]
             order[lo : new_leftmost_index + size] = between + moved
             self._reindex(lo, new_leftmost_index + size - 1)
-        return size * abs(new_leftmost_index - lo)
+        cost = size * abs(new_leftmost_index - lo)
+        _count_work("core.permutation.moves")
+        _count_work("core.permutation.swaps", cost)
+        return cost
 
     def rewrite_to(self, target: Arrangement) -> int:
         """Adopt the order of ``target`` wholesale; returns the Kendall-tau distance.
@@ -662,6 +684,8 @@ class MutableArrangement:
         )
         self._order = [index_of[node] for node in target.order]
         self._reindex(0, len(self._order) - 1)
+        _count_work("core.permutation.rewrites")
+        _count_work("core.permutation.swaps", cost)
         return cost
 
     def kendall_tau(self, other: Arrangement) -> int:

@@ -41,6 +41,7 @@ from repro.minla.characterizations import (
     IncrementalStepVerifier,
     violated_components,
 )
+from repro.obs.profile import profile_zone
 from repro.telemetry.trace import TraceRecorder
 
 
@@ -97,30 +98,35 @@ def run_online(
     num_nodes = instance.num_nodes
 
     for step in instance.steps:
-        record = algorithm.process(step)
+        with profile_zone("simulate.process"):
+            record = algorithm.process(step)
 
         if verifier is not None:
-            merged = verifier.observe(step)
-            view = algorithm.arrangement_view()
-            if len(view) != num_nodes:
-                raise ReproError("the node universe changed during an update")
-            feasible, kendall_tau = verifier.check_step(view, merged)
-            if record.kendall_tau != kendall_tau:
-                raise ReproError(
-                    f"{algorithm.name} recorded Kendall-tau {record.kendall_tau} for an "
-                    f"update of measured Kendall-tau distance {kendall_tau}"
-                )
-            if record.total_cost < kendall_tau:
-                raise ReproError(
-                    f"{algorithm.name} reported {record.total_cost} swaps for an update "
-                    f"of Kendall-tau distance {kendall_tau}"
-                )
-            if not feasible:
-                violations = violated_components(view, verifier.forest)
-                raise InfeasibleArrangementError(
-                    f"{algorithm.name} left components {violations} in a non-MinLA "
-                    f"arrangement after step {record.step_index}"
-                )
+            with profile_zone("simulate.verify"):
+                merged = verifier.observe(step)
+                view = algorithm.arrangement_view()
+                if len(view) != num_nodes:
+                    raise ReproError(
+                        "the node universe changed during an update"
+                    )
+                feasible, kendall_tau = verifier.check_step(view, merged)
+                if record.kendall_tau != kendall_tau:
+                    raise ReproError(
+                        f"{algorithm.name} recorded Kendall-tau "
+                        f"{record.kendall_tau} for an update of measured "
+                        f"Kendall-tau distance {kendall_tau}"
+                    )
+                if record.total_cost < kendall_tau:
+                    raise ReproError(
+                        f"{algorithm.name} reported {record.total_cost} swaps "
+                        f"for an update of Kendall-tau distance {kendall_tau}"
+                    )
+                if not feasible:
+                    violations = violated_components(view, verifier.forest)
+                    raise InfeasibleArrangementError(
+                        f"{algorithm.name} left components {violations} in a "
+                        f"non-MinLA arrangement after step {record.step_index}"
+                    )
 
         ledger.add(record)
         if recorder is not None:
@@ -172,24 +178,26 @@ def run_trials(
     )
 
     resolved = resolve_jobs(jobs)
-    if resolved > 1 and num_trials > 1:
-        # Opportunistic env-driven parallelism must not break callers that
-        # were valid before REPRO_JOBS existed: an unpicklable factory or
-        # instance only errors when the caller explicitly asked for workers.
-        if jobs is not None or (
-            is_picklable(algorithm_factory) and is_picklable(instance)
-        ):
-            return run_trials_parallel(
-                algorithm_factory,
-                instance,
-                num_trials,
-                seed=seed,
-                verify=verify,
-                jobs=resolved,
-            )
-    return run_trials_sequential(
-        algorithm_factory, instance, num_trials, seed=seed, verify=verify
-    )
+    with profile_zone("run_trials"):
+        if resolved > 1 and num_trials > 1:
+            # Opportunistic env-driven parallelism must not break callers
+            # that were valid before REPRO_JOBS existed: an unpicklable
+            # factory or instance only errors when the caller explicitly
+            # asked for workers.
+            if jobs is not None or (
+                is_picklable(algorithm_factory) and is_picklable(instance)
+            ):
+                return run_trials_parallel(
+                    algorithm_factory,
+                    instance,
+                    num_trials,
+                    seed=seed,
+                    verify=verify,
+                    jobs=resolved,
+                )
+        return run_trials_sequential(
+            algorithm_factory, instance, num_trials, seed=seed, verify=verify
+        )
 
 
 def run_trials_sequential(
@@ -209,7 +217,10 @@ def run_trials_sequential(
     for trial in range(trial_offset, trial_offset + num_trials):
         algorithm = algorithm_factory()
         trial_rng = random.Random(f"{seed}|trial-{trial}")
-        results.append(run_online(algorithm, instance, rng=trial_rng, verify=verify))
+        with profile_zone("trial"):
+            results.append(
+                run_online(algorithm, instance, rng=trial_rng, verify=verify)
+            )
     return results
 
 

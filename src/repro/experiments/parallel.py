@@ -23,10 +23,20 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.envconfig import read_env_positive_int
 from repro.errors import ExperimentError
+from repro.obs.profile import (
+    ProfileSnapshot,
+    ZoneProfiler,
+    active_profiler,
+    add_work,
+    set_profiler,
+    work_delta,
+    work_snapshot,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.algorithm import OnlineMinLAAlgorithm
@@ -127,18 +137,41 @@ def _trial_batch_worker(
     num_trials: int,
     seed: int,
     verify: bool,
-) -> "List[SimulationResult]":
-    """Run one contiguous batch of trials (executed in a worker process)."""
+    profile: bool = False,
+) -> "Tuple[List[SimulationResult], Dict[str, int], Optional[ProfileSnapshot]]":
+    """Run one contiguous batch of trials (executed in a worker process).
+
+    Returns the results together with the batch's work-counter *delta* and
+    (when the parent requested profiling) a zone-profile snapshot.  Deltas,
+    not absolutes: pool workers are cached and reused across tasks, so
+    their counters carry history — only the difference belongs to this
+    batch.  The parent folds the delta in, which is what keeps
+    ``work_snapshot()`` bit-identical between ``--jobs 1`` and ``--jobs N``.
+    """
     from repro.core.simulator import run_trials_sequential
 
     _disable_nested_fan_out()
-    return run_trials_sequential(
-        algorithm_factory,
-        instance,
-        num_trials,
-        seed=seed,
-        verify=verify,
-        trial_offset=trial_offset,
+    # The active profiler is process-global and crossed the fork with
+    # whatever state the parent had at pool-creation time; reinstall
+    # explicitly so profiling follows the parent's request for *this* task.
+    profiler = ZoneProfiler() if profile else None
+    set_profiler(profiler)
+    before = work_snapshot()
+    try:
+        results = run_trials_sequential(
+            algorithm_factory,
+            instance,
+            num_trials,
+            seed=seed,
+            verify=verify,
+            trial_offset=trial_offset,
+        )
+    finally:
+        set_profiler(None)
+    return (
+        results,
+        work_delta(before, work_snapshot()),
+        None if profiler is None else profiler.snapshot(),
     )
 
 
@@ -177,48 +210,119 @@ def run_trials_parallel(
             f"got {algorithm_factory!r}"
         )
     batches = _partition_trials(num_trials, jobs)
-    batch_results = _run_in_pool(
+    parent_profiler = active_profiler()
+    profile = parent_profiler is not None
+    batch_outputs = _run_in_pool(
         jobs,
         _trial_batch_worker,
         [
-            (algorithm_factory, instance, batch.start, len(batch), seed, verify)
+            (
+                algorithm_factory,
+                instance,
+                batch.start,
+                len(batch),
+                seed,
+                verify,
+                profile,
+            )
             for batch in batches
         ],
     )
     results: "List[SimulationResult]" = []
-    for batch in batch_results:
-        results.extend(batch)
+    for batch_results, batch_work, batch_profile in batch_outputs:
+        results.extend(batch_results)
+        add_work(batch_work)
+        if parent_profiler is not None and batch_profile is not None:
+            parent_profiler.absorb(
+                batch_profile, prefix=parent_profiler.current_path()
+            )
     return results
 
 
+@dataclass(frozen=True)
+class TimedExperiment:
+    """One experiment's result plus its observability sidecars.
+
+    ``seconds`` is wall-clock (machine-dependent metadata), ``work`` is the
+    deterministic work-counter delta the experiment performed (bit-identical
+    across worker counts and backends — a correctness surface), and
+    ``profile`` is the per-experiment zone snapshot when profiling was
+    enabled (None otherwise).
+    """
+
+    result: "ExperimentResult"
+    seconds: float
+    work: Dict[str, int]
+    profile: Optional[ProfileSnapshot] = None
+
+
 def _experiment_worker(
-    experiment_id: str, scale: "ExperimentScale", seed: int
-) -> "Tuple[ExperimentResult, float]":
+    experiment_id: str,
+    scale: "ExperimentScale",
+    seed: int,
+    profile: bool = False,
+) -> TimedExperiment:
     """Run one registered experiment (executed in a worker process).
 
-    Returns the result together with its wall-clock time, so the run store
-    can archive a real per-experiment timing sample even when experiments
-    fan out across processes.  User scenarios are re-discovered inside the
-    worker: registries are per-process state, and E11 must sweep the same
-    catalog whatever the worker count.
+    Returns the result together with its wall-clock time and work-counter
+    delta, so the run store can archive real per-experiment samples even
+    when experiments fan out across processes.  User scenarios are
+    re-discovered inside the worker: registries are per-process state, and
+    E11 must sweep the same catalog whatever the worker count.
     """
     from repro.workloads.discovery import autodiscover_scenarios
 
     _disable_nested_fan_out()
-    autodiscover_scenarios()
-    return _timed_experiment(experiment_id, scale, seed)
+    # Reinstall the profiler explicitly: the module-global one crossed the
+    # fork at pool-creation time and does not reflect the parent's current
+    # request.  Installing a throwaway parent profiler makes
+    # _timed_experiment take its profiling path and hand back a snapshot.
+    set_profiler(ZoneProfiler() if profile else None)
+    try:
+        autodiscover_scenarios()
+        return _timed_experiment(experiment_id, scale, seed)
+    finally:
+        set_profiler(None)
 
 
 def _timed_experiment(
     experiment_id: str, scale: "ExperimentScale", seed: int
-) -> "Tuple[ExperimentResult, float]":
-    """Run one registered experiment under a wall-clock measurement."""
+) -> TimedExperiment:
+    """Run one registered experiment under wall-clock and work measurement.
+
+    When a profiler is active, the experiment runs under a *fresh* profiler
+    (so the returned snapshot covers exactly this experiment) whose zones
+    are folded back into the enclosing profiler afterwards.
+    """
     from repro.experiments.suite import ALL_EXPERIMENTS
     from repro.obs.clock import now as monotonic_now
+    from repro.obs.profile import profile_zone
 
+    parent_profiler = active_profiler()
+    profiler = None
+    if parent_profiler is not None:
+        profiler = ZoneProfiler()
+        set_profiler(profiler)
+    before = work_snapshot()
     start = monotonic_now()
-    result = ALL_EXPERIMENTS[experiment_id](scale, seed)
-    return result, monotonic_now() - start
+    try:
+        with profile_zone("experiment"):
+            result = ALL_EXPERIMENTS[experiment_id](scale, seed)
+    finally:
+        if parent_profiler is not None:
+            set_profiler(parent_profiler)
+    seconds = monotonic_now() - start
+    snapshot = None if profiler is None else profiler.snapshot()
+    if parent_profiler is not None and snapshot is not None:
+        parent_profiler.absorb(
+            snapshot, prefix=parent_profiler.current_path()
+        )
+    return TimedExperiment(
+        result=result,
+        seconds=seconds,
+        work=work_delta(before, work_snapshot()),
+        profile=snapshot,
+    )
 
 
 def run_experiments_timed(
@@ -226,16 +330,17 @@ def run_experiments_timed(
     scale: "ExperimentScale",
     seed: int = 0,
     jobs: Optional[int] = None,
-) -> "List[Tuple[ExperimentResult, float]]":
-    """Run the selected experiments and return ``(result, seconds)`` pairs.
+) -> "List[TimedExperiment]":
+    """Run the selected experiments, returning :class:`TimedExperiment` rows.
 
-    The results are bit-identical to a sequential run for every worker
-    count; the timings are the per-experiment wall-clock measurements (taken
-    inside the worker when running parallel) and naturally vary between
-    invocations — they are metadata, never part of any result.  User
-    scenarios from ``.repro-scenarios.toml`` are discovered on both paths
-    (here for the sequential loop, inside :func:`_experiment_worker` for
-    pool workers), so the E11 sweep sees the same catalog either way.
+    The results and work counters are bit-identical to a sequential run for
+    every worker count (worker deltas are folded back into this process's
+    counters); the timings are per-experiment wall-clock measurements
+    (taken inside the worker when running parallel) and naturally vary
+    between invocations — they are metadata, never part of any result.
+    User scenarios from ``.repro-scenarios.toml`` are discovered on both
+    paths (here for the sequential loop, inside :func:`_experiment_worker`
+    for pool workers), so the E11 sweep sees the same catalog either way.
     """
     from repro.experiments.suite import ALL_EXPERIMENTS
     from repro.workloads.discovery import autodiscover_scenarios
@@ -247,11 +352,22 @@ def run_experiments_timed(
     if jobs == 1 or len(experiment_ids) <= 1:
         autodiscover_scenarios()
         return [_timed_experiment(name, scale, seed) for name in experiment_ids]
-    return _run_in_pool(
+    parent_profiler = active_profiler()
+    runs: "List[TimedExperiment]" = _run_in_pool(
         jobs,
         _experiment_worker,
-        [(name, scale, seed) for name in experiment_ids],
+        [
+            (name, scale, seed, parent_profiler is not None)
+            for name in experiment_ids
+        ],
     )
+    for run in runs:
+        add_work(run.work)
+        if parent_profiler is not None and run.profile is not None:
+            parent_profiler.absorb(
+                run.profile, prefix=parent_profiler.current_path()
+            )
+    return runs
 
 
 def run_experiments_parallel(
@@ -266,8 +382,8 @@ def run_experiments_parallel(
     list is identical to running them sequentially.
     """
     return [
-        result
-        for result, _ in run_experiments_timed(
+        run.result
+        for run in run_experiments_timed(
             experiment_ids, scale, seed=seed, jobs=jobs
         )
     ]

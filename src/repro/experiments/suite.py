@@ -108,17 +108,19 @@ def run_all(
     resolved_jobs = resolve_jobs(jobs)
     timed = run_experiments_timed(selected, scale, seed=seed, jobs=resolved_jobs)
     if store is not None:
-        for result, seconds in timed:
+        for run in timed:
             store.append(
                 run_record_from_result(
-                    result,
+                    run.result,
                     scale=scale.value,
                     seed=seed,
                     jobs=resolved_jobs,
-                    wall_time_seconds=seconds,
+                    wall_time_seconds=run.seconds,
+                    work=run.work,
+                    profile=run.profile,
                 )
             )
-    return [result for result, _ in timed]
+    return [run.result for run in timed]
 
 
 def _verdict(result: ExperimentResult) -> "tuple[bool, str]":

@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Sequence, Tuple, Union
 
 from repro.core.permutation import Arrangement
+from repro.obs.profile import count_work as _count_work
 from repro.telemetry.backends import count_inversions
 from repro.errors import ArrangementError
 from repro.graphs.clique_forest import CliqueForest
@@ -162,9 +163,14 @@ class IncrementalStepVerifier:
             )
         if not merged_ok:
             return False, kendall_tau
-        feasible = self._step_left_rest_untouched(
-            order, set(merged), lo, hi
-        ) or is_minla_of_forest(arrangement, self._forest)
+        feasible = self._step_left_rest_untouched(order, set(merged), lo, hi)
+        if feasible:
+            _count_work("minla.verifier.incremental_checks")
+        else:
+            # The step rearranged something beyond the merged component;
+            # fall back to re-validating the whole forest.
+            _count_work("minla.verifier.full_checks")
+            feasible = is_minla_of_forest(arrangement, self._forest)
         if feasible:
             self._previous_order = order
         return feasible, kendall_tau

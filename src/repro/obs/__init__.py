@@ -11,6 +11,25 @@ the span lifecycle and the sampling determinism story.
 """
 
 from repro.obs.clock import Clock, ManualClock, MonotonicClock, get_clock, now, set_clock
+from repro.obs.profile import (
+    PROFILE_BUCKET_EDGES,
+    ProfileSnapshot,
+    ZoneProfiler,
+    ZoneStat,
+    active_profiler,
+    add_work,
+    count_work,
+    merge_profiles,
+    merge_work,
+    profile_zone,
+    profiling,
+    render_zone_table,
+    reset_work_counters,
+    set_profiler,
+    work_counter,
+    work_delta,
+    work_snapshot,
+)
 from repro.obs.export import (
     metrics_jsonl_lines,
     prometheus_text,
@@ -49,21 +68,38 @@ __all__ = [
     "ManualClock",
     "MetricsRegistry",
     "MonotonicClock",
+    "PROFILE_BUCKET_EDGES",
+    "ProfileSnapshot",
     "SPAN_NAMES",
     "Span",
     "SpanCollector",
     "SpanSampler",
     "SpanTrace",
+    "ZoneProfiler",
+    "ZoneStat",
+    "active_profiler",
+    "add_work",
+    "count_work",
     "get_clock",
     "log_bucket_edges",
     "merge_histograms",
+    "merge_profiles",
+    "merge_work",
     "metrics_jsonl_lines",
     "now",
+    "profile_zone",
+    "profiling",
     "prometheus_text",
+    "render_zone_table",
     "request_trace",
+    "reset_work_counters",
     "resident_bytes",
     "set_clock",
+    "set_profiler",
     "spans_jsonl_lines",
+    "work_counter",
+    "work_delta",
+    "work_snapshot",
     "write_metrics_jsonl",
     "write_prometheus_text",
     "write_spans_jsonl",

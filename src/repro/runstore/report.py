@@ -16,6 +16,12 @@ Three consumers:
   configurable tolerance; the CLI turns flagged regressions into a non-zero
   exit code so a CI job can gate on it.
 
+Deterministic work counters (:mod:`repro.obs.profile`) get the opposite
+treatment from timings: they are exact integers by contract, so ``runs
+report`` surfaces *any* disagreement between archived runs of one
+configuration as drift, and ``runs compare`` gates matched runs at exactly
+zero counter drift — no tolerance — while wall time keeps its ratio band.
+
 Archived serving runs (``SERVE`` from ``repro loadgen``, ``SOAK`` from
 ``repro loadgen --soak``) get dedicated treatment in both reports: their
 throughput and p50/p99 findings are banded per configuration across
@@ -106,6 +112,18 @@ def store_report(
             f"{MIN_SERVING_RUNS} archived invocations):"
         )
         lines.extend(serving_lines)
+    drift_lines, num_compared = _work_drift_lines(store, experiment_id)
+    if num_compared:
+        lines.append("")
+        lines.append(
+            f"work counters ({num_compared} configuration(s) with >= 2 "
+            "instrumented runs; counters are deterministic, so any "
+            "disagreement is drift):"
+        )
+        if drift_lines:
+            lines.extend(drift_lines)
+        else:
+            lines.append("  all configurations agree exactly (no drift)")
     populations = store.trace_populations(experiment_id)
     banded = {
         key: samples
@@ -176,6 +194,48 @@ def _serving_drift_lines(
             lines.append(f"  {label}:")
             lines.extend(metric_lines)
     return lines
+
+
+def _work_drift_lines(
+    store: RunStore, experiment_id: Optional[str] = None
+) -> Tuple[List[str], int]:
+    """Counter drift across archived runs of one configuration.
+
+    Work counters are digested content, so two runs of one configuration
+    that disagree on any counter land as *separate* archive entries — the
+    drift is visible as multiple run ids.  Returns the drift lines plus the
+    number of configurations that had at least two instrumented runs to
+    compare (so the report can say "all agree" rather than stay silent).
+    """
+    populations: Dict[str, List[RunSummary]] = {}
+    for run in store.summaries(experiment_id):
+        if run.work:
+            populations.setdefault(_config_label(run), []).append(run)
+    lines: List[str] = []
+    num_compared = 0
+    for label in sorted(populations):
+        runs = populations[label]
+        if len(runs) < 2:
+            continue
+        num_compared += 1
+        names = sorted(set().union(*(run.work for run in runs)))
+        drifted = [
+            name
+            for name in names
+            if len({run.work.get(name, 0) for run in runs}) > 1
+        ]
+        if not drifted:
+            continue
+        lines.append(
+            f"  {label}: DRIFT across {len(runs)} archived run(s) "
+            f"({len(drifted)} counter(s) disagree)"
+        )
+        for name in drifted:
+            values = ", ".join(
+                f"{run.run_id}={run.work.get(name, 0)}" for run in runs
+            )
+            lines.append(f"    {name}: {values}")
+    return lines, num_compared
 
 
 # ----------------------------------------------------------------------
@@ -316,7 +376,7 @@ class RegressionReport:
         return "\n".join(lines)
 
 
-def _config_label(run: StoredRun) -> str:
+def _config_label(run: Union[StoredRun, RunSummary]) -> str:
     scenario = f" scenario={run.scenario}" if run.scenario else ""
     return (
         f"{run.experiment_id} scale={run.scale} seed={run.seed} "
@@ -365,7 +425,12 @@ def compare_stores(
     the per-group mean trace costs and the mean wall-clock samples are
     compared as ``candidate / baseline`` ratios.  A ratio above
     ``1 + tolerance`` is a regression, below ``1 - tolerance`` an
-    improvement.  Stores sharing no configuration at all raise — that is a
+    improvement.  Work counters are exempt from the tolerance entirely:
+    they are deterministic by contract, so when both sides carry them any
+    difference on any counter is a regression (there is no "improved"
+    direction for determinism drift), while equal counters contribute one
+    ``ok`` row.  A side without counters (an archive predating them) skips
+    the gate with a note.  Stores sharing no configuration at all raise — that is a
     mis-aimed comparison, not an empty result.  A long-lived store can hold
     several runs of one configuration (one entry per distinct result); each
     side contributes its *newest* such run and the report lists the
@@ -444,6 +509,49 @@ def compare_stores(
                         status=_classify_directional(ratio, tolerance, direction),
                     )
                 )
+        if base.work and cand.work:
+            # Exact-zero gate: counters are deterministic, so the timing
+            # tolerance does not apply — any difference is a regression.
+            names = sorted(set(base.work) | set(cand.work))
+            drifted = [
+                name for name in names
+                if base.work.get(name, 0) != cand.work.get(name, 0)
+            ]
+            if drifted:
+                for name in drifted:
+                    base_value = float(base.work.get(name, 0))
+                    cand_value = float(cand.work.get(name, 0))
+                    ratio = cand_value / base_value if base_value > 0 else (
+                        1.0 if cand_value == 0 else float("inf")
+                    )
+                    findings.append(
+                        RegressionFinding(
+                            config=label,
+                            metric=f"work {name}",
+                            baseline=base_value,
+                            candidate=cand_value,
+                            ratio=ratio,
+                            status="regression",
+                        )
+                    )
+            else:
+                total = float(sum(base.work.values()))
+                findings.append(
+                    RegressionFinding(
+                        config=label,
+                        metric="work counters",
+                        baseline=total,
+                        candidate=total,
+                        ratio=1.0,
+                        status="ok",
+                    )
+                )
+        elif base.work or cand.work:
+            side = "candidate" if cand.work else "baseline"
+            ambiguous.append(
+                f"{label}: work counters archived only on the {side} side; "
+                "skipped the exact-drift gate"
+            )
         if base.mean_timing is not None and cand.mean_timing is not None:
             ratio = cand.mean_timing / base.mean_timing if base.mean_timing > 0 else (
                 1.0 if cand.mean_timing == 0 else float("inf")

@@ -6,7 +6,9 @@ Layout (one directory per run under the store root)::
       runs/<run_id>/manifest.json   # config, digest, findings, sample counts
       runs/<run_id>/tables.json     # the run's result tables (CSV rows)
       runs/<run_id>/traces.json     # seeded cost-trace samples (repro.io)
+      runs/<run_id>/work.json       # deterministic work counters (when any)
       runs/<run_id>/timings.jsonl   # one wall-clock sample per line
+      runs/<run_id>/profile.jsonl   # one zone-profile snapshot per line
       tmp/                          # staging area for atomic appends
 
 ``run_id`` is a prefix of the SHA-256 digest of the run's *deterministic*
@@ -45,6 +47,7 @@ from repro.envconfig import read_env_path
 from repro.errors import RunStoreError
 from repro.experiments.tables import ResultTable
 from repro.io import table_from_dict, table_to_dict, trace_from_dict, trace_to_dict
+from repro.obs.profile import ProfileSnapshot
 from repro.telemetry.trace import TraceSample
 
 if TYPE_CHECKING:  # import would cycle through repro.experiments at runtime
@@ -75,10 +78,15 @@ def resolve_store_root(root: Optional[PathLike] = None) -> Path:
 class RunRecord:
     """One run to archive: configuration, tables, traces and wall time.
 
-    Everything except ``wall_time_seconds`` is deterministic content and
-    enters the content digest; the wall time becomes the run's first timing
-    sample (timing is *metadata* — re-measuring an identical run must not
-    mint a new archive entry).
+    Everything except ``wall_time_seconds`` and ``profile`` is deterministic
+    content and enters the content digest; the wall time becomes the run's
+    first timing sample and the profile its first profile sample (both are
+    *metadata* — re-measuring an identical run must not mint a new archive
+    entry).  ``work`` — the run's deterministic work counters — *is*
+    content: counter drift mints a new run id, which is what lets
+    ``runs compare`` gate it at exactly zero.  For compatibility with
+    archives written before counters existed, an empty ``work`` dict is
+    digested exactly like the old three-part payload.
     """
 
     experiment_id: str
@@ -92,6 +100,8 @@ class RunRecord:
     tables: Sequence[ResultTable] = ()
     findings: Dict[str, float] = field(default_factory=dict)
     trace_samples: Sequence[TraceSample] = ()
+    work: Dict[str, int] = field(default_factory=dict)
+    profile: Optional[ProfileSnapshot] = None
 
     def config(self) -> Dict[str, Any]:
         """The deterministic configuration key of this run."""
@@ -122,6 +132,8 @@ class StoredRun:
     findings: Dict[str, float]
     tables: Tuple[ResultTable, ...]
     trace_samples: Tuple[TraceSample, ...]
+    work: Dict[str, int] = field(default_factory=dict)
+    profiles: Tuple[ProfileSnapshot, ...] = ()
 
     def config(self) -> Dict[str, Any]:
         """The deterministic configuration key of this run."""
@@ -179,6 +191,7 @@ class RunSummary:
     timings: Tuple[float, ...]
     findings: Dict[str, float]
     num_trace_samples: int
+    work: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_timing(self) -> Optional[float]:
@@ -196,6 +209,8 @@ def run_record_from_result(
     wall_time_seconds: Optional[float] = None,
     backend: Optional[str] = None,
     scenario: Optional[str] = None,
+    work: Optional[Dict[str, int]] = None,
+    profile: Optional[ProfileSnapshot] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from an :class:`~repro.experiments.runner.ExperimentResult`."""
     if backend is None:
@@ -214,6 +229,8 @@ def run_record_from_result(
         tables=tuple(result.tables),
         findings=dict(result.findings),
         trace_samples=tuple(getattr(result, "traces", ()) or ()),
+        work=dict(work) if work else {},
+        profile=profile,
     )
 
 
@@ -242,15 +259,43 @@ def _canonical(payload: Any) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _work_payload(work: Optional[Dict[str, Any]]) -> Dict[str, int]:
+    """Normalized work-counter mapping (exact integers, validated)."""
+    if not work:
+        return {}
+    normalized: Dict[str, int] = {}
+    for name, value in work.items():
+        count = int(value)
+        if count != value or count < 0:
+            raise RunStoreError(
+                f"work counter {name!r} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        normalized[str(name)] = count
+    return normalized
+
+
 def content_digest(
     config: Dict[str, Any],
     tables_payload: Dict[str, Any],
     traces_payload: Dict[str, Any],
+    work: Optional[Dict[str, int]] = None,
 ) -> str:
-    """SHA-256 over the canonical JSON of a run's deterministic content."""
-    blob = _canonical(
-        {"config": config, "tables": tables_payload, "traces": traces_payload}
-    )
+    """SHA-256 over the canonical JSON of a run's deterministic content.
+
+    ``work`` (the run's deterministic work counters) joins the digested blob
+    only when non-empty, so archives written before counters existed keep
+    verifying unchanged — while any counter drift on instrumented runs mints
+    a different run id.
+    """
+    blob_payload: Dict[str, Any] = {
+        "config": config,
+        "tables": tables_payload,
+        "traces": traces_payload,
+    }
+    if work:
+        blob_payload["work"] = work
+    blob = _canonical(blob_payload)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -288,12 +333,15 @@ class RunStore:
         config = record.config()
         tables_payload = _tables_payload(record.tables)
         traces_payload = _traces_payload(record.trace_samples)
-        digest = content_digest(config, tables_payload, traces_payload)
+        work = _work_payload(record.work)
+        digest = content_digest(config, tables_payload, traces_payload, work)
         run_id = digest[:RUN_ID_LENGTH]
         target = self._run_directory(run_id)
         if target.exists():
             if record.wall_time_seconds is not None:
                 self.append_timing(run_id, record.wall_time_seconds)
+            if record.profile is not None and not record.profile.is_empty:
+                self.append_profile(run_id, record.profile)
             return run_id
 
         manifest = {
@@ -312,6 +360,8 @@ class RunStore:
         try:
             (staging / "tables.json").write_text(_canonical(tables_payload))
             (staging / "traces.json").write_text(_canonical(traces_payload))
+            if work:
+                (staging / "work.json").write_text(_canonical(work))
             (staging / "manifest.json").write_text(_canonical(manifest))
             self.runs_directory.mkdir(parents=True, exist_ok=True)
             try:
@@ -327,6 +377,8 @@ class RunStore:
             raise
         if record.wall_time_seconds is not None:
             self.append_timing(run_id, record.wall_time_seconds)
+        if record.profile is not None and not record.profile.is_empty:
+            self.append_profile(run_id, record.profile)
         return run_id
 
     def append_timing(self, run_id: str, seconds: float) -> None:
@@ -363,6 +415,56 @@ class RunStore:
                 ) from exc
         return tuple(samples)
 
+    def append_profile(self, run_id: str, snapshot: ProfileSnapshot) -> None:
+        """Add one zone-profile sample to an existing run.
+
+        Profiles are timing-shaped data — nondeterministic across machines
+        and loads — so like wall-clock samples they live outside the content
+        digest, in their own append-only ``profile.jsonl`` (one compact JSON
+        snapshot per line).
+        """
+        if not isinstance(snapshot, ProfileSnapshot):
+            raise RunStoreError(
+                f"append_profile() takes a ProfileSnapshot, got {type(snapshot).__name__}"
+            )
+        directory = self._run_directory(run_id)
+        if not directory.exists():
+            raise RunStoreError(
+                f"unknown run {run_id!r}; the store at {self.root} holds "
+                f"{self.run_ids()}"
+            )
+        line = json.dumps(snapshot.to_json(), sort_keys=True)
+        with (directory / "profile.jsonl").open("a") as handle:
+            handle.write(line + "\n")
+
+    def _read_profiles(self, run_id: str) -> Tuple[ProfileSnapshot, ...]:
+        path = self._run_directory(run_id) / "profile.jsonl"
+        if not path.exists():
+            return ()
+        snapshots = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                snapshots.append(ProfileSnapshot.from_json(json.loads(line)))
+            except Exception as exc:
+                raise RunStoreError(
+                    f"corrupt profile sample for run {run_id!r}: {line!r}"
+                ) from exc
+        return tuple(snapshots)
+
+    def _read_work(self, run_id: str) -> Dict[str, int]:
+        path = self._run_directory(run_id) / "work.json"
+        if not path.exists():
+            return {}
+        payload = self._read_json(path)
+        try:
+            return _work_payload(payload)
+        except (RunStoreError, TypeError, ValueError) as exc:
+            raise RunStoreError(
+                f"corrupt work counters for run {run_id!r}: {exc}"
+            ) from exc
+
     # ------------------------------------------------------------------
     # Load
     # ------------------------------------------------------------------
@@ -393,12 +495,13 @@ class RunStore:
         manifest = self._read_json(directory / "manifest.json")
         tables_payload = self._read_json(directory / "tables.json")
         traces_payload = self._read_json(directory / "traces.json")
+        work = self._read_work(run_id)
         try:
             config = manifest["config"]
             digest = manifest["digest"]
         except KeyError as exc:
             raise RunStoreError(f"malformed manifest for run {run_id!r}: {exc}") from exc
-        recomputed = content_digest(config, tables_payload, traces_payload)
+        recomputed = content_digest(config, tables_payload, traces_payload, work)
         if recomputed != digest:
             raise RunStoreError(
                 f"run {run_id!r} failed its digest check: the stored content "
@@ -430,6 +533,8 @@ class RunStore:
                 findings=dict(manifest.get("findings", {})),
                 tables=tables,
                 trace_samples=samples,
+                work=work,
+                profiles=self._read_profiles(run_id),
             )
         except (KeyError, TypeError) as exc:
             raise RunStoreError(
@@ -465,6 +570,7 @@ class RunStore:
                 timings=self._read_timings(run_id),
                 findings=dict(manifest.get("findings", {})),
                 num_trace_samples=manifest.get("num_trace_samples", 0),
+                work=self._read_work(run_id),
             )
         except (KeyError, TypeError) as exc:
             raise RunStoreError(

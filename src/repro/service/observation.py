@@ -259,6 +259,7 @@ class StatsReporter(threading.Thread):
     def _emit_line(self) -> None:
         snapshot = self._service.fleet_snapshot()
         stats = self._service.worker_stats()
+        # repro: allow[obs002] — the live stats line reports fleet uptime, not a zone
         elapsed = monotonic_now() - self._started_at
         self._emit(format_stats_line(snapshot, stats, elapsed))
         self.num_emitted += 1

@@ -18,7 +18,8 @@ per shard.  The moving parts, per shard:
   memory mode when no ``on_result`` hook needs them), periodic
   ``("metrics", snapshot)`` ships for live introspection, then
   ``("error", ...)`` on engine failure and finally
-  ``("done", report, stats, metrics, spans)``,
+  ``("done", report, stats, metrics, spans, work)`` — ``work`` being the
+  process's deterministic work-counter delta (:mod:`repro.obs.profile`),
 * a collector thread in the broker process that drains the result queue,
   fires ``on_result`` hooks, and notices a worker that died without saying
   goodbye.
@@ -57,6 +58,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.permutation import Arrangement
 from repro.errors import ServiceError
 from repro.obs.clock import now as monotonic_now
+from repro.obs.profile import add_work, work_delta, work_snapshot
 from repro.obs.spans import SpanCollector, SpanSampler, SpanTrace
 from repro.service.broker import ServeResult, WorkerStats, _QueueItem
 from repro.service.engine import ShardEngine, ShardReport
@@ -93,10 +95,14 @@ def _worker_main(
     memory mode) ships *no* per-batch result messages — only periodic
     ``("metrics", snapshot)`` messages every ``metrics_interval`` seconds
     for live introspection.  Always ends with a
-    ``("done", report, stats, metrics, spans)`` goodbye so the collector
-    knows a missing one means the process died.
+    ``("done", report, stats, metrics, spans, work)`` goodbye so the
+    collector knows a missing one means the process died.
     """
     started_at_seconds = monotonic_now()
+    # Deltas, not snapshots: the fork inherits the parent's (and any stale
+    # thread's) counter registries, and diffing before/after cancels that
+    # inheritance exactly — only work done in this process ships home.
+    work_before = work_snapshot()
     busy_seconds = 0.0
     queue_peak = 0
     num_batches = 0
@@ -149,6 +155,7 @@ def _worker_main(
             started = monotonic_now()
             records = engine.serve_batch([pair for _, pair, _ in batch])
             finished = monotonic_now()
+            # repro: allow[obs002] — per-batch service latency feeds the shard histograms, not a zone
             service_seconds = finished - started
             busy_seconds += service_seconds
             num_batches += 1
@@ -218,6 +225,7 @@ def _worker_main(
             num_batches=num_batches,
             queue_peak=queue_peak,
             busy_seconds=busy_seconds,
+            # repro: allow[obs002] — worker lifetime is a reported stat, not a zone
             lifetime_seconds=monotonic_now() - started_at_seconds,
         )
         results.put(
@@ -227,6 +235,7 @@ def _worker_main(
                 stats,
                 metrics.snapshot(),
                 () if spans is None else spans.traces(),
+                work_delta(work_before, work_snapshot()),
             )
         )
         mirror.close()  # drops the child's inherited mapping, never unlinks
@@ -245,7 +254,7 @@ class _ResultCollector(threading.Thread):
     #: collector publishes; the control thread reads them after ``join()``
     #: (``live_metrics`` is also read mid-run by the stats reporter — a
     #: single reference assignment, atomic under the GIL).
-    _shared = ("results", "report", "stats", "failure", "metrics", "spans", "live_metrics")
+    _shared = ("results", "report", "stats", "failure", "metrics", "spans", "work", "live_metrics")
 
     def __init__(
         self,
@@ -269,6 +278,7 @@ class _ResultCollector(threading.Thread):
         self.failure: Optional[str] = None
         self.metrics: Optional[ShardMetricsSnapshot] = None
         self.spans: "Tuple[SpanTrace, ...]" = ()
+        self.work: "dict[str, int]" = {}
         self.live_metrics: Optional[ShardMetricsSnapshot] = None
 
     def run(self) -> None:
@@ -305,6 +315,7 @@ class _ResultCollector(threading.Thread):
                 self.stats = message[2]
                 self.metrics = message[3]
                 self.spans = tuple(message[4])
+                self.work = dict(message[5])
                 return
 
 
@@ -491,6 +502,9 @@ class ProcessShardFleet:
             results: List[ServeResult] = []
             for shard, collector in enumerate(self._collectors):
                 results.extend(collector.results)
+                # Fold the worker's deterministic work counters into this
+                # process, so totals match the thread backend bit-for-bit.
+                add_work(collector.work)
                 if collector.failure is not None:
                     self._failures.append(
                         f"shard {shard} failed: {collector.failure}"

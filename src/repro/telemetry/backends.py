@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.envconfig import read_env_choice
 from repro.errors import ReproError
+from repro.obs.profile import count_work as _count_work
 
 #: Environment variable overriding the backend choice (``auto``/``python``/``numpy``).
 BACKEND_ENV_VAR = "REPRO_METRIC_BACKEND"
@@ -338,6 +339,11 @@ def count_inversions(values: Sequence[int]) -> int:
     >>> count_inversions([3, 2, 1, 0])
     6
     """
+    # Work is counted at the dispatch layer — never inside a backend — so
+    # the counters stay bit-identical when numpy delegates small inputs to
+    # its merge-sort fallback internally.
+    _count_work("telemetry.backends.calls")
+    _count_work("telemetry.backends.elements", len(values))
     return get_backend().count_inversions(values)
 
 
@@ -345,6 +351,10 @@ def count_cross_inversions(
     left_sorted: Sequence[int], right_sorted: Sequence[int]
 ) -> int:
     """Pairs ``(x, y) ∈ left × right`` with ``x > y`` (sorted inputs)."""
+    _count_work("telemetry.backends.calls")
+    _count_work(
+        "telemetry.backends.elements", len(left_sorted) + len(right_sorted)
+    )
     return get_backend().count_cross_inversions(left_sorted, right_sorted)
 
 
@@ -360,4 +370,9 @@ def count_inversions_batch(sequences: Sequence[Sequence[int]]) -> List[int]:
     >>> count_inversions_batch([[0, 1, 2], [2, 1, 0], []])
     [0, 3, 0]
     """
+    _count_work("telemetry.backends.calls")
+    _count_work(
+        "telemetry.backends.elements",
+        sum(len(sequence) for sequence in sequences),
+    )
     return get_backend().count_inversions_batch(sequences)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Set, Tuple
 
+from repro.obs.profile import count_work as _count_work
 from repro.vnet.embedding import Embedding
 
 Node = Hashable
@@ -63,7 +64,9 @@ class SlotDistanceCache:
         pair = (u, v)
         cached = self._pair_cost.get(pair)
         if cached is not None:
+            _count_work("vnet.distance_cache.hits")
             return cached
+        _count_work("vnet.distance_cache.misses")
         embedding = self._embedding
         slot_u = embedding.slot_of(u)
         slot_v = embedding.slot_of(v)
@@ -107,4 +110,5 @@ class SlotDistanceCache:
             # ``pop``: the node may already be untracked when an earlier
             # moved endpoint evicted the last pair touching it.
             self._slot_of_node.pop(node, None)
+        _count_work("vnet.distance_cache.evictions", evicted)
         return evicted

@@ -614,6 +614,95 @@ class TestOBS001:
 
 
 # ----------------------------------------------------------------------
+# OBS002 — durations from paired clock reads instead of profile zones
+# ----------------------------------------------------------------------
+class TestOBS002:
+    def test_fires_on_paired_reads_through_the_seam(self, tmp_path):
+        # Pairing readings is the sin, not reading; even the sanctioned
+        # seam reader flags when its outputs are subtracted by hand.
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "from repro.obs.clock import now\n"
+                    "def measure():\n"
+                    "    started = now()\n"
+                    "    work()\n"
+                    "    return now() - started\n"
+                )
+            },
+            rules=["OBS002"],
+        )
+        assert rules_fired(report) == ["OBS002"]
+        assert len(report.findings) == 1
+        assert "profile_zone" in report.findings[0].message
+
+    def test_fires_on_attribute_taint_across_methods(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "import time\n"
+                    "class Worker:\n"
+                    "    def __init__(self):\n"
+                    "        self._started = time.monotonic()\n"
+                    "    def uptime(self):\n"
+                    "        return time.monotonic() - self._started\n"
+                )
+            },
+            rules=["OBS002"],
+        )
+        assert rules_fired(report) == ["OBS002"]
+
+    def test_silent_on_profile_zone_version(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "from repro.obs.profile import profile_zone\n"
+                    "def measure():\n"
+                    "    with profile_zone('demo.work'):\n"
+                    "        work()\n"
+                )
+            },
+            rules=["OBS002"],
+        )
+        assert report.clean
+
+    def test_silent_on_derived_deadlines(self, tmp_path):
+        # deadline is now() + timeout — derived, not a raw reading; taint
+        # never propagates name-to-name, so the pairing does not flag.
+        report = run_over(
+            tmp_path,
+            {
+                "repro/demo/mod.py": (
+                    "from repro.obs.clock import now\n"
+                    "def remaining(timeout):\n"
+                    "    deadline = now() + timeout\n"
+                    "    return deadline - now()\n"
+                )
+            },
+            rules=["OBS002"],
+        )
+        assert report.clean
+
+    def test_silent_inside_exempt_modules(self, tmp_path):
+        report = run_over(
+            tmp_path,
+            {
+                "repro/obs/profile.py": (
+                    "from repro.obs.clock import now\n"
+                    "def measure():\n"
+                    "    started = now()\n"
+                    "    return now() - started\n"
+                )
+            },
+            rules=["OBS002"],
+        )
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
 # Suppressions: waivers silence findings, and are themselves policed
 # ----------------------------------------------------------------------
 BAD_SET_LOOP = (

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import algorithm_factory, build_parser, main
@@ -206,6 +208,123 @@ class TestRunsCommand:
         store = self._populate(tmp_path)
         assert main(["runs", "gc", "--store", store]) == 0
         assert "gc of" in capsys.readouterr().out
+
+
+class TestPerfCommand:
+    def test_perf_run_text_prints_zones_and_counters(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                ["perf", "run", "e2", "--scale", "smoke", "--store", store]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "run_trials" in output
+        assert "core.permutation.slides" in output
+        assert "archived 1 run(s)" in output
+
+    def test_perf_run_json_and_flame_export(self, capsys, tmp_path):
+        flame = tmp_path / "flame.txt"
+        assert (
+            main(
+                [
+                    "perf",
+                    "run",
+                    "e2",
+                    "--scale",
+                    "smoke",
+                    "--no-store",
+                    "--format",
+                    "json",
+                    "--flame",
+                    str(flame),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "E2"
+        assert payload["work"]["core.permutation.slides"] > 0
+        assert payload["wall_seconds"] > 0
+        zone_paths = [zone["path"] for zone in payload["zones"]["zones"]]
+        assert ["experiment", "run_trials"] in zone_paths
+        assert payload["archived_runs"] == []
+        # Collapsed-stack lines: "frame;frame;frame <integer weight>".
+        lines = flame.read_text().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames
+            assert int(weight) >= 0
+        assert any(line.startswith("experiment;run_trials ") for line in lines)
+
+    def test_perf_run_profiles_a_scenario(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "perf",
+                    "run",
+                    "zipf-tenants",
+                    "--scale",
+                    "smoke",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "zipf-tenants"
+        zone_paths = [zone["path"] for zone in payload["zones"]["zones"]]
+        assert ["serve.replay"] in zone_paths
+        assert payload["work"]["core.permutation.slides"] > 0
+
+    def test_perf_diff_gates_drift_and_passes_identity(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        for seed in ("0", "1"):
+            assert (
+                main(
+                    [
+                        "perf",
+                        "run",
+                        "e2",
+                        "--scale",
+                        "smoke",
+                        "--seed",
+                        seed,
+                        "--store",
+                        store,
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        words = listing.split()
+        run_ids = [words[i - 1] for i, word in enumerate(words) if word == "E2"]
+        assert len(run_ids) == 2
+
+        # A run diffed against itself: identical counters, exit 0.
+        assert (
+            main(["perf", "diff", run_ids[0], run_ids[0], "--store", store]) == 0
+        )
+        same = capsys.readouterr().out
+        assert "DRIFT" not in same
+
+        # Different seeds do different work: the exact gate fails, exit 1.
+        assert (
+            main(["perf", "diff", run_ids[0], run_ids[1], "--store", store]) == 1
+        )
+        diff = capsys.readouterr().out
+        assert "DRIFT" in diff
+        assert "counter drift" in diff
+
+    def test_perf_run_without_target_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["perf", "run"])
+        assert "experiment id or scenario" in capsys.readouterr().err
 
 
 class TestServeAndLoadgenCommands:

@@ -278,6 +278,116 @@ class TestCompare:
         assert "note: baseline holds 2 runs" in report.to_text()
 
 
+class TestWorkAndProfiles:
+    WORK = {"core.permutation.slides": 396, "core.cost.updates": 128}
+
+    def _profile(self):
+        from repro.obs.clock import ManualClock, set_clock
+        from repro.obs.profile import profile_zone, profiling
+
+        clock = ManualClock()
+        previous = set_clock(clock)
+        try:
+            with profiling() as profiler:
+                with profile_zone("experiment"):
+                    clock.advance(0.5)
+                return profiler.snapshot()
+        finally:
+            set_clock(previous)
+
+    def test_work_round_trips_and_joins_the_digest(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        plain = store.append(_record())
+        counted = store.append(_record(work=self.WORK))
+        # Work is content: the same result with counters present (or with
+        # different counts) is a different archived run.
+        assert plain != counted
+        drifted = store.append(
+            _record(work={**self.WORK, "core.permutation.slides": 397})
+        )
+        assert drifted not in (plain, counted)
+        assert store.get(plain).work == {}
+        assert store.get(counted).work == self.WORK
+        assert store.summary(counted).work == self.WORK
+
+    def test_profiles_are_metadata_samples_like_timings(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        snapshot = self._profile()
+        first = store.append(_record(work=self.WORK, profile=snapshot))
+        # Same content re-archived: no new run id, one more profile sample.
+        second = store.append(_record(work=self.WORK, profile=snapshot))
+        assert first == second
+        profiles = store.get(first).profiles
+        assert len(profiles) == 2
+        assert profiles[0] == snapshot
+        assert profiles[0].zone("experiment").calls == 1
+
+    def test_work_rejects_non_integer_and_negative_counts(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(RunStoreError, match="non-negative integer"):
+            store.append(_record(work={"core.cost.updates": -1}))
+        with pytest.raises(RunStoreError, match="non-negative integer"):
+            store.append(_record(work={"core.cost.updates": 1.5}))
+
+    def test_compare_gates_counter_drift_at_exactly_zero(self, tmp_path):
+        baseline = RunStore(tmp_path / "baseline")
+        candidate = RunStore(tmp_path / "candidate")
+        baseline.append(_record(wall=1.0, work=self.WORK))
+        candidate.append(
+            _record(
+                wall=1.05,
+                work={**self.WORK, "core.permutation.slides": 397},
+            )
+        )
+        # A huge timing tolerance must not excuse a 1-count work drift:
+        # counters are deterministic, so any difference is a regression.
+        report = compare_stores(baseline, candidate, tolerance=10.0)
+        assert report.has_regressions
+        metrics = {finding.metric: finding for finding in report.findings}
+        assert metrics["work core.permutation.slides"].status == "regression"
+        assert metrics["wall time"].status == "ok"
+
+    def test_compare_passes_timing_noise_when_counters_agree(self, tmp_path):
+        baseline = RunStore(tmp_path / "baseline")
+        candidate = RunStore(tmp_path / "candidate")
+        baseline.append(_record(wall=1.0, work=self.WORK))
+        candidate.append(_record(wall=1.3, work=self.WORK))
+        report = compare_stores(baseline, candidate, tolerance=0.5)
+        assert not report.has_regressions
+        metrics = {finding.metric: finding for finding in report.findings}
+        assert metrics["work counters"].status == "ok"
+
+    def test_compare_notes_one_sided_work(self, tmp_path):
+        baseline = RunStore(tmp_path / "baseline")
+        candidate = RunStore(tmp_path / "candidate")
+        baseline.append(_record())
+        candidate.append(_record(work=self.WORK))
+        report = compare_stores(baseline, candidate, tolerance=0.5)
+        assert not report.has_regressions
+        assert any("work counters" in note for note in report.ambiguous_configs)
+
+    def test_report_surfaces_work_drift_across_archived_runs(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.append(_record(costs=(1, 2), work=self.WORK))
+        store.append(
+            _record(
+                costs=(3, 4),
+                work={**self.WORK, "core.permutation.slides": 400},
+            )
+        )
+        report = store_report(store)
+        assert "work counters" in report
+        assert "DRIFT" in report
+        assert "core.permutation.slides" in report
+
+    def test_report_is_quiet_when_counters_agree(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.append(_record(costs=(1, 2), work=self.WORK))
+        store.append(_record(costs=(3, 4), work=self.WORK))
+        report = store_report(store)
+        assert "all configurations agree exactly (no drift)" in report
+
+
 class TestSummaries:
     def test_summaries_match_full_loads_without_payload_parsing(self, tmp_path):
         store = RunStore(tmp_path / "store")
